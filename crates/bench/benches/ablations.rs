@@ -1,0 +1,139 @@
+//! Ablation benchmarks for the design choices `DESIGN.md` calls out.
+//!
+//! Each group isolates one decision and sweeps its alternatives, timing
+//! the *simulated communication* (reported via the returned makespans;
+//! Criterion times the simulation itself, the printed CSV-like summaries
+//! from `paper_figures` carry the modeled times):
+//!
+//! * chunk count K (the Eq. 4 optimum vs too-coarse / too-fine);
+//! * detour routes vs the PCIe host bridge (what the paper avoided);
+//! * rank placement (physical-topology-aware vs identity);
+//! * channel arbitration (FIFO head-of-line vs chunk priority);
+//! * one vs two trees.
+
+use ccube_bench::bidirectional_ring_orders;
+use ccube_collectives::cost::{k_opt, CostParams};
+use ccube_collectives::{
+    ring_allreduce_multi, tree_allreduce, BinaryTree, Chunking, DoubleBinaryTree, Embedding,
+    Overlap,
+};
+use ccube_sim::{simulate, SimOptions};
+use ccube_topology::{dgx1, ByteSize};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn dgx1_c1_makespan(k: usize, placement_aware: bool, opts: &SimOptions) -> f64 {
+    let topo = dgx1();
+    let dt = DoubleBinaryTree::new(8).unwrap();
+    let s = tree_allreduce(
+        dt.trees(),
+        &Chunking::even(ByteSize::mib(64), k),
+        Overlap::ReductionBroadcast,
+    );
+    let e = if placement_aware {
+        Embedding::dgx1_double_tree(&topo, &s).unwrap()
+    } else {
+        Embedding::identity(&topo, &s).unwrap()
+    };
+    simulate(&topo, &s, &e, opts).unwrap().makespan().as_secs_f64()
+}
+
+fn ablation_chunk_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_chunk_count");
+    let kopt = k_opt(&CostParams::nvlink(), 8, ByteSize::mib(64)).div_ceil(2) * 2;
+    for k in [2usize, 8, kopt, kopt * 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(dgx1_c1_makespan(k, true, &SimOptions::default())))
+        });
+    }
+    g.finish();
+}
+
+fn ablation_placement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_placement");
+    for (name, aware) in [("topology_aware", true), ("identity", false)] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(dgx1_c1_makespan(64, aware, &SimOptions::default())))
+        });
+    }
+    g.finish();
+}
+
+fn ablation_detour_vs_host(c: &mut Criterion) {
+    // The same double tree embedded with NVLink detours vs falling back
+    // to the PCIe host bridge for the missing cross-quad links.
+    let topo = dgx1();
+    let dt = DoubleBinaryTree::new(8).unwrap();
+    let s = tree_allreduce(
+        dt.trees(),
+        &Chunking::even(ByteSize::mib(64), 64),
+        Overlap::ReductionBroadcast,
+    );
+    let detour = Embedding::dgx1_double_tree(&topo, &s).unwrap();
+    let host = Embedding::identity_with_host(&topo, &s).unwrap();
+    let mut g = c.benchmark_group("ablation_detour_vs_host");
+    g.bench_function("nvlink_detours", |b| {
+        b.iter(|| black_box(simulate(&topo, &s, &detour, &SimOptions::default()).unwrap()))
+    });
+    g.bench_function("host_bridge", |b| {
+        b.iter(|| black_box(simulate(&topo, &s, &host, &SimOptions::default()).unwrap()))
+    });
+    g.finish();
+}
+
+fn ablation_arbitration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_arbitration");
+    g.bench_function("fifo_hol", |b| {
+        b.iter(|| black_box(dgx1_c1_makespan(64, true, &SimOptions::default())))
+    });
+    g.bench_function("chunk_priority", |b| {
+        b.iter(|| black_box(dgx1_c1_makespan(64, true, &SimOptions::scale_out())))
+    });
+    g.finish();
+}
+
+fn ablation_tree_count(c: &mut Criterion) {
+    let topo = dgx1();
+    let mut g = c.benchmark_group("ablation_tree_count");
+    let chunking = Chunking::even(ByteSize::mib(64), 64);
+    let single_tree = BinaryTree::inorder(8).unwrap();
+    let single = tree_allreduce(
+        std::slice::from_ref(&single_tree),
+        &chunking,
+        Overlap::ReductionBroadcast,
+    );
+    let es = Embedding::identity(&topo, &single).unwrap();
+    g.bench_function("single_tree", |b| {
+        b.iter(|| black_box(simulate(&topo, &single, &es, &SimOptions::default()).unwrap()))
+    });
+    let dt = DoubleBinaryTree::new(8).unwrap();
+    let double = tree_allreduce(dt.trees(), &chunking, Overlap::ReductionBroadcast);
+    let ed = Embedding::dgx1_double_tree(&topo, &double).unwrap();
+    g.bench_function("double_tree", |b| {
+        b.iter(|| black_box(simulate(&topo, &double, &ed, &SimOptions::default()).unwrap()))
+    });
+    g.finish();
+}
+
+fn ablation_ring_count(c: &mut Criterion) {
+    let topo = dgx1();
+    let mut g = c.benchmark_group("ablation_ring_count");
+    let all_orders = bidirectional_ring_orders(&topo, 3);
+    for rings in [1usize, 2, 6] {
+        let orders = all_orders[..rings].to_vec();
+        let s = ring_allreduce_multi(ByteSize::mib(64), &orders);
+        let e = Embedding::identity(&topo, &s).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(rings), &rings, |b, _| {
+            b.iter(|| black_box(simulate(&topo, &s, &e, &SimOptions::default()).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_chunk_count, ablation_placement, ablation_detour_vs_host,
+              ablation_arbitration, ablation_tree_count, ablation_ring_count
+}
+criterion_main!(ablations);

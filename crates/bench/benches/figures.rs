@@ -1,0 +1,70 @@
+//! One benchmark group per figure of the paper's evaluation.
+//!
+//! Each benchmark runs the experiment driver that regenerates that
+//! figure's data (at a reduced sweep where the full one would dominate
+//! the run), so `cargo bench` both times the pipeline and re-validates
+//! that every figure still produces data.
+
+use ccube::experiments::{fig01, fig03, fig04, fig12, fig13, fig14, fig15, fig16, fig17};
+use ccube_topology::ByteSize;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig01(c: &mut Criterion) {
+    c.bench_function("fig01_allreduce_ratio", |b| {
+        b.iter(|| black_box(fig01::run()))
+    });
+}
+
+fn bench_fig03(c: &mut Criterion) {
+    c.bench_function("fig03_granularity", |b| b.iter(|| black_box(fig03::run())));
+}
+
+fn bench_fig04(c: &mut Criterion) {
+    c.bench_function("fig04_ring_vs_tree", |b| b.iter(|| black_box(fig04::run())));
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    c.bench_function("fig12_comm_overlap", |b| {
+        b.iter(|| black_box(fig12::run_with(&[ByteSize::mib(16), ByteSize::mib(64)])))
+    });
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    c.bench_function("fig13_overall", |b| {
+        b.iter(|| black_box(fig13::run_with(&[16, 64])))
+    });
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    c.bench_function("fig14_scaleout", |b| {
+        b.iter(|| {
+            black_box(fig14::run_with(
+                &[8, 32],
+                &[ByteSize::kib(16), ByteSize::mib(1)],
+            ))
+        })
+    });
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    c.bench_function("fig15_detour", |b| b.iter(|| black_box(fig15::run())));
+}
+
+fn bench_fig16(c: &mut Criterion) {
+    c.bench_function("fig16_patterns", |b| b.iter(|| black_box(fig16::run())));
+}
+
+fn bench_fig17(c: &mut Criterion) {
+    c.bench_function("fig17_resnet_layers", |b| {
+        b.iter(|| black_box(fig17::run(64)))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig01, bench_fig03, bench_fig04, bench_fig12, bench_fig13,
+              bench_fig14, bench_fig15, bench_fig16, bench_fig17
+}
+criterion_main!(figures);

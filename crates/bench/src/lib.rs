@@ -1,0 +1,45 @@
+//! Benchmark support for the C-Cube reproduction.
+//!
+//! The actual benchmarks live in `benches/`:
+//!
+//! * `figures` — one benchmark group per figure of the paper's
+//!   evaluation, each running the corresponding
+//!   [`ccube::experiments`] driver (the same code that regenerates the
+//!   figure's data series);
+//! * `micro` — microbenchmarks of the substrates: schedule construction,
+//!   discrete-event simulation, the threaded AllReduce runtime, and the
+//!   device-side synchronization primitives;
+//! * `ablations` — design-choice sweeps called out in `DESIGN.md`: chunk
+//!   count sensitivity, detour vs host-bridge routing, rank placement,
+//!   channel arbitration, and single vs double tree.
+//!
+//! This library crate only hosts small shared helpers.
+
+use ccube_collectives::Rank;
+use ccube_topology::{disjoint_rings, Topology};
+
+/// The NCCL-style ring orders for a topology: every disjoint Hamiltonian
+/// cycle, forward and reversed.
+pub fn bidirectional_ring_orders(topo: &Topology, max_cycles: usize) -> Vec<Vec<Rank>> {
+    let mut orders = Vec::new();
+    for cycle in disjoint_rings(topo, max_cycles) {
+        let fwd: Vec<Rank> = cycle.iter().map(|g| Rank(g.0)).collect();
+        let mut rev = fwd.clone();
+        rev.reverse();
+        orders.push(fwd);
+        orders.push(rev);
+    }
+    orders
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dgx1_yields_six_ring_orders() {
+        let topo = ccube_topology::dgx1();
+        let orders = bidirectional_ring_orders(&topo, 3);
+        assert_eq!(orders.len(), 6);
+    }
+}

@@ -1,0 +1,148 @@
+//! Message chunking.
+//!
+//! AllReduce implementations split the message into *chunks* — "the amount
+//! of data that is communicated between neighboring nodes in each step"
+//! (paper footnote 3). The chunk count trades the latency term (more
+//! chunks, more α) against pipeline fill (fewer chunks, worse overlap);
+//! the optimum is Eq. 4 of the paper, implemented as
+//! [`cost::k_opt`](crate::cost::k_opt).
+
+use ccube_topology::ByteSize;
+use std::fmt;
+
+/// Identifier of a chunk within a collective's message.
+///
+/// Chunk ids are global across the whole message; in a double-tree
+/// schedule the chunks are interleaved between the two trees by parity
+/// (tree 0 carries even chunks, tree 1 odd chunks) so that completion
+/// order still tracks chunk order — the property gradient queuing's
+/// count-based semaphores rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChunkId(pub u32);
+
+impl ChunkId {
+    /// The chunk id as an array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ChunkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A partition of a message into chunks.
+///
+/// # Examples
+///
+/// ```
+/// use ccube_collectives::Chunking;
+/// use ccube_topology::ByteSize;
+///
+/// let c = Chunking::even(ByteSize::mib(64), 16);
+/// assert_eq!(c.num_chunks(), 16);
+/// assert_eq!(c.total(), ByteSize::mib(64));
+/// assert_eq!(c.size(ccube_collectives::ChunkId(0)), ByteSize::mib(4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunking {
+    total: ByteSize,
+    sizes: Vec<ByteSize>,
+}
+
+impl Chunking {
+    /// Splits `total` into `k` chunks whose sizes differ by at most one
+    /// byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn even(total: ByteSize, k: usize) -> Self {
+        Chunking {
+            total,
+            sizes: total.split(k),
+        }
+    }
+
+    /// Builds a chunking from explicit chunk sizes (used when chunk
+    /// boundaries must align with DNN layer boundaries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sizes` is empty.
+    pub fn from_sizes(sizes: Vec<ByteSize>) -> Self {
+        assert!(!sizes.is_empty(), "chunking needs at least one chunk");
+        let total = sizes.iter().copied().sum();
+        Chunking { total, sizes }
+    }
+
+    /// Total message size.
+    pub fn total(&self) -> ByteSize {
+        self.total
+    }
+
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Size of one chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is out of range.
+    pub fn size(&self, chunk: ChunkId) -> ByteSize {
+        self.sizes[chunk.index()]
+    }
+
+    /// All chunk sizes in chunk order.
+    pub fn sizes(&self) -> &[ByteSize] {
+        &self.sizes
+    }
+
+    /// Iterator over all chunk ids in order.
+    pub fn ids(&self) -> impl Iterator<Item = ChunkId> + '_ {
+        (0..self.sizes.len() as u32).map(ChunkId)
+    }
+}
+
+impl fmt::Display for Chunking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} in {} chunks", self.total, self.sizes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_chunking_sums_to_total() {
+        let c = Chunking::even(ByteSize::new(1001), 7);
+        assert_eq!(c.num_chunks(), 7);
+        let sum: ByteSize = c.sizes().iter().copied().sum();
+        assert_eq!(sum, ByteSize::new(1001));
+    }
+
+    #[test]
+    fn from_sizes_preserves_layout() {
+        let c = Chunking::from_sizes(vec![ByteSize::kib(4), ByteSize::kib(8)]);
+        assert_eq!(c.total(), ByteSize::kib(12));
+        assert_eq!(c.size(ChunkId(1)), ByteSize::kib(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chunk")]
+    fn empty_sizes_rejected() {
+        let _ = Chunking::from_sizes(vec![]);
+    }
+
+    #[test]
+    fn ids_iterate_in_order() {
+        let c = Chunking::even(ByteSize::kib(16), 4);
+        let ids: Vec<ChunkId> = c.ids().collect();
+        assert_eq!(ids, vec![ChunkId(0), ChunkId(1), ChunkId(2), ChunkId(3)]);
+    }
+}

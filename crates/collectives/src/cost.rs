@@ -1,0 +1,500 @@
+//! Closed-form α+β cost models (paper §II-C, Eq. 1–7).
+//!
+//! The models use the linear communication cost `α + βn` per step, with
+//! the paper's notation: `N` message size, `K` chunk count, `P` ranks,
+//! `α` latency, `β` inverse bandwidth. They drive:
+//!
+//! * Fig. 4 — the ring-vs-tree performance ratio over `(P, N)`;
+//! * Eq. 4 — the optimal chunk count used everywhere a schedule is built;
+//! * Fig. 12(b) — the model-vs-measurement comparison of the overlapped
+//!   tree's benefit;
+//! * Fig. 3 — the invocation-granularity study (one-shot vs layer-wise vs
+//!   slicing), via [`GranularityModel`].
+
+use ccube_topology::{Bandwidth, ByteSize, Seconds};
+use std::fmt;
+
+/// The α/β parameters of the linear communication cost model.
+///
+/// # Examples
+///
+/// ```
+/// use ccube_collectives::cost::CostParams;
+/// use ccube_topology::{Bandwidth, ByteSize, Seconds};
+///
+/// let p = CostParams::new(Seconds::from_micros(1.5), Bandwidth::gb_per_sec(25.0));
+/// let t = p.step_time(ByteSize::mib(1));
+/// assert!(t > Seconds::from_micros(40.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    alpha: Seconds,
+    bandwidth: Bandwidth,
+}
+
+impl CostParams {
+    /// Creates cost parameters from a latency and a bandwidth.
+    pub fn new(alpha: Seconds, bandwidth: Bandwidth) -> Self {
+        CostParams { alpha, bandwidth }
+    }
+
+    /// Parameters of one DGX-1 NVLink (25 GB/s, 1.5 µs), matching the
+    /// system of the paper's proof of concept.
+    pub fn nvlink() -> Self {
+        CostParams::new(Seconds::from_micros(1.5), Bandwidth::gb_per_sec(25.0))
+    }
+
+    /// Parameters representative of the NCCL 2.4 blog post the paper's
+    /// Fig. 4 takes its α/β values from: inter-node fabric with ~12.5 GB/s
+    /// per-node bandwidth and a few microseconds of latency.
+    pub fn nccl_blog() -> Self {
+        CostParams::new(Seconds::from_micros(5.0), Bandwidth::gb_per_sec(12.5))
+    }
+
+    /// The latency term α.
+    pub fn alpha(&self) -> Seconds {
+        self.alpha
+    }
+
+    /// The bandwidth whose inverse is β.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// β in seconds per byte.
+    pub fn beta(&self) -> f64 {
+        self.bandwidth.beta()
+    }
+
+    /// The cost of one step carrying `bytes`: `α + β·n`.
+    pub fn step_time(&self, bytes: ByteSize) -> Seconds {
+        self.alpha + self.bandwidth.transfer_time(bytes)
+    }
+
+    /// These parameters with the bandwidth scaled by `factor` (the
+    /// paper's low-bandwidth configuration uses `0.25`).
+    #[must_use]
+    pub fn scaled_bandwidth(&self, factor: f64) -> CostParams {
+        CostParams::new(self.alpha, self.bandwidth.scaled(factor))
+    }
+}
+
+impl fmt::Display for CostParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "alpha={}, bw={}", self.alpha, self.bandwidth)
+    }
+}
+
+fn log2p(p: usize) -> f64 {
+    (p as f64).log2()
+}
+
+/// Eq. 1 — AllGather time on a ring: `(P-1)(α + βN/P)`.
+pub fn t_allgather(params: &CostParams, p: usize, n: ByteSize) -> Seconds {
+    let steps = (p - 1) as f64;
+    let chunk = n.as_f64() / p as f64;
+    Seconds::new(steps * (params.alpha().as_secs_f64() + params.beta() * chunk))
+}
+
+/// Eq. 2 — ring AllReduce time: `2(P-1)α + 2((P-1)/P)βN`.
+pub fn t_ring(params: &CostParams, p: usize, n: ByteSize) -> Seconds {
+    t_allgather(params, p, n) * 2.0
+}
+
+/// Eq. 3 — one phase (reduction *or* broadcast) of the chunked tree
+/// algorithm: `(log P + K)(α + βN/K)`.
+pub fn t_tree_phase(params: &CostParams, p: usize, n: ByteSize, k: usize) -> Seconds {
+    let steps = log2p(p) + k as f64;
+    let chunk = n.as_f64() / k as f64;
+    Seconds::new(steps * (params.alpha().as_secs_f64() + params.beta() * chunk))
+}
+
+/// Eq. 4 — the chunk count that minimizes Eq. 3:
+/// `K_opt = sqrt(log(P)·βN/α)`, clamped to at least 1.
+///
+/// # Examples
+///
+/// ```
+/// use ccube_collectives::cost::{k_opt, CostParams};
+/// use ccube_topology::ByteSize;
+///
+/// let k = k_opt(&CostParams::nvlink(), 8, ByteSize::mib(64));
+/// assert!(k >= 32 && k <= 512);
+/// ```
+pub fn k_opt(params: &CostParams, p: usize, n: ByteSize) -> usize {
+    let k = (log2p(p) * params.beta() * n.as_f64() / params.alpha().as_secs_f64()).sqrt();
+    (k.round() as usize).max(1)
+}
+
+/// Non-overlapped tree AllReduce with an explicit chunk count:
+/// `2(log P + K)(α + βN/K)` (two passes of Eq. 3).
+pub fn t_tree_chunked(params: &CostParams, p: usize, n: ByteSize, k: usize) -> Seconds {
+    t_tree_phase(params, p, n, k) * 2.0
+}
+
+/// Eq. 6 — non-overlapped tree AllReduce at the optimal chunk count:
+/// `2 log(P)α + 2βN + 4 sqrt(αβN log P)`.
+pub fn t_tree(params: &CostParams, p: usize, n: ByteSize) -> Seconds {
+    let a = params.alpha().as_secs_f64();
+    let bn = params.beta() * n.as_f64();
+    let lp = log2p(p);
+    Seconds::new(2.0 * lp * a + 2.0 * bn + 4.0 * (a * bn * lp).sqrt())
+}
+
+/// Overlapped tree AllReduce with an explicit chunk count:
+/// `(2 log P + K)(α + βN/K)` — the reduction and broadcast chained into a
+/// single pass through a pipeline of double the depth.
+pub fn t_overlapped_chunked(params: &CostParams, p: usize, n: ByteSize, k: usize) -> Seconds {
+    let steps = 2.0 * log2p(p) + k as f64;
+    let chunk = n.as_f64() / k as f64;
+    Seconds::new(steps * (params.alpha().as_secs_f64() + params.beta() * chunk))
+}
+
+/// Eq. 7 — overlapped tree AllReduce at its optimal chunk count:
+/// `2 log(P)α + βN + 3 sqrt(αβN log P)` (the paper approximates with the
+/// same K regime as Eq. 6; we evaluate the closed form as printed).
+pub fn t_overlapped(params: &CostParams, p: usize, n: ByteSize) -> Seconds {
+    let a = params.alpha().as_secs_f64();
+    let bn = params.beta() * n.as_f64();
+    let lp = log2p(p);
+    Seconds::new(2.0 * lp * a + bn + 3.0 * (a * bn * lp).sqrt())
+}
+
+/// Double-tree variants: each tree carries half the message on its own
+/// channels, so the per-tree cost is evaluated at `N/2` and `K/2` and the
+/// two trees run concurrently.
+pub fn t_double_tree_chunked(params: &CostParams, p: usize, n: ByteSize, k: usize) -> Seconds {
+    let half = ByteSize::new(n.as_u64() / 2);
+    t_tree_chunked(params, p, half, (k / 2).max(1))
+}
+
+/// Overlapped double tree with explicit chunk count (per-tree `N/2`,
+/// `K/2`).
+pub fn t_overlapped_double_chunked(
+    params: &CostParams,
+    p: usize,
+    n: ByteSize,
+    k: usize,
+) -> Seconds {
+    let half = ByteSize::new(n.as_u64() / 2);
+    t_overlapped_chunked(params, p, half, (k / 2).max(1))
+}
+
+/// Gradient turnaround time of the **baseline** tree (paper Fig. 7): the
+/// first chunk is usable only after the whole reduction
+/// (`(log P + K)` steps) plus its broadcast down (`log P` steps).
+pub fn turnaround_tree(params: &CostParams, p: usize, n: ByteSize, k: usize) -> Seconds {
+    let chunk = n.as_f64() / k as f64;
+    let steps = (log2p(p) + k as f64) + log2p(p);
+    Seconds::new(steps * (params.alpha().as_secs_f64() + params.beta() * chunk))
+}
+
+/// Gradient turnaround time of the **overlapped** tree: the first chunk
+/// comes back after one round trip of the tree, `2 log P + 1` steps,
+/// regardless of K — the property that makes computation chaining (C2)
+/// effective.
+pub fn turnaround_overlapped(params: &CostParams, p: usize, n: ByteSize, k: usize) -> Seconds {
+    let chunk = n.as_f64() / k as f64;
+    let steps = 2.0 * log2p(p) + 1.0;
+    Seconds::new(steps * (params.alpha().as_secs_f64() + params.beta() * chunk))
+}
+
+/// Model of the paper's Fig. 3 granularity study: invoking AllReduce once
+/// per slice adds a fixed per-invocation launch overhead and pays the
+/// full latency term each time.
+///
+/// # Examples
+///
+/// ```
+/// use ccube_collectives::cost::{CostParams, GranularityModel};
+/// use ccube_topology::{ByteSize, Seconds};
+///
+/// let m = GranularityModel::new(CostParams::nvlink(), Seconds::from_micros(5.0), 8);
+/// let one_shot = m.total_time(&[ByteSize::mib(100)]);
+/// let sliced: Vec<ByteSize> = (0..400).map(|_| ByteSize::kib(256)).collect();
+/// assert!(m.total_time(&sliced) > one_shot * 2.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct GranularityModel {
+    params: CostParams,
+    launch_overhead: Seconds,
+    p: usize,
+}
+
+impl GranularityModel {
+    /// Creates a granularity model for a `p`-rank ring AllReduce with the
+    /// given per-invocation `launch_overhead`.
+    pub fn new(params: CostParams, launch_overhead: Seconds, p: usize) -> Self {
+        GranularityModel {
+            params,
+            launch_overhead,
+            p,
+        }
+    }
+
+    /// Time of one AllReduce invocation of `bytes`.
+    pub fn invocation_time(&self, bytes: ByteSize) -> Seconds {
+        self.launch_overhead + t_ring(&self.params, self.p, bytes)
+    }
+
+    /// Total time to AllReduce a list of messages, one invocation each.
+    pub fn total_time(&self, messages: &[ByteSize]) -> Seconds {
+        messages
+            .iter()
+            .fold(Seconds::ZERO, |acc, &m| acc + self.invocation_time(m))
+    }
+
+    /// Effective bandwidth (total bytes / total time) of a message list.
+    pub fn effective_bandwidth(&self, messages: &[ByteSize]) -> Bandwidth {
+        let total: ByteSize = messages.iter().copied().sum();
+        let t = self.total_time(messages).as_secs_f64();
+        Bandwidth::bytes_per_sec(total.as_f64() / t)
+    }
+}
+
+/// Fits α/β parameters from measured `(message size, point-to-point
+/// time)` samples by ordinary least squares on `t = α + β·n` — how one
+/// calibrates the cost models against a real interconnect (the paper's
+/// Fig. 12(b) methodology in reverse).
+///
+/// Returns `None` if fewer than two distinct sizes are supplied or the
+/// fit produces a non-positive bandwidth or negative latency.
+///
+/// # Examples
+///
+/// ```
+/// use ccube_collectives::cost::{fit_params, CostParams};
+/// use ccube_topology::{ByteSize, Seconds};
+///
+/// let truth = CostParams::nvlink();
+/// let samples: Vec<(ByteSize, Seconds)> = [1u64, 4, 16, 64]
+///     .iter()
+///     .map(|&m| {
+///         let n = ByteSize::mib(m);
+///         (n, truth.step_time(n))
+///     })
+///     .collect();
+/// let fitted = fit_params(&samples).expect("well-conditioned fit");
+/// assert!((fitted.alpha().as_micros() - 1.5).abs() < 1e-6);
+/// assert!((fitted.bandwidth().as_gb_per_sec() - 25.0).abs() < 1e-6);
+/// ```
+pub fn fit_params(samples: &[(ByteSize, Seconds)]) -> Option<CostParams> {
+    if samples.len() < 2 {
+        return None;
+    }
+    let n = samples.len() as f64;
+    let mean_x = samples.iter().map(|(b, _)| b.as_f64()).sum::<f64>() / n;
+    let mean_y = samples.iter().map(|(_, t)| t.as_secs_f64()).sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var = 0.0;
+    for (b, t) in samples {
+        let dx = b.as_f64() - mean_x;
+        cov += dx * (t.as_secs_f64() - mean_y);
+        var += dx * dx;
+    }
+    if var == 0.0 {
+        return None;
+    }
+    let beta = cov / var; // seconds per byte
+    let alpha = mean_y - beta * mean_x;
+    if beta <= 0.0 || alpha < 0.0 {
+        return None;
+    }
+    Some(CostParams::new(
+        Seconds::new(alpha),
+        Bandwidth::bytes_per_sec(1.0 / beta),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CostParams {
+        CostParams::new(Seconds::from_micros(2.0), Bandwidth::gb_per_sec(10.0))
+    }
+
+    #[test]
+    fn ring_matches_eq2_by_hand() {
+        // P=4, N=4 MB, alpha=2us, beta=0.1 ns/B
+        let p = params();
+        let n = ByteSize::new(4_000_000);
+        let t = t_ring(&p, 4, n);
+        // 2*3*2us + 2*(3/4)*4e6*1e-10 = 12us + 600us
+        assert!((t.as_micros() - 612.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tree_phase_matches_eq3_by_hand() {
+        let p = params();
+        let n = ByteSize::new(1_000_000);
+        // (log2(4) + 10)(2us + 1e5 B * 1e-10 s/B) = 12 * (2us + 10us)
+        let t = t_tree_phase(&p, 4, n, 10);
+        assert!((t.as_micros() - 144.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn k_opt_minimizes_eq3_over_neighbors() {
+        let p = params();
+        for (ranks, n) in [(4, ByteSize::mib(16)), (64, ByteSize::mib(1)), (8, ByteSize::kib(64))]
+        {
+            let k = k_opt(&p, ranks, n);
+            let t = t_tree_phase(&p, ranks, n, k);
+            if k > 1 {
+                assert!(t <= t_tree_phase(&p, ranks, n, k - 1));
+            }
+            assert!(t <= t_tree_phase(&p, ranks, n, k + 1));
+        }
+    }
+
+    #[test]
+    fn eq6_equals_chunked_at_continuous_kopt() {
+        // With K treated continuously, Eq. 3 at K_opt equals Eq. 6 / 2.
+        let p = params();
+        let n = ByteSize::mib(32);
+        let ranks = 16;
+        let a = p.alpha().as_secs_f64();
+        let bn = p.beta() * n.as_f64();
+        let lp = (ranks as f64).log2();
+        let k_cont = (lp * bn / a).sqrt();
+        let phase = (lp + k_cont) * (a + bn / k_cont);
+        let eq6 = t_tree(&p, ranks, n).as_secs_f64();
+        assert!((2.0 * phase - eq6).abs() / eq6 < 1e-12);
+    }
+
+    #[test]
+    fn overlap_always_beats_baseline_tree() {
+        let p = params();
+        for ranks in [2usize, 8, 64, 512] {
+            for n in [ByteSize::kib(16), ByteSize::mib(1), ByteSize::mib(64)] {
+                assert!(t_overlapped(&p, ranks, n) < t_tree(&p, ranks, n));
+                let k = k_opt(&p, ranks, n);
+                assert!(
+                    t_overlapped_chunked(&p, ranks, n, k) < t_tree_chunked(&p, ranks, n, k)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_benefit_approaches_2x_for_large_messages() {
+        // For bandwidth-dominated messages the chained single pass moves
+        // each byte once instead of twice.
+        let p = params();
+        let n = ByteSize::gib(4);
+        let ratio = t_tree(&p, 8, n) / t_overlapped(&p, 8, n);
+        assert!(ratio > 1.7 && ratio < 2.0, "ratio={ratio}");
+    }
+
+    #[test]
+    fn tree_beats_ring_at_scale_small_messages() {
+        // Fig. 4: latency-dominated regime favors the tree's O(log P).
+        let p = CostParams::nccl_blog();
+        let n = ByteSize::kib(16);
+        let ring = t_ring(&p, 256, n);
+        let tree = t_tree(&p, 256, n);
+        assert!(tree < ring);
+        // and the ring's O(P) latency makes it much worse
+        assert!(ring / tree > 5.0);
+    }
+
+    #[test]
+    fn ring_beats_tree_small_scale_large_messages() {
+        // Fig. 4: bandwidth-dominated regime at small P favors the ring
+        // (by up to ~14% in the paper).
+        let p = CostParams::nccl_blog();
+        let n = ByteSize::mib(256);
+        let ring = t_ring(&p, 4, n);
+        let tree = t_tree(&p, 4, n);
+        assert!(ring < tree);
+        let advantage = tree / ring;
+        assert!(advantage < 1.5, "advantage={advantage}");
+    }
+
+    #[test]
+    fn turnaround_overlap_is_independent_of_k() {
+        let p = params();
+        let n = ByteSize::mib(64);
+        let t64 = turnaround_overlapped(&p, 8, n, 64);
+        let t256 = turnaround_overlapped(&p, 8, n, 256);
+        // more chunks -> smaller chunks -> the single round trip shrinks
+        assert!(t256 < t64);
+        // while the baseline turnaround grows with total reduction length
+        assert!(turnaround_tree(&p, 8, n, 256) > turnaround_overlapped(&p, 8, n, 256) * 10.0);
+    }
+
+    #[test]
+    fn granularity_layerwise_loses_about_2x() {
+        // Shape check for Fig. 3: ~160 per-layer invocations cost about
+        // half the effective bandwidth of one-shot.
+        let m = GranularityModel::new(
+            CostParams::new(Seconds::from_micros(1.0), Bandwidth::gb_per_sec(60.0)),
+            Seconds::from_micros(5.0),
+            8,
+        );
+        let total = ByteSize::mib(100);
+        let one_shot = m.effective_bandwidth(&[total]);
+        let layers: Vec<ByteSize> = total.split(160);
+        let layerwise = m.effective_bandwidth(&layers);
+        let ratio = one_shot.as_bytes_per_sec() / layerwise.as_bytes_per_sec();
+        assert!(ratio > 1.5 && ratio < 3.0, "ratio={ratio}");
+        let slices: Vec<ByteSize> = total.split(640);
+        let sliced = m.effective_bandwidth(&slices);
+        let ratio4 = one_shot.as_bytes_per_sec() / sliced.as_bytes_per_sec();
+        assert!(ratio4 > 3.5, "ratio4={ratio4}");
+    }
+
+    #[test]
+    fn fit_recovers_exact_linear_data() {
+        let truth = CostParams::new(Seconds::from_micros(3.0), Bandwidth::gb_per_sec(40.0));
+        let samples: Vec<(ByteSize, Seconds)> = [64u64, 256, 1024, 4096]
+            .iter()
+            .map(|&k| {
+                let b = ByteSize::kib(k);
+                (b, truth.step_time(b))
+            })
+            .collect();
+        let fitted = fit_params(&samples).unwrap();
+        assert!((fitted.alpha().as_secs_f64() - truth.alpha().as_secs_f64()).abs() < 1e-12);
+        assert!(
+            (fitted.bandwidth().as_gb_per_sec() - truth.bandwidth().as_gb_per_sec()).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_inputs() {
+        assert!(fit_params(&[]).is_none());
+        let one = (ByteSize::mib(1), Seconds::from_micros(10.0));
+        assert!(fit_params(&[one]).is_none());
+        // identical sizes -> zero variance
+        assert!(fit_params(&[one, one]).is_none());
+        // decreasing time with size -> negative beta
+        let bad = [
+            (ByteSize::mib(1), Seconds::from_millis(2.0)),
+            (ByteSize::mib(2), Seconds::from_millis(1.0)),
+        ];
+        assert!(fit_params(&bad).is_none());
+    }
+
+    #[test]
+    fn fit_tolerates_noise() {
+        let truth = CostParams::nvlink();
+        let samples: Vec<(ByteSize, Seconds)> = (1..=16u64)
+            .map(|m| {
+                let b = ByteSize::mib(m);
+                let jitter = 1.0 + 0.01 * if m % 2 == 0 { 1.0 } else { -1.0 };
+                (b, Seconds::new(truth.step_time(b).as_secs_f64() * jitter))
+            })
+            .collect();
+        let fitted = fit_params(&samples).unwrap();
+        let rel =
+            (fitted.bandwidth().as_gb_per_sec() - 25.0).abs() / 25.0;
+        assert!(rel < 0.03, "fitted bw off by {rel}");
+    }
+
+    #[test]
+    fn scaled_bandwidth_quarters_throughput() {
+        let p = params().scaled_bandwidth(0.25);
+        assert!((p.bandwidth().as_gb_per_sec() - 2.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,418 @@
+//! Embedding of logical schedules onto physical topologies.
+//!
+//! An [`Embedding`] assigns every distinct logical edge `(src, dst, tree)`
+//! of a [`Schedule`] a static physical [`Route`]: a dedicated NVLink
+//! channel where one is free, one of the doubled NVLinks when two trees
+//! use the same GPU pair, a **detour route** through an intermediate GPU
+//! when no direct link exists (paper §IV-A), or — only if permitted — the
+//! PCIe host bridge.
+//!
+//! Because the allocation is per `(edge, tree)` and spreads load across
+//! parallel channels, embedding the overlapped double tree on the DGX-1
+//! automatically lands the conflicting tree edges (e.g. GPU2–GPU3) on the
+//! machine's *two separate* NVLinks — the physical-topology trick of the
+//! paper's Fig. 10.
+
+use crate::rank::Rank;
+use crate::schedule::{Schedule, TreeIndex};
+use ccube_topology::{ChannelId, GpuId, Route, Router, Topology, TopologyError};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A logical directed edge of a schedule, qualified by tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeKey {
+    /// Sending rank.
+    pub src: Rank,
+    /// Receiving rank.
+    pub dst: Rank,
+    /// Which logical tree the edge belongs to.
+    pub tree: TreeIndex,
+}
+
+impl fmt::Display for EdgeKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}@{}", self.src, self.dst, self.tree)
+    }
+}
+
+/// Errors from embedding a schedule onto a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EmbeddingError {
+    /// The schedule has more ranks than the topology has GPUs.
+    RankCountMismatch {
+        /// Ranks in the schedule.
+        ranks: usize,
+        /// GPUs in the topology.
+        gpus: usize,
+    },
+    /// A logical edge could not be routed.
+    Routing(TopologyError),
+}
+
+impl fmt::Display for EmbeddingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmbeddingError::RankCountMismatch { ranks, gpus } => {
+                write!(f, "schedule has {ranks} ranks but topology has {gpus} gpus")
+            }
+            EmbeddingError::Routing(e) => write!(f, "routing failed: {e}"),
+        }
+    }
+}
+
+impl Error for EmbeddingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EmbeddingError::Routing(e) => Some(e),
+            EmbeddingError::RankCountMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<TopologyError> for EmbeddingError {
+    fn from(e: TopologyError) -> Self {
+        EmbeddingError::Routing(e)
+    }
+}
+
+/// A complete logical-to-physical mapping for one schedule.
+///
+/// # Examples
+///
+/// ```
+/// use ccube_collectives::{tree_allreduce, Chunking, DoubleBinaryTree, Overlap, Embedding};
+/// use ccube_topology::dgx1;
+/// use ccube_topology::ByteSize;
+///
+/// let topo = dgx1();
+/// let dt = DoubleBinaryTree::new(8).unwrap();
+/// let s = tree_allreduce(dt.trees(), &Chunking::even(ByteSize::mib(64), 16),
+///                        Overlap::ReductionBroadcast);
+/// let emb = Embedding::identity(&topo, &s).unwrap();
+/// // The DGX-1 embedding stays off the host bridge entirely.
+/// assert!(emb.routes().values().all(|r| r.class() != ccube_topology::ChannelClass::HostBridge));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    rank_to_gpu: Vec<GpuId>,
+    routes: HashMap<EdgeKey, Route>,
+}
+
+impl Embedding {
+    /// Embeds `schedule` on `topo` with the identity rank→GPU mapping,
+    /// refusing host-bridge routes (NVLink + detours only, like the
+    /// paper's implementation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::RankCountMismatch`] if the schedule needs
+    /// more GPUs than the topology has, or [`EmbeddingError::Routing`] if
+    /// some edge cannot be routed without the host bridge.
+    pub fn identity(topo: &Topology, schedule: &Schedule) -> Result<Self, EmbeddingError> {
+        let mapping: Vec<GpuId> = (0..schedule.num_ranks() as u32).map(GpuId).collect();
+        Self::with_mapping(topo, schedule, mapping, false)
+    }
+
+    /// Embeds with the identity mapping, permitting host-bridge fallback —
+    /// the configuration the paper's baseline would have been forced into
+    /// without detour routes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Embedding::identity`], except host-bridge
+    /// routes are accepted instead of rejected.
+    pub fn identity_with_host(
+        topo: &Topology,
+        schedule: &Schedule,
+    ) -> Result<Self, EmbeddingError> {
+        let mapping: Vec<GpuId> = (0..schedule.num_ranks() as u32).map(GpuId).collect();
+        Self::with_mapping(topo, schedule, mapping, true)
+    }
+
+    /// Embeds with an explicit rank→GPU mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::RankCountMismatch`] if `mapping` is
+    /// shorter than the rank count or maps to missing GPUs, and
+    /// [`EmbeddingError::Routing`] if an edge cannot be routed.
+    pub fn with_mapping(
+        topo: &Topology,
+        schedule: &Schedule,
+        mapping: Vec<GpuId>,
+        allow_host: bool,
+    ) -> Result<Self, EmbeddingError> {
+        if mapping.len() < schedule.num_ranks() || schedule.num_ranks() > topo.num_gpus() {
+            return Err(EmbeddingError::RankCountMismatch {
+                ranks: schedule.num_ranks(),
+                gpus: mapping.len().min(topo.num_gpus()),
+            });
+        }
+        for &g in &mapping {
+            topo.check_gpu(g)?;
+        }
+        let mut router = if allow_host {
+            Router::new(topo)
+        } else {
+            Router::without_host_fallback(topo)
+        };
+        // Two-pass allocation: directly connected edges claim their
+        // channels first, so the load-aware detour selection in the second
+        // pass steers around them (static routing, as in the paper's
+        // dedicated forwarding kernels).
+        let edges = schedule.logical_edges();
+        let mut routes = HashMap::new();
+        for pass in 0..2 {
+            for &(src, dst, tree) in &edges {
+                let sg = mapping[src.index()];
+                let dg = mapping[dst.index()];
+                // "Direct" means a real GPU-to-GPU link; the host bridge
+                // connects everything and must not count.
+                let direct = topo
+                    .channels_between(sg, dg)
+                    .into_iter()
+                    .any(|c| topo.channel(c).class() != ccube_topology::ChannelClass::HostBridge);
+                if (pass == 0) != direct {
+                    continue;
+                }
+                let route = router.allocate(sg, dg)?;
+                routes.insert(EdgeKey { src, dst, tree }, route);
+            }
+        }
+        Ok(Embedding {
+            rank_to_gpu: mapping,
+            routes,
+        })
+    }
+
+    /// The DGX-1 rank placement for the double-tree algorithms
+    /// (`[0, 4, 7, 5, 6, 3, 2, 1]`), chosen so that
+    ///
+    /// * every logical pair used by **both** trees (in the same channel
+    ///   direction, the conflict of paper §IV-A) lands on one of the
+    ///   machine's *doubled* NVLink pairs, and
+    /// * the two cross-quad logical edges with no direct NVLink take
+    ///   detour routes whose hop channels are otherwise unused,
+    ///
+    /// yielding a completely conflict-free embedding of the overlapped
+    /// double tree — the physical-topology awareness of the paper's
+    /// Fig. 10(c), where two GPUs serve as dedicated detour forwarders.
+    pub fn dgx1_double_tree_mapping() -> Vec<GpuId> {
+        [0u32, 4, 7, 5, 6, 3, 2, 1].into_iter().map(GpuId).collect()
+    }
+
+    /// Embeds a double-tree schedule on the DGX-1 using
+    /// [`Embedding::dgx1_double_tree_mapping`], NVLink + detours only.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Embedding::identity`].
+    pub fn dgx1_double_tree(topo: &Topology, schedule: &Schedule) -> Result<Self, EmbeddingError> {
+        Self::with_mapping(topo, schedule, Self::dgx1_double_tree_mapping(), false)
+    }
+
+    /// Embeds `schedule` on a [`hierarchical`](ccube_topology::hierarchical)
+    /// topology: every logical edge occupies the sender's NIC injection
+    /// channel and the receiver's NIC ejection channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::RankCountMismatch`] if the schedule needs
+    /// more nodes than the topology has.
+    pub fn nic(topo: &Topology, schedule: &Schedule) -> Result<Self, EmbeddingError> {
+        if schedule.num_ranks() > topo.num_gpus() {
+            return Err(EmbeddingError::RankCountMismatch {
+                ranks: schedule.num_ranks(),
+                gpus: topo.num_gpus(),
+            });
+        }
+        let mapping: Vec<GpuId> = (0..schedule.num_ranks() as u32).map(GpuId).collect();
+        let mut routes = HashMap::new();
+        for (src, dst, tree) in schedule.logical_edges() {
+            let sg = mapping[src.index()];
+            let dg = mapping[dst.index()];
+            let path = ccube_topology::nic_path(sg, dg);
+            routes.insert(
+                EdgeKey { src, dst, tree },
+                Route::multi(sg, dg, path, ccube_topology::ChannelClass::Nic),
+            );
+        }
+        Ok(Embedding {
+            rank_to_gpu: mapping,
+            routes,
+        })
+    }
+
+    /// The GPU a rank is placed on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn gpu_of(&self, rank: Rank) -> GpuId {
+        self.rank_to_gpu[rank.index()]
+    }
+
+    /// The route assigned to a logical edge, if that edge was embedded.
+    pub fn route(&self, edge: &EdgeKey) -> Option<&Route> {
+        self.routes.get(edge)
+    }
+
+    /// All edge→route assignments.
+    pub fn routes(&self) -> &HashMap<EdgeKey, Route> {
+        &self.routes
+    }
+
+    /// Pairs of distinct edges that share a physical channel. Empty for a
+    /// conflict-free embedding (which is what the overlapped double tree
+    /// needs).
+    pub fn conflicts(&self) -> Vec<(EdgeKey, EdgeKey, ChannelId)> {
+        let mut by_channel: HashMap<ChannelId, Vec<EdgeKey>> = HashMap::new();
+        for (edge, route) in &self.routes {
+            for &c in route.channels() {
+                by_channel.entry(c).or_default().push(*edge);
+            }
+        }
+        let mut out = Vec::new();
+        for (c, edges) in by_channel {
+            for i in 0..edges.len() {
+                for j in (i + 1)..edges.len() {
+                    out.push((edges[i], edges[j], c));
+                }
+            }
+        }
+        out
+    }
+
+    /// How many detour routes each GPU forwards (the load that costs the
+    /// paper's Fig. 15 detour nodes 3–4% of performance).
+    pub fn forwarding_load(&self) -> HashMap<GpuId, usize> {
+        let mut load = HashMap::new();
+        for route in self.routes.values() {
+            if let Some(via) = route.via() {
+                *load.entry(via).or_insert(0) += 1;
+            }
+        }
+        load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::Chunking;
+    use crate::ring::ring_allreduce;
+    use crate::tree::DoubleBinaryTree;
+    use crate::tree_schedule::{tree_allreduce, Overlap};
+    use ccube_topology::{dgx1, ByteSize, ChannelClass};
+
+    fn double_tree_schedule() -> Schedule {
+        let dt = DoubleBinaryTree::new(8).unwrap();
+        tree_allreduce(
+            dt.trees(),
+            &Chunking::even(ByteSize::mib(64), 16),
+            Overlap::ReductionBroadcast,
+        )
+    }
+
+    #[test]
+    fn dgx1_double_tree_embeds_without_host() {
+        let topo = dgx1();
+        let emb = Embedding::identity(&topo, &double_tree_schedule()).unwrap();
+        for r in emb.routes().values() {
+            assert_ne!(r.class(), ChannelClass::HostBridge);
+        }
+    }
+
+    #[test]
+    fn dgx1_double_tree_embedding_is_conflict_free() {
+        // The point of the physical-topology-aware placement: the two
+        // trees of the overlapped double tree never share a channel — the
+        // shared logical pairs sit on doubled NVLinks and the detours use
+        // otherwise idle links (paper Fig. 10(c)).
+        let topo = dgx1();
+        let s = double_tree_schedule();
+        let emb = Embedding::dgx1_double_tree(&topo, &s).unwrap();
+        let conflicts = emb.conflicts();
+        assert!(
+            conflicts.is_empty(),
+            "found {} conflicts, e.g. {:?}",
+            conflicts.len(),
+            conflicts.first()
+        );
+    }
+
+    #[test]
+    fn dgx1_double_tree_uses_two_detour_forwarders() {
+        // Like the paper's implementation (Fig. 15: GPUs 0 and 1), exactly
+        // two GPUs serve as detour intermediates, one per logical
+        // cross-quad edge pair.
+        let topo = dgx1();
+        let s = double_tree_schedule();
+        let emb = Embedding::dgx1_double_tree(&topo, &s).unwrap();
+        let load = emb.forwarding_load();
+        assert_eq!(load.len(), 2, "forwarders: {load:?}");
+        assert!(load.values().all(|&l| l == 2), "each forwards both directions");
+    }
+
+    #[test]
+    fn quad_flip_beats_identity_placement() {
+        // The flipped placement should never have more channel sharing
+        // than the naive identity placement.
+        let topo = dgx1();
+        let s = double_tree_schedule();
+        let identity = Embedding::identity(&topo, &s).unwrap();
+        let flipped = Embedding::dgx1_double_tree(&topo, &s).unwrap();
+        assert!(flipped.conflicts().len() <= identity.conflicts().len());
+    }
+
+    #[test]
+    fn dgx1_embedding_uses_detours() {
+        let topo = dgx1();
+        let emb = Embedding::identity(&topo, &double_tree_schedule()).unwrap();
+        let load = emb.forwarding_load();
+        // The in-order double tree on the DGX-1 needs cross-quad edges that
+        // have no direct NVLink, so at least one detour must appear.
+        assert!(!load.is_empty(), "expected at least one detour route");
+    }
+
+    #[test]
+    fn ring_embeds_on_dgx1() {
+        let topo = dgx1();
+        let s = ring_allreduce(8, ByteSize::mib(64));
+        let emb = Embedding::identity(&topo, &s).unwrap();
+        assert_eq!(emb.routes().len(), s.logical_edges().len());
+    }
+
+    #[test]
+    fn mismatched_rank_count_is_rejected() {
+        let topo = dgx1();
+        let s = ring_allreduce(16, ByteSize::mib(1));
+        assert!(matches!(
+            Embedding::identity(&topo, &s),
+            Err(EmbeddingError::RankCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn nic_embedding_uses_injection_ejection_pairs() {
+        let topo = ccube_topology::hierarchical(16);
+        let s = ring_allreduce(16, ByteSize::mib(1));
+        let emb = Embedding::nic(&topo, &s).unwrap();
+        for (edge, route) in emb.routes() {
+            assert_eq!(route.channels().len(), 2, "{edge}");
+        }
+    }
+
+    #[test]
+    fn gpu_of_is_identity_here() {
+        let topo = dgx1();
+        let s = ring_allreduce(8, ByteSize::mib(1));
+        let emb = Embedding::identity(&topo, &s).unwrap();
+        for r in 0..8 {
+            assert_eq!(emb.gpu_of(Rank(r)), GpuId(r));
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Logical rank identifiers.
+
+use std::fmt;
+
+/// A logical participant in a collective operation.
+///
+/// Ranks are the *logical* identity of a GPU inside a collective
+/// algorithm; the [`embedding`](crate::embedding) module maps them onto
+/// physical [`GpuId`](ccube_topology::GpuId)s (identity-mapped on the
+/// DGX-1, but kept distinct in the type system so logical algorithms can
+/// never accidentally depend on physical placement).
+///
+/// # Examples
+///
+/// ```
+/// use ccube_collectives::Rank;
+/// let r = Rank(5);
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(format!("{r}"), "r5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rank(pub u32);
+
+impl Rank {
+    /// The rank as an array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterator over all ranks `0..p`.
+    pub fn all(p: usize) -> impl Iterator<Item = Rank> {
+        (0..p as u32).map(Rank)
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u32> for Rank {
+    fn from(v: u32) -> Self {
+        Rank(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_enumerates_ranks() {
+        let v: Vec<Rank> = Rank::all(3).collect();
+        assert_eq!(v, vec![Rank(0), Rank(1), Rank(2)]);
+    }
+}

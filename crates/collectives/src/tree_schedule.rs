@@ -1,0 +1,224 @@
+//! Schedule builders for tree-based AllReduce (baseline and overlapped).
+
+use crate::chunk::{ChunkId, Chunking};
+use crate::schedule::{Phase, Schedule, ScheduleBuilder, TransferId, TreeIndex};
+use crate::tree::BinaryTree;
+use std::collections::HashMap;
+
+/// Whether the reduction and broadcast phases of the tree algorithm are
+/// chained together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Overlap {
+    /// Conventional tree algorithm (paper's `B`): the broadcast of *any*
+    /// chunk starts only after *every* chunk has been reduced at the root
+    /// (paper Fig. 7(a)).
+    None,
+    /// The paper's overlapped tree (`C1`): each chunk's broadcast starts
+    /// as soon as that chunk is fully reduced at the root, flowing down
+    /// the idle "downlink" channels while reduction continues up (paper
+    /// Fig. 7(b), Observations #1 and #2).
+    ReductionBroadcast,
+}
+
+impl Overlap {
+    /// Short label used in schedule names ("baseline" / "overlapped").
+    pub fn label(self) -> &'static str {
+        match self {
+            Overlap::None => "baseline",
+            Overlap::ReductionBroadcast => "overlapped",
+        }
+    }
+}
+
+/// Builds a tree AllReduce schedule over one or more logical trees.
+///
+/// Chunks are distributed over the trees round-robin by chunk parity
+/// (`chunk % trees.len()`), so a [`DoubleBinaryTree`] receives the even
+/// chunks on tree 0 and the odd chunks on tree 1 and overall completion
+/// order still tracks chunk order — the in-order property (paper
+/// Observation #3) that gradient queuing depends on.
+///
+/// Within each tree the reduction is pipelined chunk-by-chunk up the tree
+/// and the broadcast down; with [`Overlap::ReductionBroadcast`] the two
+/// phases are chained per chunk.
+///
+/// # Panics
+///
+/// Panics if `trees` is empty or the trees disagree on rank count.
+///
+/// # Examples
+///
+/// ```
+/// use ccube_collectives::{tree_allreduce, BinaryTree, Chunking, Overlap};
+/// use ccube_topology::ByteSize;
+///
+/// let tree = BinaryTree::inorder(4).unwrap();
+/// let chunking = Chunking::even(ByteSize::mib(4), 4);
+/// let s = tree_allreduce(
+///     std::slice::from_ref(&tree),
+///     &chunking,
+///     Overlap::ReductionBroadcast,
+/// );
+/// // (P-1) up-edges + (P-1) down-edges, once per chunk:
+/// assert_eq!(s.transfers().len(), 2 * 3 * 4);
+/// ```
+///
+/// [`DoubleBinaryTree`]: crate::DoubleBinaryTree
+pub fn tree_allreduce(trees: &[BinaryTree], chunking: &Chunking, overlap: Overlap) -> Schedule {
+    assert!(!trees.is_empty(), "tree_allreduce needs at least one tree");
+    let p = trees[0].num_ranks();
+    assert!(
+        trees.iter().all(|t| t.num_ranks() == p),
+        "all trees must span the same ranks"
+    );
+
+    let mut b = ScheduleBuilder::new();
+    // red[(tree, chunk, rank)] = id of the reduction transfer rank->parent.
+    let mut red: HashMap<(usize, ChunkId, u32), TransferId> = HashMap::new();
+    // bc[(tree, chunk, rank)] = id of the broadcast transfer parent->rank.
+    let mut bc: HashMap<(usize, ChunkId, u32), TransferId> = HashMap::new();
+
+    let tree_chunks: Vec<Vec<ChunkId>> = (0..trees.len())
+        .map(|ti| {
+            chunking
+                .ids()
+                .filter(|c| c.index() % trees.len() == ti)
+                .collect()
+        })
+        .collect();
+
+    // Reduction phase: pipelined up each tree, chunk-major.
+    for (ti, tree) in trees.iter().enumerate() {
+        let bottom_up = tree.bottom_up();
+        for &c in &tree_chunks[ti] {
+            for &r in &bottom_up {
+                let Some(parent) = tree.parent(r) else {
+                    continue; // root does not send upward
+                };
+                let deps = tree
+                    .children(r)
+                    .iter()
+                    .map(|&child| red[&(ti, c, child.0)])
+                    .collect();
+                let id = b.push(
+                    r,
+                    parent,
+                    c,
+                    chunking.size(c),
+                    Phase::Reduce,
+                    TreeIndex(ti as u8),
+                    deps,
+                );
+                red.insert((ti, c, r.0), id);
+            }
+        }
+    }
+
+    // Broadcast phase: pipelined down each tree.
+    for (ti, tree) in trees.iter().enumerate() {
+        let top_down = tree.top_down();
+        let root = tree.root();
+        // Baseline barrier: every reduction transfer into the root of this
+        // tree, across all of its chunks.
+        let mut barrier: Vec<TransferId> = Vec::new();
+        if overlap == Overlap::None {
+            for &c in &tree_chunks[ti] {
+                for &child in tree.children(root) {
+                    barrier.push(red[&(ti, c, child.0)]);
+                }
+            }
+        }
+        for &c in &tree_chunks[ti] {
+            for &r in &top_down {
+                for &child in tree.children(r) {
+                    let deps: Vec<TransferId> = if r == root {
+                        match overlap {
+                            Overlap::None => barrier.clone(),
+                            Overlap::ReductionBroadcast => tree
+                                .children(root)
+                                .iter()
+                                .map(|&ch| red[&(ti, c, ch.0)])
+                                .collect(),
+                        }
+                    } else {
+                        vec![bc[&(ti, c, r.0)]]
+                    };
+                    let id = b.push(
+                        r,
+                        child,
+                        c,
+                        chunking.size(c),
+                        Phase::Broadcast,
+                        TreeIndex(ti as u8),
+                        deps,
+                    );
+                    bc.insert((ti, c, child.0), id);
+                }
+            }
+        }
+    }
+
+    let name = match trees.len() {
+        1 => format!("{}-tree", overlap.label()),
+        2 => format!("{}-double-tree", overlap.label()),
+        n => format!("{}-{}-tree", overlap.label(), n),
+    };
+    b.finish(name, p, chunking.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::DoubleBinaryTree;
+    use ccube_topology::ByteSize;
+
+    #[test]
+    fn transfer_counts_match_edges_times_chunks() {
+        let dt = DoubleBinaryTree::new(8).unwrap();
+        let chunking = Chunking::even(ByteSize::mib(8), 8);
+        for overlap in [Overlap::None, Overlap::ReductionBroadcast] {
+            let s = tree_allreduce(dt.trees(), &chunking, overlap);
+            // each tree: (P-1) up + (P-1) down edges, once per chunk of
+            // that tree (4 chunks each)
+            assert_eq!(s.transfers().len(), 2 * (7 + 7) * 4);
+        }
+    }
+
+    #[test]
+    fn overlapped_root_broadcast_depends_only_on_its_chunk() {
+        let tree = crate::BinaryTree::inorder(4).unwrap();
+        let chunking = Chunking::even(ByteSize::mib(4), 4);
+        let s = tree_allreduce(
+            std::slice::from_ref(&tree),
+            &chunking,
+            Overlap::ReductionBroadcast,
+        );
+        let root = tree.root();
+        for t in s.transfers() {
+            if t.phase == Phase::Broadcast && t.src == root {
+                for d in &t.deps {
+                    assert_eq!(s.transfer(*d).chunk, t.chunk);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_root_broadcast_waits_for_all_chunks() {
+        let tree = crate::BinaryTree::inorder(4).unwrap();
+        let chunking = Chunking::even(ByteSize::mib(4), 4);
+        let s = tree_allreduce(std::slice::from_ref(&tree), &chunking, Overlap::None);
+        let root = tree.root();
+        let first_bc = s
+            .transfers()
+            .iter()
+            .find(|t| t.phase == Phase::Broadcast && t.src == root)
+            .unwrap();
+        let dep_chunks: std::collections::HashSet<ChunkId> = first_bc
+            .deps
+            .iter()
+            .map(|&d| s.transfer(d).chunk)
+            .collect();
+        assert_eq!(dep_chunks.len(), 4, "barrier must cover all chunks");
+    }
+}

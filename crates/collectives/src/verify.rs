@@ -1,0 +1,622 @@
+//! Schedule verification: symbolic correctness and unit-step replay.
+//!
+//! Two independent checkers:
+//!
+//! * [`check_allreduce`] symbolically executes a [`Schedule`] over
+//!   *contribution sets* (which ranks' inputs a buffer currently
+//!   contains) and proves that every rank finishes with the contribution
+//!   of every rank for every chunk — i.e. the schedule really computes an
+//!   AllReduce.
+//! * [`execute_steps`] replays a schedule in unit-time steps with
+//!   exclusive logical channels, reproducing the step counts of the
+//!   paper's Fig. 5 (e.g. 10 steps for the conventional tree vs 7 for the
+//!   overlapped tree at P=4, K=4).
+
+// rank/chunk indices are semantic here; iterator rewrites would obscure them
+#![allow(clippy::needless_range_loop)]
+
+use crate::chunk::ChunkId;
+use crate::rank::Rank;
+use crate::schedule::{Schedule, TreeIndex};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors found by the verifiers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VerifyError {
+    /// A structural invariant of the schedule DAG is broken.
+    MalformedDag(String),
+    /// After execution, a rank is missing contributions for a chunk.
+    MissingContribution {
+        /// The rank whose buffer is incomplete.
+        rank: Rank,
+        /// The chunk that is incomplete.
+        chunk: ChunkId,
+        /// How many of the `num_ranks` contributions arrived.
+        have: usize,
+    },
+    /// The step executor made no progress although transfers remain.
+    Deadlock {
+        /// The step at which execution stalled.
+        step: usize,
+        /// Number of transfers still outstanding.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::MalformedDag(msg) => write!(f, "malformed schedule dag: {msg}"),
+            VerifyError::MissingContribution { rank, chunk, have } => write!(
+                f,
+                "incomplete reduction: {rank} {chunk} has only {have} contributions"
+            ),
+            VerifyError::Deadlock { step, remaining } => {
+                write!(f, "schedule deadlocked at step {step} with {remaining} transfers left")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// How logical edges map onto exclusive channels during unit-step replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelKeying {
+    /// Each `(src, dst, tree)` triple is its own channel — models a
+    /// machine with enough parallel links for every tree (the DGX-1's
+    /// doubled NVLinks for the 2-tree C-Cube).
+    PerTree,
+    /// Trees share the `(src, dst)` channel — models the conflict that
+    /// makes the naive overlapped double tree impossible (paper §IV-A).
+    SharedAcrossTrees,
+}
+
+/// Checks the structural invariants of a schedule DAG.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::MalformedDag`] if transfer ids are not dense,
+/// a dependency does not precede its dependent, an endpoint pair is a
+/// self-loop, or a rank/chunk is out of range.
+pub fn check_dag(schedule: &Schedule) -> Result<(), VerifyError> {
+    let p = schedule.num_ranks();
+    let k = schedule.chunking().num_chunks();
+    for (i, t) in schedule.transfers().iter().enumerate() {
+        if t.id.index() != i {
+            return Err(VerifyError::MalformedDag(format!(
+                "transfer at index {i} has id {}",
+                t.id
+            )));
+        }
+        if t.src == t.dst {
+            return Err(VerifyError::MalformedDag(format!("{} is a self-loop", t.id)));
+        }
+        if t.src.index() >= p || t.dst.index() >= p {
+            return Err(VerifyError::MalformedDag(format!(
+                "{} endpoints out of range for p={p}",
+                t.id
+            )));
+        }
+        if t.chunk.index() >= k {
+            return Err(VerifyError::MalformedDag(format!(
+                "{} chunk {} out of range for k={k}",
+                t.id, t.chunk
+            )));
+        }
+        for d in &t.deps {
+            if d.index() >= i {
+                return Err(VerifyError::MalformedDag(format!(
+                    "{} depends on {} which does not precede it",
+                    t.id, d
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A set of rank contributions, one bit per rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Contrib {
+    bits: Vec<u64>,
+}
+
+impl Contrib {
+    fn single(rank: Rank, p: usize) -> Self {
+        let mut bits = vec![0u64; p.div_ceil(64)];
+        bits[rank.index() / 64] |= 1 << (rank.index() % 64);
+        Contrib { bits }
+    }
+
+    fn union(&mut self, other: &Contrib) {
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    fn count(&self) -> usize {
+        self.bits.iter().map(|b| b.count_ones() as usize).sum()
+    }
+}
+
+/// Symbolically executes `schedule` and proves it computes an AllReduce:
+/// every rank must end with all `P` contributions for every chunk.
+///
+/// Reduction-phase transfers union the sender's contribution set into the
+/// receiver's; broadcast-phase transfers overwrite it. Transfers are
+/// applied in id order, which the builders guarantee is a valid
+/// linearization of the dependency DAG.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] if the DAG is malformed or any buffer ends
+/// incomplete.
+pub fn check_allreduce(schedule: &Schedule) -> Result<(), VerifyError> {
+    check_dag(schedule)?;
+    let p = schedule.num_ranks();
+    let k = schedule.chunking().num_chunks();
+    // state[rank][chunk] = contribution set of that buffer
+    let mut state: Vec<Vec<Contrib>> = (0..p)
+        .map(|r| (0..k).map(|_| Contrib::single(Rank(r as u32), p)).collect())
+        .collect();
+
+    for t in schedule.transfers() {
+        let payload = state[t.src.index()][t.chunk.index()].clone();
+        let dst = &mut state[t.dst.index()][t.chunk.index()];
+        if t.phase.is_reduction() {
+            dst.union(&payload);
+        } else {
+            *dst = payload;
+        }
+    }
+
+    for r in 0..p {
+        for c in 0..k {
+            let have = state[r][c].count();
+            if have != p {
+                return Err(VerifyError::MissingContribution {
+                    rank: Rank(r as u32),
+                    chunk: ChunkId(c as u32),
+                    have,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The result of a unit-step replay of a schedule.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Total steps until the last transfer completed (1-based; a schedule
+    /// whose last transfer runs in the first step reports 1).
+    pub num_steps: usize,
+    /// Completion step of each transfer, indexed by transfer id (1-based).
+    pub completion_step: Vec<usize>,
+    /// The step at which each chunk became fully AllReduced everywhere
+    /// (i.e. its last transfer completed), indexed by chunk id.
+    pub chunk_complete_step: Vec<usize>,
+}
+
+impl StepReport {
+    /// The step at which the *first* chunk completed everywhere — the
+    /// unit-step analog of the paper's gradient turnaround time.
+    pub fn turnaround_step(&self) -> usize {
+        self.chunk_complete_step.iter().copied().min().unwrap_or(0)
+    }
+
+    /// True if chunks complete in non-decreasing chunk order within each
+    /// tree-parity class (the in-order property, Observation #3).
+    pub fn chunks_in_order(&self, num_trees: usize) -> bool {
+        for parity in 0..num_trees {
+            let steps: Vec<usize> = self
+                .chunk_complete_step
+                .iter()
+                .enumerate()
+                .filter(|(c, _)| c % num_trees == parity)
+                .map(|(_, &s)| s)
+                .collect();
+            if steps.windows(2).any(|w| w[0] > w[1]) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Replays `schedule` in unit-time steps: every transfer takes exactly
+/// one step, each logical channel (per `keying`) carries at most one
+/// transfer per step, channels serve their transfers strictly in id
+/// (FIFO) order, and a transfer may start only in a step strictly after
+/// all of its dependencies completed.
+///
+/// This is the executor used to reproduce the step counts of the paper's
+/// Fig. 5 and the timing diagrams of Fig. 7.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::Deadlock`] if no transfer can make progress, or
+/// [`VerifyError::MalformedDag`] if the schedule is structurally invalid.
+pub fn execute_steps(schedule: &Schedule, keying: ChannelKeying) -> Result<StepReport, VerifyError> {
+    check_dag(schedule)?;
+    let transfers = schedule.transfers();
+    let n = transfers.len();
+    let k = schedule.chunking().num_chunks();
+
+    // Group transfer ids per channel, in id (FIFO) order.
+    type Key = (Rank, Rank, TreeIndex);
+    let key_of = |src: Rank, dst: Rank, tree: TreeIndex| -> Key {
+        match keying {
+            ChannelKeying::PerTree => (src, dst, tree),
+            ChannelKeying::SharedAcrossTrees => (src, dst, TreeIndex(0)),
+        }
+    };
+    let mut queues: HashMap<Key, Vec<u32>> = HashMap::new();
+    for t in transfers {
+        queues
+            .entry(key_of(t.src, t.dst, t.tree))
+            .or_default()
+            .push(t.id.0);
+    }
+    let mut heads: HashMap<Key, usize> = queues.keys().map(|&k| (k, 0usize)).collect();
+
+    let mut completion_step = vec![0usize; n];
+    let mut done = vec![false; n];
+    let mut remaining = n;
+    let mut step = 0usize;
+
+    while remaining > 0 {
+        step += 1;
+        let mut fired = Vec::new();
+        for (key, queue) in &queues {
+            let head = heads[key];
+            if head >= queue.len() {
+                continue;
+            }
+            let tid = queue[head] as usize;
+            let ready = transfers[tid]
+                .deps
+                .iter()
+                .all(|d| done[d.index()] && completion_step[d.index()] < step);
+            if ready {
+                fired.push((*key, tid));
+            }
+        }
+        if fired.is_empty() {
+            return Err(VerifyError::Deadlock { step, remaining });
+        }
+        for (key, tid) in fired {
+            done[tid] = true;
+            completion_step[tid] = step;
+            *heads.get_mut(&key).expect("queue exists") += 1;
+            remaining -= 1;
+        }
+    }
+
+    let mut chunk_complete_step = vec![0usize; k];
+    for t in transfers {
+        let c = t.chunk.index();
+        chunk_complete_step[c] = chunk_complete_step[c].max(completion_step[t.id.index()]);
+    }
+
+    Ok(StepReport {
+        num_steps: step,
+        completion_step,
+        chunk_complete_step,
+    })
+}
+
+/// Runs the symbolic executor and returns the final contribution state.
+fn run_symbolic(schedule: &Schedule) -> Result<Vec<Vec<Contrib>>, VerifyError> {
+    check_dag(schedule)?;
+    let p = schedule.num_ranks();
+    let k = schedule.chunking().num_chunks();
+    let mut state: Vec<Vec<Contrib>> = (0..p)
+        .map(|r| (0..k).map(|_| Contrib::single(Rank(r as u32), p)).collect())
+        .collect();
+    for t in schedule.transfers() {
+        let payload = state[t.src.index()][t.chunk.index()].clone();
+        let dst = &mut state[t.dst.index()][t.chunk.index()];
+        if t.phase.is_reduction() {
+            dst.union(&payload);
+        } else {
+            *dst = payload;
+        }
+    }
+    Ok(state)
+}
+
+/// Proves `schedule` is a correct **broadcast**: after execution every
+/// rank holds, for every chunk, exactly one and the same contribution
+/// (the root's data).
+///
+/// # Errors
+///
+/// Returns [`VerifyError::MalformedDag`] for structural problems, or a
+/// [`VerifyError::MissingContribution`]-style error if any buffer
+/// diverges from the root's.
+pub fn check_broadcast(schedule: &Schedule) -> Result<(), VerifyError> {
+    let state = run_symbolic(schedule)?;
+    let p = schedule.num_ranks();
+    let k = schedule.chunking().num_chunks();
+    for c in 0..k {
+        let reference = &state[0][c];
+        if reference.count() != 1 {
+            return Err(VerifyError::MalformedDag(format!(
+                "broadcast left chunk {c} at rank 0 with {} contributions",
+                reference.count()
+            )));
+        }
+        for r in 1..p {
+            if &state[r][c] != reference {
+                return Err(VerifyError::MissingContribution {
+                    rank: Rank(r as u32),
+                    chunk: ChunkId(c as u32),
+                    have: state[r][c].count(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Proves `schedule` is a correct **reduce**: after execution, for every
+/// chunk, at least one of the given `roots` holds all `P` contributions.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] if some chunk is fully reduced at none of
+/// the roots.
+pub fn check_reduce(schedule: &Schedule, roots: &[Rank]) -> Result<(), VerifyError> {
+    let state = run_symbolic(schedule)?;
+    let p = schedule.num_ranks();
+    let k = schedule.chunking().num_chunks();
+    for c in 0..k {
+        let best = roots
+            .iter()
+            .map(|r| state[r.index()][c].count())
+            .max()
+            .unwrap_or(0);
+        if best != p {
+            return Err(VerifyError::MissingContribution {
+                rank: *roots.first().unwrap_or(&Rank(0)),
+                chunk: ChunkId(c as u32),
+                have: best,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Proves `schedule` is a correct ring **ReduceScatter**: after
+/// execution, chunk `c` is fully reduced at rank `(c - 1) mod P` (the
+/// standard post-RS ownership).
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] if the owning rank's chunk is incomplete.
+pub fn check_reduce_scatter(schedule: &Schedule) -> Result<(), VerifyError> {
+    let state = run_symbolic(schedule)?;
+    let p = schedule.num_ranks();
+    let k = schedule.chunking().num_chunks();
+    for c in 0..k {
+        let owner = (c + p - 1) % p;
+        let have = state[owner][c].count();
+        if have != p {
+            return Err(VerifyError::MissingContribution {
+                rank: Rank(owner as u32),
+                chunk: ChunkId(c as u32),
+                have,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Proves `schedule` is a correct ring **AllGather** from the post-RS
+/// ownership: after execution every rank holds, for every chunk, exactly
+/// the owner's contribution.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] if any buffer differs from the owner's.
+pub fn check_all_gather(schedule: &Schedule) -> Result<(), VerifyError> {
+    let state = run_symbolic(schedule)?;
+    let p = schedule.num_ranks();
+    let k = schedule.chunking().num_chunks();
+    for c in 0..k {
+        let owner = (c + p - 1) % p;
+        let reference = &state[owner][c];
+        for r in 0..p {
+            if &state[r][c] != reference {
+                return Err(VerifyError::MissingContribution {
+                    rank: Rank(r as u32),
+                    chunk: ChunkId(c as u32),
+                    have: state[r][c].count(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::Chunking;
+    use crate::schedule::Phase;
+    use crate::ring::ring_allreduce;
+    use crate::tree::{BinaryTree, DoubleBinaryTree};
+    use crate::tree_schedule::{tree_allreduce, Overlap};
+    use ccube_topology::ByteSize;
+
+    #[test]
+    fn ring_is_a_correct_allreduce() {
+        for p in 2..10 {
+            let s = ring_allreduce(p, ByteSize::mib(1));
+            check_allreduce(&s).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_tree_is_a_correct_allreduce() {
+        for p in 2..10 {
+            for overlap in [Overlap::None, Overlap::ReductionBroadcast] {
+                let tree = BinaryTree::inorder(p).unwrap();
+                let s = tree_allreduce(
+                    std::slice::from_ref(&tree),
+                    &Chunking::even(ByteSize::mib(1), 5),
+                    overlap,
+                );
+                check_allreduce(&s).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn double_tree_is_a_correct_allreduce() {
+        for p in 2..10 {
+            for overlap in [Overlap::None, Overlap::ReductionBroadcast] {
+                let dt = DoubleBinaryTree::new(p).unwrap();
+                let s = tree_allreduce(
+                    dt.trees(),
+                    &Chunking::even(ByteSize::mib(1), 8),
+                    overlap,
+                );
+                check_allreduce(&s).unwrap();
+            }
+        }
+    }
+
+    /// The paper's Fig. 5: P=4 chain-shaped tree, K=4 chunks — the
+    /// conventional tree needs 10 steps, the overlapped tree 7.
+    #[test]
+    fn fig5_step_counts() {
+        // Fig. 5 uses a 2-level tree over 4 nodes: two leaves reduce into
+        // a middle node, which reduces into the root. The in-order tree on
+        // 4 ranks has exactly depth 2.
+        let tree = BinaryTree::inorder(4).unwrap();
+        assert_eq!(tree.depth(), 2);
+        let chunking = Chunking::even(ByteSize::mib(4), 4);
+
+        let baseline = tree_allreduce(std::slice::from_ref(&tree), &chunking, Overlap::None);
+        let overlapped = tree_allreduce(
+            std::slice::from_ref(&tree),
+            &chunking,
+            Overlap::ReductionBroadcast,
+        );
+
+        let rb = execute_steps(&baseline, ChannelKeying::PerTree).unwrap();
+        let ro = execute_steps(&overlapped, ChannelKeying::PerTree).unwrap();
+
+        // reduction: depth + K - 1 = 5; broadcast likewise; baseline
+        // serializes them (10 steps), overlap chains them (7 steps).
+        assert_eq!(rb.num_steps, 10, "conventional tree");
+        assert_eq!(ro.num_steps, 7, "overlapped tree");
+    }
+
+    /// Fig. 7 generalization: steps are 2(logP + K) vs 2logP + K.
+    #[test]
+    fn fig7_pipeline_depths() {
+        for (p, k) in [(8usize, 6usize), (8, 12), (16, 8)] {
+            let tree = BinaryTree::inorder(p).unwrap();
+            let d = tree.depth();
+            let chunking = Chunking::even(ByteSize::mib(8), k);
+            let b =
+                tree_allreduce(std::slice::from_ref(&tree), &chunking, Overlap::None);
+            let o = tree_allreduce(
+                std::slice::from_ref(&tree),
+                &chunking,
+                Overlap::ReductionBroadcast,
+            );
+            let rb = execute_steps(&b, ChannelKeying::PerTree).unwrap();
+            let ro = execute_steps(&o, ChannelKeying::PerTree).unwrap();
+            assert_eq!(rb.num_steps, 2 * (d + k - 1), "baseline p={p} k={k}");
+            assert_eq!(ro.num_steps, 2 * d + k - 1, "overlapped p={p} k={k}");
+        }
+    }
+
+    #[test]
+    fn overlapped_turnaround_is_much_earlier() {
+        let tree = BinaryTree::inorder(8).unwrap();
+        let chunking = Chunking::even(ByteSize::mib(8), 32);
+        let b = tree_allreduce(std::slice::from_ref(&tree), &chunking, Overlap::None);
+        let o = tree_allreduce(
+            std::slice::from_ref(&tree),
+            &chunking,
+            Overlap::ReductionBroadcast,
+        );
+        let rb = execute_steps(&b, ChannelKeying::PerTree).unwrap();
+        let ro = execute_steps(&o, ChannelKeying::PerTree).unwrap();
+        // Baseline: first chunk usable after the whole reduction plus its
+        // broadcast; overlapped: one tree round trip.
+        assert!(ro.turnaround_step() * 4 < rb.turnaround_step());
+    }
+
+    #[test]
+    fn tree_delivery_is_in_order() {
+        let dt = DoubleBinaryTree::new(8).unwrap();
+        let chunking = Chunking::even(ByteSize::mib(8), 16);
+        for overlap in [Overlap::None, Overlap::ReductionBroadcast] {
+            let s = tree_allreduce(dt.trees(), &chunking, overlap);
+            let r = execute_steps(&s, ChannelKeying::PerTree).unwrap();
+            assert!(r.chunks_in_order(2), "overlap={overlap:?}");
+        }
+    }
+
+    #[test]
+    fn shared_channels_slow_down_the_double_tree() {
+        // When the two trees must share channels (no doubled links), the
+        // replay takes longer than with per-tree channels — the conflict
+        // the paper resolves with the DGX-1's extra physical channels.
+        let dt = DoubleBinaryTree::new(8).unwrap();
+        let chunking = Chunking::even(ByteSize::mib(8), 16);
+        let s = tree_allreduce(dt.trees(), &chunking, Overlap::ReductionBroadcast);
+        let dedicated = execute_steps(&s, ChannelKeying::PerTree).unwrap();
+        let shared = execute_steps(&s, ChannelKeying::SharedAcrossTrees).unwrap();
+        assert!(shared.num_steps >= dedicated.num_steps);
+    }
+
+    #[test]
+    fn malformed_dag_is_detected() {
+        use crate::schedule::{Transfer, TransferId};
+        let t = Transfer {
+            id: TransferId(0),
+            src: Rank(0),
+            dst: Rank(0), // self loop
+            chunk: ChunkId(0),
+            bytes: ByteSize::kib(1),
+            phase: Phase::Reduce,
+            tree: TreeIndex(0),
+            deps: vec![],
+        };
+        let s = Schedule::new("bad", 2, Chunking::even(ByteSize::kib(1), 1), vec![t]);
+        assert!(matches!(check_dag(&s), Err(VerifyError::MalformedDag(_))));
+    }
+
+    #[test]
+    fn incomplete_schedule_fails_verification() {
+        // A schedule that only reduces but never broadcasts cannot be an
+        // AllReduce.
+        use crate::schedule::{Transfer, TransferId};
+        let t = Transfer {
+            id: TransferId(0),
+            src: Rank(0),
+            dst: Rank(1),
+            chunk: ChunkId(0),
+            bytes: ByteSize::kib(1),
+            phase: Phase::Reduce,
+            tree: TreeIndex(0),
+            deps: vec![],
+        };
+        let s = Schedule::new("partial", 2, Chunking::even(ByteSize::kib(1), 1), vec![t]);
+        assert!(matches!(
+            check_allreduce(&s),
+            Err(VerifyError::MissingContribution { .. })
+        ));
+    }
+}

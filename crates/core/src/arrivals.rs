@@ -1,0 +1,265 @@
+//! Per-chunk completion-time models.
+//!
+//! Computation chaining needs to know *when each gradient chunk has
+//! finished its AllReduce* (relative to the start of communication).
+//! This module provides those arrival curves from two sources:
+//!
+//! * **analytic** — the staged pipeline model validated against the
+//!   unit-step executor (`ccube-collectives::verify`): with step time
+//!   `t_s = α + β·chunk`, tree depth `d` and `K_t` chunks per tree, the
+//!   per-tree chunk `j` completes everywhere at step `2d + K_t - 1 + j`
+//!   for the baseline tree and `2d + j` for the overlapped tree;
+//! * **simulated** — the measured chunk completions of a
+//!   [`SimReport`].
+
+use ccube_collectives::cost::CostParams;
+use ccube_collectives::{BinaryTree, ChunkId, Overlap};
+use ccube_sim::SimReport;
+use ccube_topology::{ByteSize, Seconds};
+
+/// Completion time of every global chunk, in chunk order, measured from
+/// the start of the collective.
+///
+/// # Examples
+///
+/// ```
+/// use ccube::arrivals::ChunkArrivals;
+/// use ccube_collectives::cost::CostParams;
+/// use ccube_collectives::Overlap;
+/// use ccube_topology::ByteSize;
+///
+/// let params = CostParams::nvlink();
+/// let over = ChunkArrivals::analytic_tree(8, 2, 32, ByteSize::mib(1), &params,
+///                                         Overlap::ReductionBroadcast);
+/// let base = ChunkArrivals::analytic_tree(8, 2, 32, ByteSize::mib(1), &params,
+///                                         Overlap::None);
+/// // The overlapped tree returns the first chunk much earlier:
+/// // 2·depth steps instead of 2·depth + K_tree − 1.
+/// assert!(over.first() * 3.0 < base.first());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkArrivals {
+    times: Vec<Seconds>,
+}
+
+impl ChunkArrivals {
+    /// Builds arrivals from explicit times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `times` is empty.
+    pub fn new(times: Vec<Seconds>) -> Self {
+        assert!(!times.is_empty(), "need at least one chunk");
+        ChunkArrivals { times }
+    }
+
+    /// The staged analytic model for a (multi-)tree AllReduce on `p`
+    /// ranks with `num_trees` trees, `k` global chunks of `chunk_bytes`
+    /// each, and per-link cost `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 2`, `num_trees` is zero, or `k` is zero.
+    pub fn analytic_tree(
+        p: usize,
+        num_trees: usize,
+        k: usize,
+        chunk_bytes: ByteSize,
+        params: &CostParams,
+        overlap: Overlap,
+    ) -> Self {
+        assert!(p >= 2 && num_trees > 0 && k > 0);
+        let depth = BinaryTree::inorder(p)
+            .expect("p >= 2 always builds")
+            .depth()
+            .max(1);
+        let t_s = params.step_time(chunk_bytes).as_secs_f64();
+        let times = (0..k)
+            .map(|c| {
+                let tree = c % num_trees;
+                let j = c / num_trees;
+                // chunks of this tree: ceil((k - tree) / num_trees)
+                let kt = (k - tree).div_ceil(num_trees);
+                let steps = match overlap {
+                    Overlap::None => 2 * depth + kt - 1 + j,
+                    Overlap::ReductionBroadcast => 2 * depth + j,
+                };
+                Seconds::new(steps as f64 * t_s)
+            })
+            .collect();
+        ChunkArrivals { times }
+    }
+
+    /// Ring arrivals: nothing is usable before the whole AllReduce
+    /// finishes (the ring's Reduce-Scatter leaves each rank with a
+    /// *different* chunk, so no in-order early release exists —
+    /// Observation #3's contrast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn ring_uniform(total: Seconds, k: usize) -> Self {
+        assert!(k > 0);
+        ChunkArrivals {
+            times: vec![total; k],
+        }
+    }
+
+    /// Arrivals measured by the discrete-event simulator.
+    pub fn from_sim(report: &SimReport) -> Self {
+        ChunkArrivals {
+            times: report.chunk_completions().to_vec(),
+        }
+    }
+
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Arrival time of one chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is out of range.
+    pub fn at(&self, chunk: ChunkId) -> Seconds {
+        self.times[chunk.index()]
+    }
+
+    /// All arrivals in chunk order.
+    pub fn times(&self) -> &[Seconds] {
+        &self.times
+    }
+
+    /// Arrival of the first chunk — the gradient turnaround time.
+    pub fn first(&self) -> Seconds {
+        self.times.iter().copied().min().expect("non-empty")
+    }
+
+    /// Arrival of the last chunk — the collective's makespan.
+    pub fn last(&self) -> Seconds {
+        self.times.iter().copied().max().expect("non-empty")
+    }
+
+    /// When the leading `upper` chunks (`0..upper`) have all arrived —
+    /// the dequeue gate of a layer whose layer-chunk-table entry is
+    /// `upper`. Zero if `upper` is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upper` exceeds the chunk count.
+    pub fn ready_after(&self, upper: usize) -> Seconds {
+        assert!(upper <= self.times.len(), "table entry beyond chunk count");
+        self.times[..upper]
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Seconds::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CostParams {
+        CostParams::nvlink()
+    }
+
+    #[test]
+    fn analytic_matches_unit_step_executor() {
+        // Cross-validate the closed form against the unit-step replay of
+        // the actual schedules.
+        use ccube_collectives::verify::{execute_steps, ChannelKeying};
+        use ccube_collectives::{tree_allreduce, Chunking};
+
+        for (p, k, overlap) in [
+            (4usize, 4usize, Overlap::None),
+            (4, 4, Overlap::ReductionBroadcast),
+            (8, 12, Overlap::None),
+            (8, 12, Overlap::ReductionBroadcast),
+        ] {
+            let tree = BinaryTree::inorder(p).unwrap();
+            let chunk_bytes = ByteSize::kib(64);
+            let chunking = Chunking::even(ByteSize::new(chunk_bytes.as_u64() * k as u64), k);
+            let s = tree_allreduce(std::slice::from_ref(&tree), &chunking, overlap);
+            let steps = execute_steps(&s, ChannelKeying::PerTree).unwrap();
+            let model =
+                ChunkArrivals::analytic_tree(p, 1, k, chunk_bytes, &params(), overlap);
+            let t_s = params().step_time(chunk_bytes).as_secs_f64();
+            for c in 0..k {
+                let model_steps = (model.times()[c].as_secs_f64() / t_s).round() as usize;
+                assert_eq!(
+                    model_steps, steps.chunk_complete_step[c],
+                    "p={p} k={k} chunk={c} overlap={overlap:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlapped_arrivals_are_linear_in_chunk() {
+        let a = ChunkArrivals::analytic_tree(
+            8,
+            1,
+            16,
+            ByteSize::mib(1),
+            &params(),
+            Overlap::ReductionBroadcast,
+        );
+        let t = a.times();
+        let d0 = t[1] - t[0];
+        for w in t.windows(2) {
+            assert!((w[1] - w[0] - d0).as_secs_f64().abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn baseline_first_chunk_waits_for_reduction() {
+        let base =
+            ChunkArrivals::analytic_tree(8, 2, 64, ByteSize::mib(1), &params(), Overlap::None);
+        let over = ChunkArrivals::analytic_tree(
+            8,
+            2,
+            64,
+            ByteSize::mib(1),
+            &params(),
+            Overlap::ReductionBroadcast,
+        );
+        // identical makespans up to one pipeline fill, but wildly
+        // different turnaround
+        assert!(base.first() / over.first() > 4.0);
+        assert!(base.last() > over.last());
+    }
+
+    #[test]
+    fn ready_after_is_monotone() {
+        let a = ChunkArrivals::analytic_tree(
+            8,
+            2,
+            10,
+            ByteSize::mib(1),
+            &params(),
+            Overlap::ReductionBroadcast,
+        );
+        assert_eq!(a.ready_after(0), Seconds::ZERO);
+        for u in 1..=10 {
+            assert!(a.ready_after(u) >= a.ready_after(u - 1));
+        }
+        assert_eq!(a.ready_after(10), a.last());
+    }
+
+    #[test]
+    fn ring_uniform_blocks_everything_until_the_end() {
+        let a = ChunkArrivals::ring_uniform(Seconds::from_millis(3.0), 8);
+        assert_eq!(a.first(), a.last());
+        assert_eq!(a.ready_after(1), a.last());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond chunk count")]
+    fn ready_after_bounds_checked() {
+        let a = ChunkArrivals::ring_uniform(Seconds::from_millis(1.0), 4);
+        let _ = a.ready_after(5);
+    }
+}

@@ -1,0 +1,242 @@
+//! The `ccube` command-line tool: drive the reproduction without writing
+//! code.
+//!
+//! ```text
+//! ccube figures [out_dir]          regenerate every paper figure (CSV)
+//! ccube compare <network> [batch] [--low]
+//!                                  mode table (B/C1/C2/R/CC) for a network
+//! ccube scaleout [max_p] [mib...]  Fig. 14 sweep on the switch fabric
+//! ccube timeline [mib]             ASCII Fig. 7 timelines on the DGX-1
+//! ccube train [iterations]         threaded C-Cube training loop
+//! ccube rings                      DGX-1 Hamiltonian ring decomposition
+//! ```
+
+use ccube::experiments;
+use ccube::pipeline::{Mode, TrainingPipeline};
+use ccube_dnn::{resnet50, vgg16, zfnet, ComputeModel, NetworkModel};
+use ccube_topology::ByteSize;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ccube <command>\n\
+         \n\
+         commands:\n\
+         \x20 figures [out_dir]                regenerate every paper figure (CSV)\n\
+         \x20 compare <network> [batch] [--low] mode table for zfnet|vgg16|resnet50\n\
+         \x20 scaleout [max_p] [mib...]        Fig. 14 sweep on the switch fabric\n\
+         \x20 timeline [mib]                   ASCII Fig. 7 timelines on the DGX-1\n\
+         \x20 train [iterations]               threaded C-Cube training loop\n\
+         \x20 rings                            DGX-1 Hamiltonian ring decomposition"
+    );
+    ExitCode::from(2)
+}
+
+fn network_by_name(name: &str) -> Option<NetworkModel> {
+    match name {
+        "zfnet" => Some(zfnet()),
+        "vgg16" => Some(vgg16()),
+        "resnet50" => Some(resnet50()),
+        _ => None,
+    }
+}
+
+fn cmd_figures(args: &[String]) -> ExitCode {
+    let dir = args
+        .first()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/figures"));
+    match experiments::run_all(&dir) {
+        Ok(paths) => {
+            println!("wrote {} CSV files to {}", paths.len(), dir.display());
+            for p in paths {
+                println!("  {}", p.display());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_compare(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        eprintln!("compare: which network? (zfnet | vgg16 | resnet50)");
+        return ExitCode::from(2);
+    };
+    let Some(net) = network_by_name(name) else {
+        eprintln!("compare: unknown network {name:?} (zfnet | vgg16 | resnet50)");
+        return ExitCode::from(2);
+    };
+    let batch: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let low = args.iter().any(|a| a == "--low");
+    let scale = if low { 0.25 } else { 1.0 };
+    let pipeline = TrainingPipeline::dgx1_with(&net, batch, &ComputeModel::v100(), scale);
+    println!(
+        "{net} on an 8-GPU DGX-1 model, batch {batch}, {} bandwidth",
+        if low { "low" } else { "high" }
+    );
+    println!(
+        "{:<4} {:>12} {:>12} {:>12} {:>10} {:>8}",
+        "mode", "comm", "turnaround", "iteration", "bubbles", "norm."
+    );
+    for r in pipeline.all_modes() {
+        println!(
+            "{:<4} {:>12} {:>12} {:>12} {:>10} {:>8.3}",
+            r.mode.label(),
+            format!("{}", r.t_comm),
+            format!("{}", r.turnaround),
+            format!("{}", r.t_iter),
+            format!("{}", r.total_bubble),
+            r.normalized_perf,
+        );
+    }
+    let b = pipeline.iteration(Mode::Baseline);
+    let cc = pipeline.iteration(Mode::CCube);
+    println!(
+        "C-Cube over baseline tree: +{:.1}%",
+        (b.t_iter / cc.t_iter - 1.0) * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_scaleout(args: &[String]) -> ExitCode {
+    let max_p: usize = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128);
+    let sizes: Vec<ByteSize> = {
+        let explicit: Vec<u64> = args.iter().skip(1).filter_map(|s| s.parse().ok()).collect();
+        if explicit.is_empty() {
+            vec![ByteSize::kib(16), ByteSize::mib(1), ByteSize::mib(64)]
+        } else {
+            explicit.into_iter().map(ByteSize::mib).collect()
+        }
+    };
+    let mut ps = Vec::new();
+    let mut p = 4;
+    while p <= max_p {
+        ps.push(p);
+        p *= 2;
+    }
+    for row in experiments::fig14::run_with(&ps, &sizes) {
+        println!("{row}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_timeline(args: &[String]) -> ExitCode {
+    use ccube_collectives::cost::{k_opt, CostParams};
+    use ccube_collectives::{tree_allreduce, Chunking, DoubleBinaryTree, Embedding, Overlap};
+    use ccube_sim::{render_timeline, simulate, SimOptions, TimelineOptions};
+    use ccube_topology::dgx1;
+
+    let mib: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(64);
+    let n = ByteSize::mib(mib);
+    let topo = dgx1();
+    let dt = DoubleBinaryTree::new(8).expect("8 ranks");
+    let k = k_opt(&CostParams::nvlink(), 8, n).div_ceil(2).max(1) * 2;
+    for (title, overlap) in [
+        ("baseline double tree (B)", Overlap::None),
+        ("overlapped double tree (C1)", Overlap::ReductionBroadcast),
+    ] {
+        let s = tree_allreduce(dt.trees(), &Chunking::even(n, k), overlap);
+        let e = Embedding::dgx1_double_tree(&topo, &s).expect("embeddable");
+        let report = simulate(&topo, &s, &e, &SimOptions::default()).expect("simulates");
+        println!("== {title}: {n} in {k} chunks ==");
+        println!(
+            "{}",
+            render_timeline(&s, &report, &TimelineOptions::default())
+        );
+        println!(
+            "makespan {}   turnaround {}\n",
+            report.makespan(),
+            report.turnaround()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_train(args: &[String]) -> ExitCode {
+    use ccube_runtime::{serial_reference, Trainer, TrainerConfig};
+    let iterations: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(10);
+    let config = TrainerConfig {
+        num_ranks: 8,
+        num_params: 8192,
+        num_chunks: 32,
+        layer_chunk_table: vec![2, 4, 8, 12, 18, 25, 32],
+        learning_rate: 0.05,
+    };
+    let mut trainer = match Trainer::new(config.clone()) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("train: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut chained = 0usize;
+    for _ in 0..iterations {
+        match trainer.step() {
+            Ok(early) => chained += early,
+            Err(e) => {
+                eprintln!("train: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let ok = trainer.replicas_agree()
+        && trainer.params(0) == &serial_reference(&config, iterations)[..];
+    println!(
+        "{iterations} iterations, {chained} chained layer-starts, replicas {}",
+        if ok { "bit-identical (== serial)" } else { "DIVERGED" }
+    );
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_rings() -> ExitCode {
+    let topo = ccube_topology::dgx1();
+    let rings = ccube_topology::disjoint_rings(&topo, 3);
+    println!(
+        "DGX-1 NVLink graph decomposes into {} Hamiltonian cycles:",
+        rings.len()
+    );
+    for (i, ring) in rings.iter().enumerate() {
+        let path: Vec<String> = ring.iter().map(|g| g.0.to_string()).collect();
+        println!("  ring {i}: {} -> (back to {})", path.join(" -> "), path[0]);
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "figures" => cmd_figures(rest),
+        "compare" => cmd_compare(rest),
+        "scaleout" => cmd_scaleout(rest),
+        "timeline" => cmd_timeline(rest),
+        "train" => cmd_train(rest),
+        "rings" => cmd_rings(),
+        "help" | "--help" | "-h" => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command {other:?}");
+            usage()
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Fig. 16 — communication/computation patterns and their effect on
+//! chaining (Case 1–3).
+
+use crate::pipeline::{Mode, TrainingPipeline};
+use ccube_dnn::patterns::{case1, case2, case3, Pattern};
+use ccube_topology::Seconds;
+use std::fmt;
+
+/// One case of Fig. 16, evaluated under C-Cube.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Pattern name.
+    pub case: &'static str,
+    /// Iteration time under CC.
+    pub t_iter: Seconds,
+    /// Total bubble time in the chained forward pass.
+    pub total_bubble: Seconds,
+    /// Gradient turnaround time.
+    pub turnaround: Seconds,
+    /// `(T_fwd + T_bwd) / T_iter`.
+    pub chain_efficiency: f64,
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<24} iter={} bubbles={} turnaround={} eff={:.3}",
+            self.case, self.t_iter, self.total_bubble, self.turnaround, self.chain_efficiency
+        )
+    }
+}
+
+/// Evaluates the three canonical cases on an 8-rank DGX-1-like machine.
+pub fn run() -> Vec<Row> {
+    [case1(), case2(), case3()]
+        .iter()
+        .map(evaluate)
+        .collect()
+}
+
+/// Evaluates one pattern under C-Cube.
+pub fn evaluate(pattern: &Pattern) -> Row {
+    let pipeline = TrainingPipeline::from_pattern(pattern, 8);
+    let report = pipeline.iteration(Mode::CCube);
+    Row {
+        case: pattern.name(),
+        t_iter: report.t_iter,
+        total_bubble: report.total_bubble,
+        turnaround: report.turnaround,
+        chain_efficiency: report.normalized_perf,
+    }
+}
+
+/// Renders rows as CSV.
+pub fn to_csv(rows: &[Row]) -> String {
+    let mut out =
+        String::from("case,t_iter_us,total_bubble_us,turnaround_us,chain_efficiency\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{:.2},{:.2},{:.2},{:.4}\n",
+            r.case,
+            r.t_iter.as_micros(),
+            r.total_bubble.as_micros(),
+            r.turnaround.as_micros(),
+            r.chain_efficiency
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case1_chains_best() {
+        let rows = run();
+        let c1 = &rows[0];
+        assert_eq!(c1.case, "case1_cnn_like");
+        for other in &rows[1..] {
+            assert!(
+                c1.chain_efficiency >= other.chain_efficiency,
+                "{} beats case1",
+                other.case
+            );
+        }
+    }
+
+    #[test]
+    fn case2_shows_bubbles() {
+        // Fig. 16 Case 2: when compute grows with depth, forward layers
+        // outrun the arriving gradients and strictly more bubble time
+        // appears than in the CNN-shaped Case 1.
+        let rows = run();
+        let c1 = &rows[0];
+        let c2 = &rows[1];
+        assert!(
+            c2.total_bubble.as_secs_f64() > c1.total_bubble.as_secs_f64() * 1.5,
+            "case1 {} vs case2 {}",
+            c1.total_bubble,
+            c2.total_bubble
+        );
+        assert!(c2.t_iter > c1.t_iter);
+    }
+
+    #[test]
+    fn case3_pushes_back_the_turnaround() {
+        // Fig. 16 Case 3: heavy early communication delays the first
+        // usable layer — the gradient turnaround of the *first layer*
+        // (not of the first chunk) moves back, stretching the iteration.
+        let rows = run();
+        let c1 = &rows[0];
+        let c3 = &rows[2];
+        assert!(c3.t_iter > c1.t_iter, "{} vs {}", c1.t_iter, c3.t_iter);
+        assert!(c3.total_bubble > c1.total_bubble);
+    }
+}

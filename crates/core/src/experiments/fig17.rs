@@ -1,0 +1,109 @@
+//! Fig. 17 — per-layer parameter size vs computation time in ResNet-50.
+
+use ccube_dnn::{resnet50, ComputeModel};
+use ccube_topology::{ByteSize, Seconds};
+use std::fmt;
+
+/// One layer of Fig. 17.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Layer index (input side first).
+    pub index: usize,
+    /// Layer name.
+    pub name: String,
+    /// Gradient bytes of the layer.
+    pub param_bytes: ByteSize,
+    /// Forward computation time at the given batch.
+    pub fwd_time: Seconds,
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<3} {:<12} {:>12} {:>12}",
+            self.index,
+            self.name,
+            format!("{}", self.param_bytes),
+            format!("{}", self.fwd_time)
+        )
+    }
+}
+
+/// Produces the per-layer profile of ResNet-50 at the given batch size.
+pub fn run(batch: usize) -> Vec<Row> {
+    let net = resnet50();
+    let compute = ComputeModel::v100();
+    net.layers()
+        .iter()
+        .enumerate()
+        .map(|(index, layer)| Row {
+            index,
+            name: layer.name().to_string(),
+            param_bytes: layer.param_bytes(),
+            fwd_time: layer.fwd_time(batch, &compute),
+        })
+        .collect()
+}
+
+/// Renders rows as CSV.
+pub fn to_csv(rows: &[Row]) -> String {
+    let mut out = String::from("index,name,param_bytes,fwd_time_us\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{:.3}\n",
+            r.index,
+            r.name,
+            r.param_bytes.as_u64(),
+            r.fwd_time.as_micros()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pearson correlation of (index, value).
+    fn trend(values: impl Iterator<Item = f64>) -> f64 {
+        let v: Vec<f64> = values.collect();
+        let n = v.len() as f64;
+        let mean_x = (n - 1.0) / 2.0;
+        let mean_y = v.iter().sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut var_x = 0.0;
+        let mut var_y = 0.0;
+        for (i, &y) in v.iter().enumerate() {
+            let dx = i as f64 - mean_x;
+            let dy = y - mean_y;
+            cov += dx * dy;
+            var_x += dx * dx;
+            var_y += dy * dy;
+        }
+        cov / (var_x.sqrt() * var_y.sqrt())
+    }
+
+    #[test]
+    fn params_grow_with_depth() {
+        let rows = run(64);
+        let corr = trend(rows.iter().map(|r| r.param_bytes.as_u64() as f64));
+        assert!(corr > 0.4, "parameter-size trend {corr}");
+    }
+
+    #[test]
+    fn compute_shrinks_relative_to_params_with_depth() {
+        // The paper's takeaway: compute-to-communication ratio falls with
+        // layer index, which is what makes Case-1 chaining work.
+        let rows = run(64);
+        let ratio_corr = trend(rows.iter().map(|r| {
+            r.fwd_time.as_secs_f64() / r.param_bytes.as_u64().max(1) as f64
+        }));
+        assert!(ratio_corr < -0.2, "compute/comm trend {ratio_corr}");
+    }
+
+    #[test]
+    fn one_row_per_layer() {
+        assert_eq!(run(64).len(), 54);
+    }
+}

@@ -1,0 +1,656 @@
+//! The training-iteration pipeline: the five execution modes of the
+//! paper's evaluation (Fig. 13).
+//!
+//! One data-parallel training iteration is `forward → backward →
+//! AllReduce(gradients) → (next) forward`. The paper's modes differ in
+//! how the AllReduce relates to the computation:
+//!
+//! | mode | collective | chained with next forward? |
+//! |------|-----------|-----------------------------|
+//! | `B`  | baseline double tree | no |
+//! | `C1` | overlapped double tree | no |
+//! | `C2` | baseline double tree | **yes** (gradient queuing) |
+//! | `CC` | overlapped double tree | **yes** — C-Cube |
+//! | `R`  | NCCL ring | impossible (out-of-order delivery) |
+//!
+//! For the unchained modes the iteration time is simply
+//! `T_fwd + T_bwd + T_comm`. For the chained modes, communication starts
+//! when backward ends ("one-shot") and the next iteration's forward pass
+//! runs layer-by-layer as gradients arrive:
+//! `s_i = max(e_{i-1}, ready_i)`, `e_i = s_i + f_i` — any positive
+//! `ready_i - e_{i-1}` is a **bubble** (Fig. 16).
+
+use crate::arrivals::ChunkArrivals;
+use ccube_collectives::cost::{self, CostParams};
+use ccube_collectives::Overlap;
+use ccube_dnn::{ComputeModel, NetworkModel};
+use ccube_topology::{ByteSize, Seconds};
+use std::fmt;
+
+/// The execution mode of one training iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// `B`: baseline (non-overlapped) double-tree AllReduce.
+    Baseline,
+    /// `C1`: overlapped double tree, no computation chaining.
+    OverlappedTree,
+    /// `C2`: computation chaining over the baseline double tree.
+    Chained,
+    /// `CC`: C-Cube — overlapped tree + computation chaining.
+    CCube,
+    /// `R`: NCCL-style ring.
+    Ring,
+    /// The Fig. 2(b) strategy C-Cube argues against: layer-wise
+    /// AllReduce overlapped with the *current* iteration's backward pass
+    /// (Horovod/PyTorch-DDP style). Not part of the paper's five-way
+    /// comparison ([`Mode::ALL`]); evaluated by
+    /// [`TrainingPipeline::backward_overlap_iteration`].
+    BackwardOverlap,
+}
+
+impl Mode {
+    /// All five modes in the paper's plotting order.
+    pub const ALL: [Mode; 5] = [
+        Mode::Baseline,
+        Mode::OverlappedTree,
+        Mode::Chained,
+        Mode::Ring,
+        Mode::CCube,
+    ];
+
+    /// The paper's one/two-letter label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::Baseline => "B",
+            Mode::OverlappedTree => "C1",
+            Mode::Chained => "C2",
+            Mode::CCube => "CC",
+            Mode::Ring => "R",
+            Mode::BackwardOverlap => "BW",
+        }
+    }
+
+    /// True if the mode chains communication with the next forward pass.
+    pub fn is_chained(self) -> bool {
+        matches!(self, Mode::Chained | Mode::CCube)
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The result of the chained-forward recurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainedForward {
+    /// Per-layer start times (relative to communication start).
+    pub starts: Vec<Seconds>,
+    /// Per-layer end times.
+    pub ends: Vec<Seconds>,
+    /// Per-layer bubble: time the layer waited on gradients after its
+    /// predecessor finished.
+    pub bubbles: Vec<Seconds>,
+    /// When the whole forward pass finished.
+    pub finish: Seconds,
+}
+
+impl ChainedForward {
+    /// Total bubble time across layers.
+    pub fn total_bubble(&self) -> Seconds {
+        self.bubbles
+            .iter()
+            .fold(Seconds::ZERO, |acc, &b| acc + b)
+    }
+}
+
+/// Runs the chained-forward recurrence: layer `i` starts at
+/// `max(end of layer i-1, arrival of its last gradient chunk)`.
+///
+/// `table[i]` is the layer-chunk-table entry (exclusive upper chunk
+/// index) of layer `i`.
+///
+/// # Panics
+///
+/// Panics if `layer_fwd` and `table` differ in length or are empty.
+pub fn chain_forward(
+    layer_fwd: &[Seconds],
+    table: &[usize],
+    arrivals: &ChunkArrivals,
+) -> ChainedForward {
+    assert_eq!(layer_fwd.len(), table.len(), "layers and table must align");
+    assert!(!layer_fwd.is_empty(), "need at least one layer");
+    let mut starts = Vec::with_capacity(layer_fwd.len());
+    let mut ends = Vec::with_capacity(layer_fwd.len());
+    let mut bubbles = Vec::with_capacity(layer_fwd.len());
+    let mut prev_end = Seconds::ZERO;
+    for (i, &f) in layer_fwd.iter().enumerate() {
+        let ready = arrivals.ready_after(table[i]);
+        let start = prev_end.max(ready);
+        bubbles.push(if ready > prev_end {
+            ready - prev_end
+        } else {
+            Seconds::ZERO
+        });
+        starts.push(start);
+        let end = start + f;
+        ends.push(end);
+        prev_end = end;
+    }
+    ChainedForward {
+        finish: prev_end,
+        starts,
+        ends,
+        bubbles,
+    }
+}
+
+/// One iteration's timing under a given [`Mode`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationReport {
+    /// The mode evaluated.
+    pub mode: Mode,
+    /// Forward time of the whole network.
+    pub t_fwd: Seconds,
+    /// Backward time.
+    pub t_bwd: Seconds,
+    /// AllReduce makespan.
+    pub t_comm: Seconds,
+    /// Gradient turnaround time (first chunk usable).
+    pub turnaround: Seconds,
+    /// Iteration time (steady state).
+    pub t_iter: Seconds,
+    /// Total bubble time (chained modes only; zero otherwise).
+    pub total_bubble: Seconds,
+    /// `(T_fwd + T_bwd) / T_iter` — the paper's normalized performance
+    /// (1.0 = ideal linear speedup, communication entirely hidden).
+    pub normalized_perf: f64,
+}
+
+/// A training pipeline: a network profile bound to a machine
+/// communication model.
+///
+/// # Examples
+///
+/// ```
+/// use ccube::pipeline::{Mode, TrainingPipeline};
+///
+/// let p = TrainingPipeline::dgx1(&ccube_dnn::resnet50(), 64);
+/// let r = p.iteration(Mode::CCube);
+/// assert!(r.normalized_perf > 0.5 && r.normalized_perf <= 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrainingPipeline {
+    layer_fwd: Vec<Seconds>,
+    layer_grads: Vec<ByteSize>,
+    t_bwd: Seconds,
+    /// Per-link cost parameters (one tree uses one link per hop).
+    link: CostParams,
+    /// Ring cost parameters: NCCL builds several parallel rings on the
+    /// DGX-1, so the ring sees a multiple of the link bandwidth.
+    ring: CostParams,
+    p: usize,
+    num_trees: usize,
+}
+
+impl TrainingPipeline {
+    /// Builds a pipeline from explicit per-layer profiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer vectors are empty or differ in length, or
+    /// `p < 2`.
+    pub fn new(
+        layer_fwd: Vec<Seconds>,
+        layer_grads: Vec<ByteSize>,
+        t_bwd: Seconds,
+        link: CostParams,
+        ring: CostParams,
+        p: usize,
+        num_trees: usize,
+    ) -> Self {
+        assert!(!layer_fwd.is_empty(), "need at least one layer");
+        assert_eq!(layer_fwd.len(), layer_grads.len());
+        assert!(p >= 2 && num_trees >= 1);
+        TrainingPipeline {
+            layer_fwd,
+            layer_grads,
+            t_bwd,
+            link,
+            ring,
+            p,
+            num_trees,
+        }
+    }
+
+    /// Number of parallel rings the ring baseline is granted on the
+    /// DGX-1 (NCCL builds multiple NVLink rings to use the aggregate
+    /// bandwidth; the double tree only ever drives two links per GPU).
+    pub const DGX1_RING_CHANNELS: f64 = 4.0;
+
+    /// A DGX-1-like pipeline: 8 GPUs, NVLink α/β, double tree, V100
+    /// compute, at the given per-GPU batch size.
+    pub fn dgx1(net: &NetworkModel, batch: usize) -> Self {
+        Self::dgx1_with(net, batch, &ComputeModel::v100(), 1.0)
+    }
+
+    /// A DGX-1-like pipeline with an explicit compute model and a
+    /// bandwidth scale (`1.0` = the paper's "high bandwidth", `0.25` =
+    /// "low bandwidth").
+    pub fn dgx1_with(
+        net: &NetworkModel,
+        batch: usize,
+        compute: &ComputeModel,
+        bandwidth_scale: f64,
+    ) -> Self {
+        let link = CostParams::nvlink().scaled_bandwidth(bandwidth_scale);
+        let ring = CostParams::new(
+            link.alpha(),
+            link.bandwidth().scaled(Self::DGX1_RING_CHANNELS),
+        );
+        TrainingPipeline::new(
+            net.layer_fwd_times(batch, compute),
+            net.layer_param_bytes(),
+            net.bwd_time(batch, compute),
+            link,
+            ring,
+            8,
+            2,
+        )
+    }
+
+    /// A pipeline from a synthetic pattern (Fig. 16 cases) on a DGX-1
+    /// communication model.
+    pub fn from_pattern(pattern: &ccube_dnn::patterns::Pattern, p: usize) -> Self {
+        let link = CostParams::nvlink();
+        let ring = CostParams::new(
+            link.alpha(),
+            link.bandwidth().scaled(Self::DGX1_RING_CHANNELS),
+        );
+        let t_bwd = pattern.total_fwd_time() * 2.0;
+        TrainingPipeline::new(
+            pattern.fwd_times().to_vec(),
+            pattern.grad_bytes().to_vec(),
+            t_bwd,
+            link,
+            ring,
+            p,
+            2,
+        )
+    }
+
+    /// Total gradient bytes.
+    pub fn total_grads(&self) -> ByteSize {
+        self.layer_grads.iter().copied().sum()
+    }
+
+    /// Total forward time.
+    pub fn t_fwd(&self) -> Seconds {
+        self.layer_fwd
+            .iter()
+            .fold(Seconds::ZERO, |acc, &t| acc + t)
+    }
+
+    /// Per-layer forward times, input-side first.
+    pub fn layer_fwd_times(&self) -> &[Seconds] {
+        &self.layer_fwd
+    }
+
+    /// Per-layer gradient sizes, input-side first.
+    pub fn layer_grad_bytes(&self) -> &[ByteSize] {
+        &self.layer_grads
+    }
+
+    /// Backward-pass time.
+    pub fn t_bwd(&self) -> Seconds {
+        self.t_bwd
+    }
+
+    /// Ideal iteration time (communication-free): `T_fwd + T_bwd`.
+    pub fn t_ideal(&self) -> Seconds {
+        self.t_fwd() + self.t_bwd
+    }
+
+    /// The chunk count used for the tree collectives: Eq. 4's `K_opt`,
+    /// rounded up to a multiple of the tree count.
+    pub fn num_chunks(&self) -> usize {
+        let k = cost::k_opt(&self.link, self.p, self.total_grads());
+        k.div_ceil(self.num_trees).max(1) * self.num_trees
+    }
+
+    fn chunk_bytes(&self) -> ByteSize {
+        let k = self.num_chunks() as u64;
+        ByteSize::new(self.total_grads().as_u64().div_ceil(k))
+    }
+
+    /// The layer-chunk table for this pipeline's chunking.
+    pub fn layer_chunk_table(&self) -> Vec<usize> {
+        let chunk = self.chunk_bytes();
+        let mut cum = 0u64;
+        self.layer_grads
+            .iter()
+            .map(|g| {
+                cum += g.as_u64();
+                (cum.div_ceil(chunk.as_u64()) as usize).min(self.num_chunks())
+            })
+            .collect()
+    }
+
+    /// The chunk arrival curve of the tree collective in `overlap` mode.
+    pub fn tree_arrivals(&self, overlap: Overlap) -> ChunkArrivals {
+        ChunkArrivals::analytic_tree(
+            self.p,
+            self.num_trees,
+            self.num_chunks(),
+            self.chunk_bytes(),
+            &self.link,
+            overlap,
+        )
+    }
+
+    /// The ring AllReduce time under the multi-ring bandwidth.
+    pub fn ring_time(&self) -> Seconds {
+        cost::t_ring(&self.ring, self.p, self.total_grads())
+    }
+
+    /// Evaluates one iteration under `mode`.
+    pub fn iteration(&self, mode: Mode) -> IterationReport {
+        let t_fwd = self.t_fwd();
+        let ideal = self.t_ideal();
+        if mode == Mode::BackwardOverlap {
+            return self.backward_overlap_iteration(Seconds::from_micros(10.0));
+        }
+        let (t_comm, turnaround, t_iter, total_bubble) = match mode {
+            Mode::BackwardOverlap => unreachable!("handled above"),
+            Mode::Baseline | Mode::OverlappedTree => {
+                let overlap = if mode == Mode::Baseline {
+                    Overlap::None
+                } else {
+                    Overlap::ReductionBroadcast
+                };
+                let arr = self.tree_arrivals(overlap);
+                let comm = arr.last();
+                (comm, arr.first(), ideal + comm, Seconds::ZERO)
+            }
+            Mode::Ring => {
+                let comm = self.ring_time();
+                (comm, comm, ideal + comm, Seconds::ZERO)
+            }
+            Mode::Chained | Mode::CCube => {
+                let overlap = if mode == Mode::Chained {
+                    Overlap::None
+                } else {
+                    Overlap::ReductionBroadcast
+                };
+                let arr = self.tree_arrivals(overlap);
+                let chain = chain_forward(&self.layer_fwd, &self.layer_chunk_table(), &arr);
+                (
+                    arr.last(),
+                    arr.first(),
+                    self.t_bwd + chain.finish,
+                    chain.total_bubble(),
+                )
+            }
+        };
+        IterationReport {
+            mode,
+            t_fwd,
+            t_bwd: self.t_bwd,
+            t_comm,
+            turnaround,
+            t_iter,
+            total_bubble,
+            normalized_perf: ideal / t_iter,
+        }
+    }
+
+    /// All five modes at once, in the paper's order.
+    pub fn all_modes(&self) -> Vec<IterationReport> {
+        Mode::ALL.iter().map(|&m| self.iteration(m)).collect()
+    }
+
+    /// The **backward-overlap** strategy of the paper's Fig. 2(b) — the
+    /// Horovod/DDP approach C-Cube argues against: gradients are
+    /// AllReduced layer-wise as backward produces them (layer L first,
+    /// layer 1 last), overlapping communication with the *current*
+    /// iteration's backward pass.
+    ///
+    /// Model: backward visits layers in reverse; layer `l`'s gradients
+    /// become available when its backward step finishes; its AllReduce
+    /// (multi-ring time for its bytes, plus `launch_overhead` per
+    /// invocation — the Fig. 3 penalty of many small collectives)
+    /// serializes on the network behind earlier layers'. The next
+    /// iteration's forward pass starts only when layer 1's gradients —
+    /// produced *last* and communicated *last* — are done:
+    /// `T = max(bwd_end, comm_end) + T_fwd`.
+    ///
+    /// This quantifies the paper's §II-B argument: the final layer-1
+    /// communication can never be hidden (it is both the last backward
+    /// output and the first forward input), and the layer-wise launches
+    /// erode bandwidth, so chaining with the *next forward pass* (CC)
+    /// wins for CNN-shaped workloads.
+    pub fn backward_overlap_iteration(&self, launch_overhead: Seconds) -> IterationReport {
+        let t_fwd = self.t_fwd();
+        let ideal = self.t_ideal();
+        let layers = self.layer_fwd.len();
+        // Per-layer backward time, proportional to the layer's forward
+        // share of the total (bwd ≈ 2x fwd layer-wise).
+        let total_fwd = t_fwd.as_secs_f64();
+        let mut bwd_done = Seconds::ZERO;
+        let mut comm_end = Seconds::ZERO;
+        let mut first_layer_comm_end = Seconds::ZERO;
+        for l in (0..layers).rev() {
+            let share = if total_fwd > 0.0 {
+                self.layer_fwd[l].as_secs_f64() / total_fwd
+            } else {
+                1.0 / layers as f64
+            };
+            bwd_done += self.t_bwd * share;
+            let comm = launch_overhead
+                + cost::t_ring(&self.ring, self.p, self.layer_grads[l]);
+            comm_end = comm_end.max(bwd_done) + comm;
+            if l == 0 {
+                first_layer_comm_end = comm_end;
+            }
+        }
+        let t_iter = bwd_done.max(comm_end) + t_fwd;
+        IterationReport {
+            mode: Mode::BackwardOverlap,
+            t_fwd,
+            t_bwd: self.t_bwd,
+            t_comm: comm_end,
+            turnaround: first_layer_comm_end,
+            t_iter,
+            total_bubble: Seconds::ZERO,
+            normalized_perf: ideal / t_iter,
+        }
+    }
+
+    /// Evaluates a chained iteration with *externally supplied* chunk
+    /// arrivals (e.g. measured by the discrete-event simulator via
+    /// [`ChunkArrivals::from_sim`]), instead of the analytic staged
+    /// model. This is the hook for cross-validating the pipeline against
+    /// the DES and for machines whose contention the closed form cannot
+    /// capture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals` has fewer chunks than the pipeline's
+    /// layer-chunk table requires.
+    pub fn iteration_with_arrivals(&self, mode: Mode, arrivals: &ChunkArrivals) -> IterationReport {
+        let t_fwd = self.t_fwd();
+        let ideal = self.t_ideal();
+        let (t_comm, turnaround, t_iter, total_bubble) = if mode.is_chained() {
+            let mut table = self.layer_chunk_table();
+            // Clamp the table to the supplied chunk count (a simulated
+            // run may use a slightly different K than the analytic one).
+            let k = arrivals.num_chunks();
+            for upper in &mut table {
+                *upper = (*upper).min(k);
+            }
+            if let Some(last) = table.last_mut() {
+                *last = k;
+            }
+            let chain = chain_forward(&self.layer_fwd, &table, arrivals);
+            (
+                arrivals.last(),
+                arrivals.first(),
+                self.t_bwd + chain.finish,
+                chain.total_bubble(),
+            )
+        } else {
+            let comm = arrivals.last();
+            (comm, arrivals.first(), ideal + comm, Seconds::ZERO)
+        };
+        IterationReport {
+            mode,
+            t_fwd,
+            t_bwd: self.t_bwd,
+            t_comm,
+            turnaround,
+            t_iter,
+            total_bubble,
+            normalized_perf: ideal / t_iter,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccube_dnn::{patterns, resnet50, vgg16, zfnet};
+
+    #[test]
+    fn chain_forward_without_waiting_is_sum_of_layers() {
+        let fwd = vec![Seconds::from_millis(1.0); 4];
+        let arrivals = ChunkArrivals::new(vec![Seconds::ZERO; 4]);
+        let chain = chain_forward(&fwd, &[1, 2, 3, 4], &arrivals);
+        assert_eq!(chain.finish, Seconds::from_millis(4.0));
+        assert_eq!(chain.total_bubble(), Seconds::ZERO);
+    }
+
+    #[test]
+    fn chain_forward_bubbles_when_gradients_are_late() {
+        let fwd = vec![Seconds::from_millis(1.0); 2];
+        // layer 1's chunk arrives at t=5, long after layer 0 finished
+        let arrivals = ChunkArrivals::new(vec![
+            Seconds::ZERO,
+            Seconds::from_millis(5.0),
+        ]);
+        let chain = chain_forward(&fwd, &[1, 2], &arrivals);
+        assert_eq!(chain.starts[1], Seconds::from_millis(5.0));
+        assert_eq!(chain.bubbles[1], Seconds::from_millis(4.0));
+        assert_eq!(chain.finish, Seconds::from_millis(6.0));
+    }
+
+    #[test]
+    fn mode_ordering_matches_paper_on_resnet50() {
+        let p = TrainingPipeline::dgx1(&resnet50(), 64);
+        let b = p.iteration(Mode::Baseline);
+        let c1 = p.iteration(Mode::OverlappedTree);
+        let c2 = p.iteration(Mode::Chained);
+        let cc = p.iteration(Mode::CCube);
+        let r = p.iteration(Mode::Ring);
+        // C1 beats B; CC beats everything; CC and C2 beat their
+        // unchained counterparts.
+        assert!(c1.t_iter < b.t_iter);
+        assert!(c2.t_iter < b.t_iter);
+        assert!(cc.t_iter < c1.t_iter);
+        assert!(cc.t_iter < c2.t_iter);
+        assert!(cc.t_iter <= r.t_iter);
+        // Ring beats C1 on this small, bandwidth-rich system (the
+        // paper's "R shows better performance than C1" point).
+        assert!(r.t_iter < c1.t_iter);
+    }
+
+    #[test]
+    fn ccube_efficiency_is_high_at_large_batch() {
+        // Paper: "C-Cube can chain computation/communication with up to
+        // 98% efficiency".
+        let p = TrainingPipeline::dgx1(&resnet50(), 128);
+        let cc = p.iteration(Mode::CCube);
+        assert!(
+            cc.normalized_perf > 0.93,
+            "efficiency {}",
+            cc.normalized_perf
+        );
+    }
+
+    #[test]
+    fn low_bandwidth_hurts_everyone_but_ccube_least() {
+        let compute = ComputeModel::v100();
+        let net = vgg16();
+        let hi = TrainingPipeline::dgx1_with(&net, 64, &compute, 1.0);
+        let lo = TrainingPipeline::dgx1_with(&net, 64, &compute, 0.25);
+        for mode in Mode::ALL {
+            assert!(
+                lo.iteration(mode).normalized_perf < hi.iteration(mode).normalized_perf,
+                "{mode}"
+            );
+        }
+        let drop_b = hi.iteration(Mode::Baseline).normalized_perf
+            - lo.iteration(Mode::Baseline).normalized_perf;
+        let drop_cc = hi.iteration(Mode::CCube).normalized_perf
+            - lo.iteration(Mode::CCube).normalized_perf;
+        assert!(drop_cc < drop_b);
+    }
+
+    #[test]
+    fn zfnet_small_batch_favors_ring_over_c1() {
+        // ZFNet: heavy gradients, tiny compute at small batch — the ring
+        // baseline overtakes the unchained overlapped tree.
+        let p = TrainingPipeline::dgx1(&zfnet(), 16);
+        let c1 = p.iteration(Mode::OverlappedTree);
+        let r = p.iteration(Mode::Ring);
+        assert!(r.t_iter < c1.t_iter);
+    }
+
+    #[test]
+    fn efficiency_increases_with_batch() {
+        let net = resnet50();
+        let perfs: Vec<f64> = [16, 32, 64, 128]
+            .iter()
+            .map(|&b| {
+                TrainingPipeline::dgx1(&net, b)
+                    .iteration(Mode::CCube)
+                    .normalized_perf
+            })
+            .collect();
+        for w in perfs.windows(2) {
+            assert!(w[0] <= w[1] + 1e-9, "{perfs:?}");
+        }
+    }
+
+    #[test]
+    fn pattern_cases_rank_as_in_fig16() {
+        let p1 = TrainingPipeline::from_pattern(&patterns::case1(), 8);
+        let p2 = TrainingPipeline::from_pattern(&patterns::case2(), 8);
+        let p3 = TrainingPipeline::from_pattern(&patterns::case3(), 8);
+        let e1 = p1.iteration(Mode::CCube);
+        let e2 = p2.iteration(Mode::CCube);
+        let e3 = p3.iteration(Mode::CCube);
+        // Case 1 (CNN-like) chains best.
+        assert!(e1.t_iter <= e2.t_iter);
+        assert!(e1.t_iter <= e3.t_iter);
+        // Case 2 shows bubbles.
+        assert!(e2.total_bubble >= e1.total_bubble);
+    }
+
+    #[test]
+    fn layer_chunk_table_is_consistent() {
+        let p = TrainingPipeline::dgx1(&resnet50(), 64);
+        let table = p.layer_chunk_table();
+        assert_eq!(table.len(), 54);
+        assert!(table.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*table.last().unwrap(), p.num_chunks());
+    }
+
+    #[test]
+    fn turnaround_gap_between_modes() {
+        let p = TrainingPipeline::dgx1(&resnet50(), 64);
+        let b = p.iteration(Mode::Baseline);
+        let cc = p.iteration(Mode::CCube);
+        assert!(b.turnaround / cc.turnaround > 5.0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Multi-iteration training timeline co-simulation.
+//!
+//! [`TrainingPipeline`](crate::pipeline::TrainingPipeline) prices one
+//! steady-state iteration in closed form. This module rolls the same
+//! model across *many* iterations with per-GPU compute heterogeneity —
+//! the regime where the paper's Fig. 15 effect (detour GPUs computing
+//! slightly slower) actually bites a synchronous system:
+//!
+//! * iteration `i`'s one-shot AllReduce starts only when the **slowest**
+//!   GPU finishes backward (synchronous data parallelism);
+//! * in the chained modes each GPU's next forward pass is gated per
+//!   layer by the chunk arrivals, so a slow GPU both *starts* the
+//!   collective later and *finishes* its chained forward later;
+//! * iteration 0 has no inbound gradients, so the timeline exhibits a
+//!   warm-up iteration followed by a steady state — which must agree
+//!   with the closed-form model for homogeneous GPUs (tested).
+
+use crate::arrivals::ChunkArrivals;
+use crate::pipeline::{chain_forward, Mode, TrainingPipeline};
+use ccube_collectives::Overlap;
+use ccube_topology::Seconds;
+use std::fmt;
+
+/// The timeline of one multi-iteration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineReport {
+    /// Wall-clock time at which each iteration's parameters were fully
+    /// updated everywhere (end of that iteration's collective *and* of
+    /// every GPU's chained forward consuming it).
+    pub iteration_ends: Vec<Seconds>,
+    /// Per-GPU compute busy time over the whole run.
+    pub gpu_busy: Vec<Seconds>,
+    /// Total wall-clock time.
+    pub makespan: Seconds,
+}
+
+impl TimelineReport {
+    /// Number of iterations simulated.
+    pub fn iterations(&self) -> usize {
+        self.iteration_ends.len()
+    }
+
+    /// The steady-state iteration time: the spacing of the last two
+    /// iteration boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two iterations were simulated.
+    pub fn steady_iteration_time(&self) -> Seconds {
+        let n = self.iteration_ends.len();
+        assert!(n >= 2, "need at least two iterations for a steady state");
+        self.iteration_ends[n - 1] - self.iteration_ends[n - 2]
+    }
+
+    /// Average iteration time over the whole run (includes warm-up).
+    pub fn mean_iteration_time(&self) -> Seconds {
+        Seconds::new(self.makespan.as_secs_f64() / self.iteration_ends.len() as f64)
+    }
+
+    /// Compute utilization of a GPU over the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu` is out of range.
+    pub fn gpu_utilization(&self, gpu: usize) -> f64 {
+        if self.makespan.is_zero() {
+            return 0.0;
+        }
+        self.gpu_busy[gpu] / self.makespan
+    }
+}
+
+impl fmt::Display for TimelineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} iterations in {} (steady {})",
+            self.iterations(),
+            self.makespan,
+            if self.iterations() >= 2 {
+                format!("{}", self.steady_iteration_time())
+            } else {
+                "n/a".to_string()
+            }
+        )
+    }
+}
+
+/// Multi-iteration co-simulator over a [`TrainingPipeline`].
+#[derive(Debug, Clone)]
+pub struct TimelineSim<'a> {
+    pipeline: &'a TrainingPipeline,
+    mode: Mode,
+    /// Per-GPU compute slowdown factors (≥ 1.0); 1.0 = nominal speed.
+    /// Detour-forwarding GPUs get factors slightly above 1 (Fig. 15).
+    compute_slowdown: Vec<f64>,
+}
+
+impl<'a> TimelineSim<'a> {
+    /// Creates a timeline simulation with homogeneous GPUs.
+    pub fn new(pipeline: &'a TrainingPipeline, mode: Mode, num_gpus: usize) -> Self {
+        TimelineSim {
+            pipeline,
+            mode,
+            compute_slowdown: vec![1.0; num_gpus],
+        }
+    }
+
+    /// Sets per-GPU compute slowdown factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any factor is below 1.0 or the vector is empty.
+    #[must_use]
+    pub fn with_slowdowns(mut self, factors: Vec<f64>) -> Self {
+        assert!(!factors.is_empty());
+        assert!(factors.iter().all(|&f| f >= 1.0), "slowdowns must be >= 1");
+        self.compute_slowdown = factors;
+        self
+    }
+
+    fn arrivals(&self) -> ChunkArrivals {
+        match self.mode {
+            Mode::Baseline | Mode::Chained => self.pipeline.tree_arrivals(Overlap::None),
+            Mode::OverlappedTree | Mode::CCube => self
+                .pipeline
+                .tree_arrivals(Overlap::ReductionBroadcast),
+            // The timeline rolls the one-shot strategies; backward
+            // overlap is priced by `backward_overlap_iteration` and gets
+            // the ring's (everything-at-the-end) arrival curve here.
+            Mode::Ring | Mode::BackwardOverlap => ChunkArrivals::ring_uniform(
+                self.pipeline.ring_time(),
+                self.pipeline.num_chunks(),
+            ),
+        }
+    }
+
+    /// Runs `iterations` training iterations and returns the timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` is zero.
+    pub fn run(&self, iterations: usize) -> TimelineReport {
+        assert!(iterations > 0, "need at least one iteration");
+        let p = self.compute_slowdown.len();
+        let arrivals = self.arrivals();
+        let table = self.pipeline.layer_chunk_table();
+        let layer_fwd = self.pipeline.layer_fwd_times();
+        let t_bwd = self.pipeline.t_bwd();
+        let comm_makespan = arrivals.last();
+
+        // fwd_done[g]: wall-clock time GPU g finished the current
+        // iteration's forward pass.
+        let mut fwd_done = vec![Seconds::ZERO; p];
+        let mut gpu_busy = vec![Seconds::ZERO; p];
+        let mut iteration_ends = Vec::with_capacity(iterations);
+
+        // Iteration 0's forward pass runs unconstrained from t=0.
+        for g in 0..p {
+            let t: f64 = layer_fwd
+                .iter()
+                .map(|l| l.as_secs_f64() * self.compute_slowdown[g])
+                .sum();
+            fwd_done[g] = Seconds::new(t);
+            gpu_busy[g] += fwd_done[g];
+        }
+
+        for _iter in 0..iterations {
+            // Backward on each GPU, then the one-shot collective waits
+            // for the slowest.
+            let mut bwd_done = vec![Seconds::ZERO; p];
+            for g in 0..p {
+                let b = t_bwd * self.compute_slowdown[g];
+                bwd_done[g] = fwd_done[g] + b;
+                gpu_busy[g] += b;
+            }
+            let comm_start = bwd_done
+                .iter()
+                .copied()
+                .fold(Seconds::ZERO, Seconds::max);
+
+            // Next iteration's forward pass per GPU.
+            let mut iter_end = comm_start + comm_makespan;
+            for g in 0..p {
+                let scaled: Vec<Seconds> = layer_fwd
+                    .iter()
+                    .map(|l| *l * self.compute_slowdown[g])
+                    .collect();
+                let fwd_time: f64 = scaled.iter().map(|l| l.as_secs_f64()).sum();
+                if self.mode.is_chained() {
+                    let chain = chain_forward(&scaled, &table, &arrivals);
+                    fwd_done[g] = comm_start + chain.finish;
+                } else {
+                    fwd_done[g] = comm_start + comm_makespan + Seconds::new(fwd_time);
+                }
+                gpu_busy[g] += Seconds::new(fwd_time);
+                iter_end = iter_end.max(fwd_done[g]);
+            }
+            iteration_ends.push(iter_end);
+        }
+
+        TimelineReport {
+            makespan: *iteration_ends.last().expect("at least one iteration"),
+            iteration_ends,
+            gpu_busy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccube_dnn::resnet50;
+
+    fn pipeline() -> TrainingPipeline {
+        TrainingPipeline::dgx1(&resnet50(), 64)
+    }
+
+    #[test]
+    fn steady_state_matches_closed_form_for_homogeneous_gpus() {
+        let p = pipeline();
+        for mode in Mode::ALL {
+            let report = TimelineSim::new(&p, mode, 8).run(6);
+            let steady = report.steady_iteration_time().as_secs_f64();
+            let closed = p.iteration(mode).t_iter.as_secs_f64();
+            let rel = (steady - closed).abs() / closed;
+            assert!(
+                rel < 0.01,
+                "{mode}: timeline {steady:.6}s vs closed form {closed:.6}s"
+            );
+        }
+    }
+
+    #[test]
+    fn warmup_iteration_differs_from_steady_state() {
+        let p = pipeline();
+        let report = TimelineSim::new(&p, Mode::CCube, 8).run(5);
+        let first = report.iteration_ends[0].as_secs_f64();
+        let steady = report.steady_iteration_time().as_secs_f64();
+        // Iteration 0 includes the unconstrained first forward pass, so
+        // its span differs from the steady state.
+        assert!((first - steady).abs() / steady > 1e-3);
+    }
+
+    #[test]
+    fn detour_slowdown_drags_the_whole_synchronous_system() {
+        let p = pipeline();
+        let base = TimelineSim::new(&p, Mode::CCube, 8).run(4);
+        // GPUs 1 and 7 forward detours at ~3.9% compute loss (Fig. 15).
+        let mut factors = vec![1.0; 8];
+        factors[1] = 1.039;
+        factors[7] = 1.039;
+        let slowed = TimelineSim::new(&p, Mode::CCube, 8)
+            .with_slowdowns(factors)
+            .run(4);
+        let inflation = slowed.steady_iteration_time().as_secs_f64()
+            / base.steady_iteration_time().as_secs_f64();
+        // The synchronous barrier propagates the slowest GPU's loss to
+        // everyone, but never more than the compute share of the
+        // iteration.
+        assert!(
+            inflation > 1.005 && inflation < 1.04,
+            "inflation {inflation}"
+        );
+        // The slowed GPUs are the busiest.
+        assert!(slowed.gpu_busy[1] > slowed.gpu_busy[0]);
+    }
+
+    #[test]
+    fn utilization_is_higher_for_chained_modes() {
+        let p = pipeline();
+        let cc = TimelineSim::new(&p, Mode::CCube, 8).run(4);
+        let b = TimelineSim::new(&p, Mode::Baseline, 8).run(4);
+        assert!(cc.gpu_utilization(0) > b.gpu_utilization(0));
+        assert!(cc.gpu_utilization(0) <= 1.0);
+    }
+
+    #[test]
+    fn report_accessors_are_consistent() {
+        let p = pipeline();
+        let report = TimelineSim::new(&p, Mode::Ring, 8).run(3);
+        assert_eq!(report.iterations(), 3);
+        assert_eq!(report.makespan, *report.iteration_ends.last().unwrap());
+        assert!(report.mean_iteration_time() > Seconds::ZERO);
+        // iteration boundaries are strictly increasing
+        for w in report.iteration_ends.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+}

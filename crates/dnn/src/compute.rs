@@ -1,0 +1,111 @@
+//! The device compute model (FLOPs → time).
+
+use ccube_topology::Seconds;
+use std::fmt;
+
+/// Converts FLOP counts into execution time for a GPU-like device.
+///
+/// The model is deliberately simple — `time = flops / (peak × efficiency)`
+/// — because the paper's results are ratios (normalized performance,
+/// speedups); the absolute throughput only scales the time axis.
+///
+/// # Examples
+///
+/// ```
+/// use ccube_dnn::ComputeModel;
+/// let c = ComputeModel::v100();
+/// let t = c.time(5_500_000_000_000); // ~5.5 TFLOP
+/// assert!(t.as_secs_f64() > 0.5 && t.as_secs_f64() < 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComputeModel {
+    peak_flops: f64,
+    efficiency: f64,
+}
+
+impl ComputeModel {
+    /// Creates a compute model from a peak FLOP/s rate and an achieved
+    /// efficiency in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peak_flops` is not positive or `efficiency` is outside
+    /// `(0, 1]`.
+    pub fn new(peak_flops: f64, efficiency: f64) -> Self {
+        assert!(peak_flops > 0.0, "peak flops must be positive");
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must be in (0, 1], got {efficiency}"
+        );
+        ComputeModel {
+            peak_flops,
+            efficiency,
+        }
+    }
+
+    /// A V100-like device: 15.7 TFLOP/s FP32 peak at 35% achieved
+    /// efficiency (typical for real CNN layers).
+    pub fn v100() -> Self {
+        ComputeModel::new(15.7e12, 0.35)
+    }
+
+    /// Achieved FLOP/s.
+    pub fn achieved_flops(&self) -> f64 {
+        self.peak_flops * self.efficiency
+    }
+
+    /// Time to execute `flops` floating-point operations.
+    pub fn time(&self, flops: u64) -> Seconds {
+        Seconds::new(flops as f64 / self.achieved_flops())
+    }
+
+    /// This model slowed by a multiplicative factor in `(0, 1]` — used to
+    /// charge detour-forwarding occupancy to intermediate GPUs (Fig. 15).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is outside `(0, 1]`.
+    #[must_use]
+    pub fn slowed(&self, factor: f64) -> ComputeModel {
+        ComputeModel::new(self.peak_flops, self.efficiency * factor)
+    }
+}
+
+impl fmt::Display for ComputeModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} TFLOP/s @ {:.0}% -> {:.1} TFLOP/s achieved",
+            self.peak_flops / 1e12,
+            self.efficiency * 100.0,
+            self.achieved_flops() / 1e12
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_is_linear_in_flops() {
+        let c = ComputeModel::new(1e12, 0.5);
+        let t1 = c.time(1_000_000_000);
+        let t2 = c.time(2_000_000_000);
+        assert!((t2.as_secs_f64() - 2.0 * t1.as_secs_f64()).abs() < 1e-15);
+        assert!((t1.as_millis() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slowed_reduces_throughput() {
+        let c = ComputeModel::v100();
+        let s = c.slowed(0.9);
+        assert!(s.time(1_000_000) > c.time(1_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency must be in")]
+    fn rejects_zero_efficiency() {
+        let _ = ComputeModel::new(1e12, 0.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! A single network layer's analytical profile.
+
+use crate::compute::ComputeModel;
+use ccube_topology::{ByteSize, Seconds};
+use std::fmt;
+
+/// The architectural kind of a layer (affects nothing numerically; kept
+/// for reporting and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Convolution (parameters = k·k·cin·cout (+BN), FLOPs over the
+    /// output feature map).
+    Conv,
+    /// Fully connected (parameters = in·out + out).
+    FullyConnected,
+    /// Recurrent (LSTM gate matrices).
+    Recurrent,
+    /// Multi-head attention (Q/K/V/O projections).
+    Attention,
+    /// Embedding table.
+    Embedding,
+    /// Pooling / activation — no parameters, negligible FLOPs tracked.
+    Pool,
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayerKind::Conv => write!(f, "conv"),
+            LayerKind::FullyConnected => write!(f, "fc"),
+            LayerKind::Recurrent => write!(f, "lstm"),
+            LayerKind::Attention => write!(f, "attn"),
+            LayerKind::Embedding => write!(f, "embed"),
+            LayerKind::Pool => write!(f, "pool"),
+        }
+    }
+}
+
+/// One layer of a [`NetworkModel`](crate::NetworkModel): its name, kind,
+/// parameter count and per-sample forward FLOPs.
+///
+/// # Examples
+///
+/// ```
+/// use ccube_dnn::{Layer, LayerKind};
+/// let l = Layer::conv("conv1", 224, 224, 3, 64, 7, 2);
+/// assert_eq!(l.kind(), LayerKind::Conv);
+/// // 7*7*3*64 weights + 2*64 batch-norm parameters
+/// assert_eq!(l.params(), 7 * 7 * 3 * 64 + 128);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layer {
+    name: String,
+    kind: LayerKind,
+    params: u64,
+    flops_fwd: u64,
+    /// For conv layers: output channels (batch-norm tensor length).
+    bn_channels: u64,
+    /// For fully connected layers: bias length.
+    bias_len: u64,
+}
+
+impl Layer {
+    /// Creates a layer from explicit parameter and FLOP counts.
+    pub fn new(name: impl Into<String>, kind: LayerKind, params: u64, flops_fwd: u64) -> Self {
+        Layer {
+            name: name.into(),
+            kind,
+            params,
+            flops_fwd,
+            bn_channels: 0,
+            bias_len: 0,
+        }
+    }
+
+    /// Creates a 2-D convolution layer (with batch-norm parameters) on an
+    /// `h`×`w` input with `cin` channels, producing `cout` channels with
+    /// a `k`×`k` kernel and the given stride (same padding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn conv(
+        name: impl Into<String>,
+        h: u64,
+        w: u64,
+        cin: u64,
+        cout: u64,
+        k: u64,
+        stride: u64,
+    ) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        let (oh, ow) = (h.div_ceil(stride), w.div_ceil(stride));
+        let params = k * k * cin * cout + 2 * cout; // weights + BN scale/shift
+        let flops = 2 * k * k * cin * cout * oh * ow;
+        let mut layer = Layer::new(name, LayerKind::Conv, params, flops);
+        layer.bn_channels = cout;
+        layer
+    }
+
+    /// Creates a fully connected layer (`input`→`output`, with bias).
+    pub fn fully_connected(name: impl Into<String>, input: u64, output: u64) -> Self {
+        let mut layer = Layer::new(
+            name,
+            LayerKind::FullyConnected,
+            input * output + output,
+            2 * input * output,
+        );
+        layer.bias_len = output;
+        layer
+    }
+
+    /// The layer's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layer's kind.
+    pub fn kind(&self) -> LayerKind {
+        self.kind
+    }
+
+    /// Number of trainable parameters.
+    pub fn params(&self) -> u64 {
+        self.params
+    }
+
+    /// Gradient bytes communicated for this layer (f32 gradients).
+    pub fn param_bytes(&self) -> ByteSize {
+        ByteSize::new(self.params * 4)
+    }
+
+
+    /// The layer's gradient *tensors* as the framework sees them: a conv
+    /// layer contributes its weight tensor plus the two batch-norm
+    /// tensors; a fully connected layer its weight plus bias. Layer-wise
+    /// AllReduce (paper Fig. 3) launches one collective per tensor.
+    pub fn tensor_bytes(&self) -> Vec<ByteSize> {
+        match self.kind {
+            LayerKind::Conv => {
+                // params = weights + 2*cout (BN scale + shift)
+                let cout = self.bn_channels;
+                let weights = self.params - 2 * cout;
+                vec![
+                    ByteSize::new(weights * 4),
+                    ByteSize::new(cout * 4),
+                    ByteSize::new(cout * 4),
+                ]
+            }
+            LayerKind::FullyConnected => {
+                // params = in*out + out (bias)
+                let bias = self.bias_len;
+                vec![
+                    ByteSize::new((self.params - bias) * 4),
+                    ByteSize::new(bias * 4),
+                ]
+            }
+            LayerKind::Recurrent | LayerKind::Attention => {
+                // gate/projection matrices plus a bias-sized remainder;
+                // reported as a 4-way weight split (the framework sees
+                // one tensor per gate/projection)
+                self.param_bytes().split(4)
+            }
+            LayerKind::Embedding => vec![self.param_bytes()],
+            LayerKind::Pool => vec![ByteSize::ZERO],
+        }
+    }
+
+    /// Per-sample forward FLOPs.
+    pub fn flops_fwd(&self) -> u64 {
+        self.flops_fwd
+    }
+
+    /// Forward time for a mini-batch on `compute`.
+    pub fn fwd_time(&self, batch: usize, compute: &ComputeModel) -> Seconds {
+        compute.time(self.flops_fwd.saturating_mul(batch as u64))
+    }
+
+    /// Backward time for a mini-batch: gradient w.r.t. inputs plus
+    /// gradient w.r.t. weights ≈ 2× the forward FLOPs.
+    pub fn bwd_time(&self, batch: usize, compute: &ComputeModel) -> Seconds {
+        compute.time(2 * self.flops_fwd.saturating_mul(batch as u64))
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {} params, {} MFLOPs",
+            self.name,
+            self.kind,
+            self.params,
+            self.flops_fwd / 1_000_000
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_math() {
+        // 3x3 conv, 64->128 channels on 56x56, stride 1
+        let l = Layer::conv("c", 56, 56, 64, 128, 3, 1);
+        assert_eq!(l.params(), 3 * 3 * 64 * 128 + 256);
+        assert_eq!(l.flops_fwd(), 2 * 3 * 3 * 64 * 128 * 56 * 56);
+    }
+
+    #[test]
+    fn strided_conv_shrinks_output() {
+        let s1 = Layer::conv("s1", 56, 56, 64, 64, 3, 1);
+        let s2 = Layer::conv("s2", 56, 56, 64, 64, 3, 2);
+        assert_eq!(s1.params(), s2.params());
+        assert_eq!(s1.flops_fwd(), 4 * s2.flops_fwd());
+    }
+
+    #[test]
+    fn fully_connected_math() {
+        let l = Layer::fully_connected("fc", 4096, 1000);
+        assert_eq!(l.params(), 4096 * 1000 + 1000);
+        assert_eq!(l.flops_fwd(), 2 * 4096 * 1000);
+    }
+
+    #[test]
+    fn backward_is_twice_forward() {
+        let l = Layer::conv("c", 14, 14, 256, 256, 3, 1);
+        let c = ComputeModel::v100();
+        let f = l.fwd_time(32, &c);
+        let b = l.bwd_time(32, &c);
+        assert!((b.as_secs_f64() / f.as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tensor_bytes_partition_params() {
+        let conv = Layer::conv("c", 56, 56, 64, 128, 3, 1);
+        let tensors = conv.tensor_bytes();
+        assert_eq!(tensors.len(), 3);
+        let sum: u64 = tensors.iter().map(|b| b.as_u64()).sum();
+        assert_eq!(sum, conv.param_bytes().as_u64());
+        assert_eq!(tensors[1], tensors[2]); // BN scale == shift
+
+        let fc = Layer::fully_connected("fc", 4096, 1000);
+        let tensors = fc.tensor_bytes();
+        assert_eq!(tensors.len(), 2);
+        let sum: u64 = tensors.iter().map(|b| b.as_u64()).sum();
+        assert_eq!(sum, fc.param_bytes().as_u64());
+        assert_eq!(tensors[1].as_u64(), 1000 * 4);
+    }
+
+    #[test]
+    fn param_bytes_are_f32() {
+        let l = Layer::fully_connected("fc", 10, 10);
+        assert_eq!(l.param_bytes().as_u64(), (10 * 10 + 10) * 4);
+    }
+}

@@ -1,0 +1,64 @@
+//! Analytical DNN workload models for C-Cube.
+//!
+//! The paper evaluates C-Cube on CUDA/cuDNN implementations of ZFNet,
+//! VGG-16 and ResNet-50 (§V-A). We have no GPUs, so this crate supplies
+//! the quantity those networks contribute to the evaluation: the
+//! **per-layer profile** — parameter bytes (gradient traffic) and
+//! forward/backward compute time — built analytically from the published
+//! layer shapes.
+//!
+//! * [`resnet50`], [`vgg16`], [`zfnet`] — the three evaluation networks,
+//!   constructed conv-by-conv; parameter totals match the published
+//!   counts (≈25.6 M / ≈138.4 M / ≈62.4 M).
+//! * [`ComputeModel`] converts per-layer FLOPs into time on a V100-like
+//!   device; absolute times only scale the plots, never the ratios.
+//! * [`workloads`] — MLPerf-like workload profiles for the paper's Fig. 1
+//!   (AllReduce share of execution time).
+//! * [`patterns`] — the three synthetic communication/computation
+//!   patterns of Fig. 16 (Case 1–3), used to show when chaining helps
+//!   and when "bubbles" appear.
+//!
+//! ResNet-50's profile also exhibits the trend of the paper's Fig. 17:
+//! later layers carry more parameters but less computation, which is why
+//! chaining communication with the *forward* pass of the next iteration
+//! works so well for CNNs.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccube_dnn::{resnet50, ComputeModel};
+//!
+//! let net = resnet50();
+//! // ≈ 25.6 M parameters, as published.
+//! assert!((net.total_params() as f64 - 25.6e6).abs() < 0.5e6);
+//! let compute = ComputeModel::v100();
+//! let fwd = net.fwd_time(64, &compute);
+//! let bwd = net.bwd_time(64, &compute);
+//! assert!(bwd > fwd);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compute;
+mod layer;
+mod model;
+pub mod patterns;
+mod resnet;
+pub mod seq;
+mod vgg;
+pub mod workloads;
+mod zfnet;
+
+pub use compute::ComputeModel;
+pub use layer::{Layer, LayerKind};
+pub use model::NetworkModel;
+pub use resnet::resnet50;
+pub use seq::{gnmt, transformer_big};
+pub use vgg::vgg16;
+pub use zfnet::zfnet;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::{gnmt, resnet50, transformer_big, vgg16, zfnet, ComputeModel, Layer, LayerKind, NetworkModel};
+}

@@ -1,0 +1,190 @@
+//! A whole network's profile and its layer-chunk bookkeeping.
+
+use crate::compute::ComputeModel;
+use crate::layer::Layer;
+use ccube_topology::{ByteSize, Seconds};
+use std::fmt;
+
+/// An entire network as an ordered list of [`Layer`]s (layer 0 is the
+/// input-side layer — the one whose gradients the *next* iteration's
+/// forward pass needs first).
+///
+/// # Examples
+///
+/// ```
+/// use ccube_dnn::{resnet50, ComputeModel};
+/// use ccube_topology::ByteSize;
+///
+/// let net = resnet50();
+/// let table = net.layer_chunk_table(ByteSize::mib(1));
+/// // one entry per layer, non-decreasing — this is the paper's
+/// // Layer-Chunk Table of Fig. 9
+/// assert_eq!(table.len(), net.layers().len());
+/// assert!(table.windows(2).all(|w| w[0] <= w[1]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkModel {
+    name: String,
+    layers: Vec<Layer>,
+}
+
+impl NetworkModel {
+    /// Creates a network from its ordered layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn new(name: impl Into<String>, layers: Vec<Layer>) -> Self {
+        assert!(!layers.is_empty(), "a network needs at least one layer");
+        NetworkModel {
+            name: name.into(),
+            layers,
+        }
+    }
+
+    /// The network's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ordered layers.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Total trainable parameters.
+    pub fn total_params(&self) -> u64 {
+        self.layers.iter().map(Layer::params).sum()
+    }
+
+    /// Total gradient bytes (f32).
+    pub fn total_param_bytes(&self) -> ByteSize {
+        ByteSize::new(self.total_params() * 4)
+    }
+
+    /// Total per-sample forward FLOPs.
+    pub fn total_flops(&self) -> u64 {
+        self.layers.iter().map(Layer::flops_fwd).sum()
+    }
+
+    /// Forward time of the whole network for a mini-batch.
+    pub fn fwd_time(&self, batch: usize, compute: &ComputeModel) -> Seconds {
+        compute.time(self.total_flops().saturating_mul(batch as u64))
+    }
+
+    /// Backward time (≈2× forward).
+    pub fn bwd_time(&self, batch: usize, compute: &ComputeModel) -> Seconds {
+        compute.time(2 * self.total_flops().saturating_mul(batch as u64))
+    }
+
+    /// Per-layer forward times for a mini-batch, in layer order.
+    pub fn layer_fwd_times(&self, batch: usize, compute: &ComputeModel) -> Vec<Seconds> {
+        self.layers
+            .iter()
+            .map(|l| l.fwd_time(batch, compute))
+            .collect()
+    }
+
+    /// Per-layer gradient sizes, in layer order.
+    pub fn layer_param_bytes(&self) -> Vec<ByteSize> {
+        self.layers.iter().map(Layer::param_bytes).collect()
+    }
+
+    /// The **Layer-Chunk Table** (paper Fig. 9): for each layer, the
+    /// *exclusive* upper chunk index covering its gradients when the
+    /// contiguous gradient buffer is cut into `chunk_bytes` chunks in
+    /// layer order. Layer `i` may start its next-iteration forward pass
+    /// once chunks `0 .. table[i]` have been dequeued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_bytes` is zero.
+    pub fn layer_chunk_table(&self, chunk_bytes: ByteSize) -> Vec<usize> {
+        assert!(chunk_bytes.as_u64() > 0, "chunk size must be positive");
+        let mut cum = 0u64;
+        let mut table = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            cum += layer.param_bytes().as_u64();
+            table.push(cum.div_ceil(chunk_bytes.as_u64()) as usize);
+        }
+        table
+    }
+
+    /// Number of chunks covering the whole gradient buffer at the given
+    /// chunk size.
+    pub fn num_chunks(&self, chunk_bytes: ByteSize) -> usize {
+        self.total_param_bytes()
+            .as_u64()
+            .div_ceil(chunk_bytes.as_u64()) as usize
+    }
+}
+
+impl fmt::Display for NetworkModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} layers, {:.1} M params, {:.1} GFLOPs)",
+            self.name,
+            self.layers.len(),
+            self.total_params() as f64 / 1e6,
+            self.total_flops() as f64 / 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    fn tiny() -> NetworkModel {
+        NetworkModel::new(
+            "tiny",
+            vec![
+                Layer::new("a", LayerKind::Conv, 100, 1000),
+                Layer::new("b", LayerKind::Conv, 200, 500),
+                Layer::new("c", LayerKind::FullyConnected, 50, 100),
+            ],
+        )
+    }
+
+    #[test]
+    fn totals_sum_layers() {
+        let n = tiny();
+        assert_eq!(n.total_params(), 350);
+        assert_eq!(n.total_flops(), 1600);
+        assert_eq!(n.total_param_bytes(), ByteSize::new(1400));
+    }
+
+    #[test]
+    fn layer_chunk_table_is_cumulative() {
+        let n = tiny();
+        // chunk = 400 bytes; layer bytes are 400, 800, 200 (cum 400, 1200, 1400)
+        let table = n.layer_chunk_table(ByteSize::new(400));
+        assert_eq!(table, vec![1, 3, 4]);
+        assert_eq!(n.num_chunks(ByteSize::new(400)), 4);
+    }
+
+    #[test]
+    fn chunk_table_handles_sub_chunk_layers() {
+        let n = tiny();
+        // giant chunks: everything inside chunk 0
+        let table = n.layer_chunk_table(ByteSize::mib(1));
+        assert_eq!(table, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn fwd_time_scales_with_batch() {
+        let n = tiny();
+        let c = ComputeModel::new(1e9, 1.0);
+        let t1 = n.fwd_time(1, &c);
+        let t8 = n.fwd_time(8, &c);
+        assert!((t8.as_secs_f64() - 8.0 * t1.as_secs_f64()).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_network_is_rejected() {
+        let _ = NetworkModel::new("none", vec![]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Synthetic communication/computation patterns (paper Fig. 16).
+//!
+//! C-Cube chains communication with the *next iteration's forward pass*,
+//! so its benefit depends on how per-layer compute and gradient size are
+//! distributed across depth:
+//!
+//! * **Case 1** — compute shrinks and gradient size grows with depth
+//!   (the common CNN shape, cf. Fig. 17): early layers' long forward
+//!   computation hides the later layers' communication. Chaining is
+//!   maximally effective.
+//! * **Case 2** — compute *grows* with depth: forward layers finish
+//!   before their successors' gradients arrive, creating "bubbles".
+//! * **Case 3** — gradient size shrinks with depth (heavy early
+//!   communication): the first chunk's turnaround is pushed back, so
+//!   even the first forward layer starts late.
+
+use ccube_topology::{ByteSize, Seconds};
+use std::fmt;
+
+/// A synthetic per-layer profile: forward time and gradient bytes per
+/// layer, input-side first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pattern {
+    name: &'static str,
+    fwd_times: Vec<Seconds>,
+    grad_bytes: Vec<ByteSize>,
+}
+
+impl Pattern {
+    /// Creates a pattern from per-layer forward times and gradient sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors are empty or differ in length.
+    pub fn new(name: &'static str, fwd_times: Vec<Seconds>, grad_bytes: Vec<ByteSize>) -> Self {
+        assert!(!fwd_times.is_empty(), "pattern needs at least one layer");
+        assert_eq!(
+            fwd_times.len(),
+            grad_bytes.len(),
+            "forward times and gradient sizes must align"
+        );
+        Pattern {
+            name,
+            fwd_times,
+            grad_bytes,
+        }
+    }
+
+    /// The pattern's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.fwd_times.len()
+    }
+
+    /// Per-layer forward times, input-side first.
+    pub fn fwd_times(&self) -> &[Seconds] {
+        &self.fwd_times
+    }
+
+    /// Per-layer gradient sizes, input-side first.
+    pub fn grad_bytes(&self) -> &[ByteSize] {
+        &self.grad_bytes
+    }
+
+    /// Total gradient bytes.
+    pub fn total_grad_bytes(&self) -> ByteSize {
+        self.grad_bytes.iter().copied().sum()
+    }
+
+    /// Total forward time.
+    pub fn total_fwd_time(&self) -> Seconds {
+        self.fwd_times
+            .iter()
+            .fold(Seconds::ZERO, |acc, &t| acc + t)
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} layers, {} grads, {} fwd)",
+            self.name,
+            self.num_layers(),
+            self.total_grad_bytes(),
+            self.total_fwd_time()
+        )
+    }
+}
+
+const LAYERS: usize = 5;
+
+/// The magnitudes are chosen so total communication time is comparable
+/// to total forward time (as in the paper's Fig. 16 diagrams): forward
+/// layers of 1–5 ms against gradient slabs of 30–270 MiB. Only then do
+/// the three distributions behave differently — with communication far
+/// lighter than compute every case chains perfectly.
+fn fwd_decreasing() -> Vec<Seconds> {
+    (0..LAYERS)
+        .map(|i| Seconds::from_millis((LAYERS - i) as f64))
+        .collect()
+}
+
+fn fwd_increasing() -> Vec<Seconds> {
+    (0..LAYERS)
+        .map(|i| Seconds::from_millis((i + 1) as f64))
+        .collect()
+}
+
+fn grads_increasing() -> Vec<ByteSize> {
+    (0..LAYERS)
+        .map(|i| ByteSize::mib(30 + i as u64 * 60))
+        .collect()
+}
+
+fn grads_decreasing() -> Vec<ByteSize> {
+    (0..LAYERS)
+        .map(|i| ByteSize::mib(30 + (LAYERS - 1 - i) as u64 * 60))
+        .collect()
+}
+
+/// Case 1 of Fig. 16: forward compute decreasing with depth, gradient
+/// size increasing — the friendly CNN shape.
+pub fn case1() -> Pattern {
+    Pattern::new("case1_cnn_like", fwd_decreasing(), grads_increasing())
+}
+
+/// Case 2 of Fig. 16: forward compute *increasing* with depth — bubbles
+/// appear because forward layers outrun the arriving gradients.
+pub fn case2() -> Pattern {
+    Pattern::new("case2_compute_inverted", fwd_increasing(), grads_increasing())
+}
+
+/// Case 3 of Fig. 16: gradient size decreasing with depth (heavy early
+/// communication) — the first chunk's turnaround is pushed back.
+pub fn case3() -> Pattern {
+    Pattern::new("case3_comm_inverted", fwd_decreasing(), grads_decreasing())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_share_totals() {
+        // The three cases are controlled comparisons: same total compute
+        // and same total communication, only the distribution differs.
+        let (c1, c2, c3) = (case1(), case2(), case3());
+        assert_eq!(c1.total_grad_bytes(), c2.total_grad_bytes());
+        assert_eq!(c1.total_grad_bytes(), c3.total_grad_bytes());
+        assert_eq!(c1.total_fwd_time(), c2.total_fwd_time());
+        assert_eq!(c1.total_fwd_time(), c3.total_fwd_time());
+    }
+
+    #[test]
+    fn case1_compute_decreases_grads_increase() {
+        let p = case1();
+        assert!(p.fwd_times().windows(2).all(|w| w[0] >= w[1]));
+        assert!(p.grad_bytes().windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn case2_compute_increases() {
+        let p = case2();
+        assert!(p.fwd_times().windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn case3_grads_decrease() {
+        let p = case3();
+        assert!(p.grad_bytes().windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_rejected() {
+        let _ = Pattern::new(
+            "bad",
+            vec![Seconds::from_millis(1.0)],
+            vec![ByteSize::mib(1), ByteSize::mib(2)],
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! ResNet-50 (He et al., 2016) built conv-by-conv.
+
+use crate::layer::Layer;
+use crate::model::NetworkModel;
+
+/// Builds the ResNet-50 profile for 224×224 inputs.
+///
+/// Four bottleneck stages of [3, 4, 6, 3] blocks with widths
+/// (64→256, 128→512, 256→1024, 512→2048) on feature maps of
+/// 56/28/14/7 pixels, plus the 7×7 stem and the 1000-way classifier —
+/// ≈25.6 M parameters and ≈4 GFLOPs per sample, matching the published
+/// network.
+///
+/// The returned layer order is input-side first, which is the order the
+/// gradient buffer is chunked in for gradient queuing. The profile shows
+/// the Fig. 17 trend: parameters grow with depth while per-layer compute
+/// shrinks — the pattern (Case 1 of Fig. 16) that makes forward-pass
+/// chaining effective.
+///
+/// # Examples
+///
+/// ```
+/// use ccube_dnn::resnet50;
+/// let net = resnet50();
+/// assert_eq!(net.name(), "resnet50");
+/// assert!(net.layers().len() > 50);
+/// ```
+pub fn resnet50() -> NetworkModel {
+    let mut layers = Vec::new();
+    // Stem: 7x7/2 conv, 64 channels (224 -> 112), then 3x3/2 max pool
+    // (112 -> 56, no parameters, omitted).
+    layers.push(Layer::conv("conv1", 224, 224, 3, 64, 7, 2));
+
+    // (blocks, in_channels, mid_channels, out_channels, spatial)
+    let stages: [(usize, u64, u64, u64, u64); 4] = [
+        (3, 64, 64, 256, 56),
+        (4, 256, 128, 512, 28),
+        (6, 512, 256, 1024, 14),
+        (3, 1024, 512, 2048, 7),
+    ];
+
+    for (si, &(blocks, cin_stage, mid, cout, size)) in stages.iter().enumerate() {
+        for b in 0..blocks {
+            let first = b == 0;
+            let cin = if first { cin_stage } else { cout };
+            // The first block of stages 2-4 downsamples: its 3x3 conv has
+            // stride 2 and its input map is twice the stage size.
+            let (in_size, stride) = if first && si > 0 {
+                (size * 2, 2)
+            } else {
+                (size, 1)
+            };
+            let tag = |part: &str| format!("s{}b{}_{}", si + 1, b + 1, part);
+            // 1x1 reduce operates on the input resolution.
+            layers.push(Layer::conv(tag("1x1a"), in_size, in_size, cin, mid, 1, 1));
+            // 3x3 (possibly strided) brings the map to the stage size.
+            layers.push(Layer::conv(tag("3x3"), in_size, in_size, mid, mid, 3, stride));
+            // 1x1 expand at the stage resolution.
+            layers.push(Layer::conv(tag("1x1b"), size, size, mid, cout, 1, 1));
+            if first {
+                // Projection shortcut.
+                layers.push(Layer::conv(tag("down"), in_size, in_size, cin, cout, 1, stride));
+            }
+        }
+    }
+
+    // Global average pool (no params), then the classifier.
+    layers.push(Layer::fully_connected("fc", 2048, 1000));
+
+    NetworkModel::new("resnet50", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute::ComputeModel;
+
+    #[test]
+    fn parameter_count_matches_published() {
+        let net = resnet50();
+        let params = net.total_params() as f64;
+        // torchvision resnet50: 25,557,032 parameters.
+        assert!(
+            (params - 25.56e6).abs() < 0.6e6,
+            "got {:.2} M",
+            params / 1e6
+        );
+    }
+
+    #[test]
+    fn flops_match_published() {
+        let net = resnet50();
+        // Published "4.1 GFLOPs" counts multiply-accumulates; our model
+        // counts multiply and add separately, so compare MACs.
+        let gmacs = net.total_flops() as f64 / 2e9;
+        assert!((3.6..=4.6).contains(&gmacs), "got {gmacs} GMACs");
+    }
+
+    #[test]
+    fn layer_count_is_conv_stack_plus_fc() {
+        let net = resnet50();
+        // 1 stem + 16 blocks x 3 convs + 4 downsamples + 1 fc = 54
+        assert_eq!(net.layers().len(), 54);
+    }
+
+    #[test]
+    fn fig17_trend_params_up_compute_down() {
+        // Compare the first half of the network against the second half:
+        // parameters grow with depth, per-layer compute shrinks.
+        let net = resnet50();
+        let layers = net.layers();
+        let half = layers.len() / 2;
+        let params_front: u64 = layers[..half].iter().map(Layer::params).sum();
+        let params_back: u64 = layers[half..].iter().map(Layer::params).sum();
+        assert!(params_back > 2 * params_front);
+        let flops_front: u64 = layers[..half].iter().map(Layer::flops_fwd).sum();
+        let flops_back: u64 = layers[half..].iter().map(Layer::flops_fwd).sum();
+        assert!(flops_front as f64 > 0.8 * flops_back as f64);
+    }
+
+    #[test]
+    fn per_layer_times_sum_to_total() {
+        let net = resnet50();
+        let c = ComputeModel::v100();
+        let sum: f64 = net
+            .layer_fwd_times(64, &c)
+            .iter()
+            .map(|t| t.as_secs_f64())
+            .sum();
+        let total = net.fwd_time(64, &c).as_secs_f64();
+        assert!((sum - total).abs() / total < 1e-9);
+    }
+}

@@ -1,0 +1,155 @@
+//! Sequence models (GNMT, Transformer) for the Fig. 1 workload suite.
+//!
+//! The paper's Fig. 1 includes the MLPerf translation workloads. Their
+//! AllReduce traffic is fixed by their parameter counts, so we build the
+//! published architectures layer by layer — an 8+8-layer GNMT with
+//! 1024-unit LSTMs and the "big" Transformer (d=1024, FFN 4096, 6+6
+//! layers) — and let [`workloads`](crate::workloads) derive gradient
+//! bytes from them instead of quoting constants.
+
+use crate::layer::{Layer, LayerKind};
+use crate::model::NetworkModel;
+
+/// Default sequence length used to convert per-token FLOPs into
+/// per-sample compute.
+const SEQ_LEN: u64 = 50;
+
+/// An LSTM layer: 4 gates of `(input + hidden + 1) × hidden` parameters,
+/// with per-sample FLOPs over [`SEQ_LEN`] tokens.
+pub fn lstm(name: impl Into<String>, input: u64, hidden: u64) -> Layer {
+    let params = 4 * hidden * (input + hidden + 1);
+    let flops = 2 * params * SEQ_LEN;
+    Layer::new(name, LayerKind::Recurrent, params, flops)
+}
+
+/// A multi-head self/cross-attention block: Q, K, V and output
+/// projections (`4·d² + 4·d` parameters).
+pub fn attention(name: impl Into<String>, d_model: u64) -> Layer {
+    let params = 4 * d_model * d_model + 4 * d_model;
+    // projections + the seq x seq attention matmuls
+    let flops = 2 * params * SEQ_LEN + 4 * SEQ_LEN * SEQ_LEN * d_model;
+    Layer::new(name, LayerKind::Attention, params, flops)
+}
+
+/// A position-wise feed-forward block (`d → d_ff → d`, with biases).
+pub fn feed_forward(name: impl Into<String>, d_model: u64, d_ff: u64) -> Layer {
+    let params = d_model * d_ff + d_ff + d_ff * d_model + d_model;
+    let flops = 2 * params * SEQ_LEN;
+    Layer::new(name, LayerKind::FullyConnected, params, flops)
+}
+
+/// An embedding table (`vocab × d`); gradient traffic counts it fully
+/// (dense-gradient AllReduce, as the MLPerf reference implementations
+/// do for the shared embedding).
+pub fn embedding(name: impl Into<String>, vocab: u64, d_model: u64) -> Layer {
+    // lookup compute is negligible next to the matmuls
+    Layer::new(name, LayerKind::Embedding, vocab * d_model, 2 * d_model * SEQ_LEN)
+}
+
+/// The GNMT translation model of the MLPerf suite: shared 32k-vocab
+/// embedding, 8 encoder LSTM layers (first bidirectional) and 8 decoder
+/// LSTM layers with attention, 1024 hidden units — ≈210 M parameters.
+///
+/// # Examples
+///
+/// ```
+/// use ccube_dnn::gnmt;
+/// let net = gnmt();
+/// let m = net.total_params() as f64 / 1e6;
+/// assert!((150.0..260.0).contains(&m), "{m} M");
+/// ```
+pub fn gnmt() -> NetworkModel {
+    let d = 1024;
+    let vocab = 32_000;
+    let mut layers = vec![embedding("embed", vocab, d)];
+    // encoder: layer 0 bidirectional (two LSTMs), then 7 unidirectional
+    layers.push(lstm("enc0_fwd", d, d));
+    layers.push(lstm("enc0_bwd", d, d));
+    // layer 1 consumes the concatenated bidirectional output
+    layers.push(lstm("enc1", 2 * d, d));
+    for i in 2..8 {
+        layers.push(lstm(format!("enc{i}"), d, d));
+    }
+    // decoder: 8 layers, first with attention context concatenated
+    layers.push(attention("dec_attn", d));
+    layers.push(lstm("dec0", 2 * d, d));
+    for i in 1..8 {
+        layers.push(lstm(format!("dec{i}"), d, d));
+    }
+    // output projection to the vocabulary
+    layers.push(Layer::fully_connected("proj", d, vocab));
+    NetworkModel::new("gnmt", layers)
+}
+
+/// The "big" Transformer of the MLPerf suite: d=1024, FFN 4096, 16
+/// heads, 6 encoder + 6 decoder layers, shared 33k-vocab embedding —
+/// ≈210 M parameters.
+///
+/// # Examples
+///
+/// ```
+/// use ccube_dnn::transformer_big;
+/// let net = transformer_big();
+/// let m = net.total_params() as f64 / 1e6;
+/// assert!((180.0..240.0).contains(&m), "{m} M");
+/// ```
+pub fn transformer_big() -> NetworkModel {
+    let d = 1024;
+    let d_ff = 4096;
+    let vocab = 33_000;
+    let mut layers = vec![embedding("embed", vocab, d)];
+    for i in 0..6 {
+        layers.push(attention(format!("enc{i}_attn"), d));
+        layers.push(feed_forward(format!("enc{i}_ffn"), d, d_ff));
+    }
+    for i in 0..6 {
+        layers.push(attention(format!("dec{i}_self"), d));
+        layers.push(attention(format!("dec{i}_cross"), d));
+        layers.push(feed_forward(format!("dec{i}_ffn"), d, d_ff));
+    }
+    NetworkModel::new("transformer-big", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lstm_parameter_count() {
+        // 4 gates x (1024 + 1024 + 1) x 1024 = 8.39 M
+        let l = lstm("l", 1024, 1024);
+        assert_eq!(l.params(), 4 * 1024 * (1024 + 1024 + 1));
+    }
+
+    #[test]
+    fn gnmt_is_translation_scale() {
+        let net = gnmt();
+        let m = net.total_params() as f64 / 1e6;
+        // MLPerf GNMT reference lands around 160-220 M parameters
+        // (depending on vocab/config).
+        assert!((150.0..260.0).contains(&m), "{m} M");
+        assert!(net.layers().len() >= 19);
+    }
+
+    #[test]
+    fn transformer_big_matches_published_scale() {
+        let net = transformer_big();
+        let m = net.total_params() as f64 / 1e6;
+        // Vaswani et al. "big": ~213 M parameters.
+        assert!((180.0..240.0).contains(&m), "{m} M");
+    }
+
+    #[test]
+    fn attention_params_are_4d_squared() {
+        let a = attention("a", 512);
+        assert_eq!(a.params(), 4 * 512 * 512 + 4 * 512);
+    }
+
+    #[test]
+    fn tensor_decomposition_covers_new_kinds() {
+        for layer in [lstm("l", 64, 64), attention("a", 64), embedding("e", 100, 64)] {
+            let total: u64 = layer.tensor_bytes().iter().map(|b| b.as_u64()).sum();
+            assert_eq!(total, layer.param_bytes().as_u64(), "{}", layer.name());
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! VGG-16 (Simonyan & Zisserman, 2015) built conv-by-conv.
+
+use crate::layer::Layer;
+use crate::model::NetworkModel;
+
+/// Builds the VGG-16 profile for 224×224 inputs: thirteen 3×3
+/// convolutions in five blocks plus three fully connected layers —
+/// ≈138.4 M parameters and ≈15.5 GFLOPs per sample.
+///
+/// VGG-16 is the backbone of the Single Stage Detector workload that
+/// tops the paper's Fig. 1 AllReduce-share chart; its enormous fully
+/// connected layers at the *end* of the network give it the steepest
+/// Case-1 communication pattern of the three evaluation networks.
+///
+/// # Examples
+///
+/// ```
+/// use ccube_dnn::vgg16;
+/// let net = vgg16();
+/// assert!((net.total_params() as f64 - 138.4e6).abs() < 1.5e6);
+/// ```
+pub fn vgg16() -> NetworkModel {
+    let mut layers = Vec::new();
+    // (block, convs, channels, spatial size of the block input)
+    let blocks: [(usize, usize, u64, u64); 5] = [
+        (1, 2, 64, 224),
+        (2, 2, 128, 112),
+        (3, 3, 256, 56),
+        (4, 3, 512, 28),
+        (5, 3, 512, 14),
+    ];
+    let mut cin = 3u64;
+    for &(block, convs, channels, size) in &blocks {
+        for c in 0..convs {
+            layers.push(Layer::conv(
+                format!("conv{block}_{}", c + 1),
+                size,
+                size,
+                cin,
+                channels,
+                3,
+                1,
+            ));
+            cin = channels;
+        }
+        // 2x2 max pool after each block (no parameters).
+    }
+    // 7x7x512 = 25088 flattened features.
+    layers.push(Layer::fully_connected("fc6", 25088, 4096));
+    layers.push(Layer::fully_connected("fc7", 4096, 4096));
+    layers.push(Layer::fully_connected("fc8", 4096, 1000));
+
+    NetworkModel::new("vgg16", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_matches_published() {
+        let net = vgg16();
+        let params = net.total_params() as f64;
+        // torchvision vgg16: 138,357,544 parameters.
+        assert!(
+            (params - 138.36e6).abs() < 1.5e6,
+            "got {:.2} M",
+            params / 1e6
+        );
+    }
+
+    #[test]
+    fn flops_match_published() {
+        // Published "15.5 GFLOPs" counts multiply-accumulates.
+        let gmacs = vgg16().total_flops() as f64 / 2e9;
+        assert!((14.0..=17.0).contains(&gmacs), "got {gmacs}");
+    }
+
+    #[test]
+    fn layer_count() {
+        assert_eq!(vgg16().layers().len(), 16);
+    }
+
+    #[test]
+    fn fc_layers_dominate_parameters() {
+        // The Case-1 pattern at its most extreme: the last three layers
+        // hold the overwhelming majority of the parameters.
+        let net = vgg16();
+        let fc_params: u64 = net.layers()[13..].iter().map(Layer::params).sum();
+        assert!(fc_params as f64 / net.total_params() as f64 > 0.85);
+    }
+}

@@ -1,0 +1,65 @@
+//! ZFNet (Zeiler & Fergus, 2014) built conv-by-conv.
+
+use crate::layer::Layer;
+use crate::model::NetworkModel;
+
+/// Builds the ZFNet profile for 224×224 inputs: the five-convolution
+/// AlexNet-style network with a 7×7/2 stem, plus three fully connected
+/// layers — ≈62 M parameters.
+///
+/// ZFNet is the "simple CNN architecture" of the paper's evaluation
+/// (§V-A); its small convolutional compute relative to its
+/// fully-connected-heavy gradient traffic makes it the workload where
+/// the ring can still beat C-Cube at small batch sizes (Fig. 13).
+///
+/// # Examples
+///
+/// ```
+/// use ccube_dnn::zfnet;
+/// let net = zfnet();
+/// assert_eq!(net.layers().len(), 8);
+/// ```
+pub fn zfnet() -> NetworkModel {
+    let layers = vec![
+        // conv1: 7x7/2, 96 channels (224 -> 112, then 3x3/2 pool -> 55ish;
+        // we track the conv resolutions).
+        Layer::conv("conv1", 224, 224, 3, 96, 7, 2),
+        // conv2: 5x5/2, 256 channels on the pooled 55x55 map.
+        Layer::conv("conv2", 55, 55, 96, 256, 5, 2),
+        // conv3-5: 3x3/1 on the pooled 13x13 map.
+        Layer::conv("conv3", 13, 13, 256, 384, 3, 1),
+        Layer::conv("conv4", 13, 13, 384, 384, 3, 1),
+        Layer::conv("conv5", 13, 13, 384, 256, 3, 1),
+        // classifier over the pooled 6x6x256 = 9216 features.
+        Layer::fully_connected("fc6", 9216, 4096),
+        Layer::fully_connected("fc7", 4096, 4096),
+        Layer::fully_connected("fc8", 4096, 1000),
+    ];
+    NetworkModel::new("zfnet", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_is_alexnet_class() {
+        let params = zfnet().total_params() as f64;
+        // AlexNet-family networks have ~60-65 M parameters.
+        assert!((58e6..=68e6).contains(&params), "got {:.1} M", params / 1e6);
+    }
+
+    #[test]
+    fn compute_is_light_relative_to_vgg() {
+        let zf = zfnet().total_flops();
+        let vgg = crate::vgg::vgg16().total_flops();
+        assert!(vgg > 5 * zf);
+    }
+
+    #[test]
+    fn fc_holds_most_parameters() {
+        let net = zfnet();
+        let fc: u64 = net.layers()[5..].iter().map(Layer::params).sum();
+        assert!(fc as f64 / net.total_params() as f64 > 0.85);
+    }
+}

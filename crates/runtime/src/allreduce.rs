@@ -1,0 +1,558 @@
+//! Threaded AllReduce executors (tree and ring) with real `f32` data.
+
+use crate::error::RuntimeError;
+use crate::mailbox::Mailbox;
+use crate::sync::DeviceSemaphore;
+use ccube_collectives::{BinaryTree, Overlap, Rank};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Splits `n` elements into `k` contiguous ranges differing by at most
+/// one element.
+pub(crate) fn chunk_ranges(n: usize, k: usize) -> Vec<Range<usize>> {
+    let base = n / k;
+    let rem = n % k;
+    let mut ranges = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < rem);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Which global chunks each tree carries (parity interleave, matching the
+/// schedule builders).
+pub(crate) fn tree_chunks(num_trees: usize, num_chunks: usize) -> Vec<Vec<usize>> {
+    (0..num_trees)
+        .map(|t| (t..num_chunks).step_by(num_trees).collect())
+        .collect()
+}
+
+type ChunkMsg = (usize, Vec<f32>);
+
+/// Shared state of one tree-AllReduce execution.
+pub(crate) struct TreeExecState {
+    pub(crate) trees: Vec<BinaryTree>,
+    pub(crate) overlap: Overlap,
+    pub(crate) tree_chunks: Vec<Vec<usize>>,
+    /// slots[rank][chunk]: the gradient buffer, chunk-granular. The same
+    /// memory serves as the gradient queue (paper §III-D: "the memory
+    /// address of gradient data can also be used as the gradient queue").
+    pub(crate) slots: Vec<Vec<Mutex<Vec<f32>>>>,
+    /// up[(tree, child)]: mailbox child -> parent.
+    pub(crate) up: HashMap<(usize, u32), Mailbox<ChunkMsg>>,
+    /// down[(tree, child)]: mailbox parent -> child.
+    pub(crate) down: HashMap<(usize, u32), Mailbox<ChunkMsg>>,
+    /// red_done[tree]: posted by the root's reduction loop per finished
+    /// chunk; the broadcast loop waits on it (all chunks up front for the
+    /// baseline, per chunk for the overlapped tree).
+    pub(crate) red_done: Vec<DeviceSemaphore>,
+    /// enqueue[rank][tree]: the gradient queue's Enqueue Semaphore
+    /// (paper Fig. 9), posted whenever a fully reduced chunk lands.
+    pub(crate) enqueue: Vec<Vec<Arc<DeviceSemaphore>>>,
+}
+
+impl TreeExecState {
+    pub(crate) fn new(
+        trees: &[BinaryTree],
+        overlap: Overlap,
+        num_chunks: usize,
+        mailbox_capacity: usize,
+        inputs: Vec<Vec<f32>>,
+    ) -> Self {
+        let p = trees[0].num_ranks();
+        let n = inputs[0].len();
+        let ranges = chunk_ranges(n, num_chunks);
+        let tc = tree_chunks(trees.len(), num_chunks);
+        let slots: Vec<Vec<Mutex<Vec<f32>>>> = inputs
+            .into_iter()
+            .map(|buf| {
+                ranges
+                    .iter()
+                    .map(|r| Mutex::new(buf[r.clone()].to_vec()))
+                    .collect()
+            })
+            .collect();
+        let mut up = HashMap::new();
+        let mut down = HashMap::new();
+        for (ti, tree) in trees.iter().enumerate() {
+            for r in Rank::all(p) {
+                if tree.parent(r).is_some() {
+                    up.insert((ti, r.0), Mailbox::new(mailbox_capacity));
+                    down.insert((ti, r.0), Mailbox::new(mailbox_capacity));
+                }
+            }
+        }
+        let red_done = (0..trees.len())
+            .map(|_| DeviceSemaphore::counting(0))
+            .collect();
+        let enqueue = (0..p)
+            .map(|_| {
+                (0..trees.len())
+                    .map(|_| Arc::new(DeviceSemaphore::counting(0)))
+                    .collect()
+            })
+            .collect();
+        TreeExecState {
+            trees: trees.to_vec(),
+            overlap,
+            tree_chunks: tc,
+            slots,
+            up,
+            down,
+            red_done,
+            enqueue,
+        }
+    }
+
+    /// The reduction persistent kernel of rank `r` for tree `ti`.
+    pub(crate) fn reduction_worker(&self, ti: usize, r: Rank) {
+        let tree = &self.trees[ti];
+        for &c in &self.tree_chunks[ti] {
+            for &child in tree.children(r) {
+                let (cc, data) = self.up[&(ti, child.0)].recv();
+                debug_assert_eq!(cc, c, "in-order delivery on the uplink");
+                let mut slot = self.slots[r.index()][c].lock();
+                for (a, b) in slot.iter_mut().zip(&data) {
+                    *a += b;
+                }
+            }
+            match tree.parent(r) {
+                Some(_) => {
+                    let payload = self.slots[r.index()][c].lock().clone();
+                    self.up[&(ti, r.0)].send((c, payload));
+                }
+                None => self.red_done[ti].post(),
+            }
+        }
+    }
+
+    /// The broadcast persistent kernel of rank `r` for tree `ti`.
+    pub(crate) fn broadcast_worker(&self, ti: usize, r: Rank) {
+        let tree = &self.trees[ti];
+        let chunks = &self.tree_chunks[ti];
+        if tree.parent(r).is_none() {
+            // Root: gate on the reduction according to the overlap mode.
+            if self.overlap == Overlap::None {
+                for _ in 0..chunks.len() {
+                    self.red_done[ti].wait();
+                }
+            }
+            for &c in chunks {
+                if self.overlap == Overlap::ReductionBroadcast {
+                    self.red_done[ti].wait();
+                }
+                let payload = self.slots[r.index()][c].lock().clone();
+                for &child in tree.children(r) {
+                    self.down[&(ti, child.0)].send((c, payload.clone()));
+                }
+                self.enqueue[r.index()][ti].post();
+            }
+        } else {
+            for &c in chunks {
+                let (cc, data) = self.down[&(ti, r.0)].recv();
+                debug_assert_eq!(cc, c, "in-order delivery on the downlink");
+                *self.slots[r.index()][c].lock() = data.clone();
+                for &child in tree.children(r) {
+                    self.down[&(ti, child.0)].send((c, data.clone()));
+                }
+                self.enqueue[r.index()][ti].post();
+            }
+        }
+    }
+
+    /// Reassembles per-rank output buffers from the chunk slots.
+    pub(crate) fn into_outputs(self) -> Vec<Vec<f32>> {
+        self.slots
+            .into_iter()
+            .map(|chunks| {
+                let mut buf = Vec::new();
+                for slot in chunks {
+                    buf.extend_from_slice(&slot.into_inner());
+                }
+                buf
+            })
+            .collect()
+    }
+}
+
+fn validate_inputs(p: usize, inputs: &[Vec<f32>]) -> Result<(), RuntimeError> {
+    if inputs.len() != p {
+        return Err(RuntimeError::RankCountMismatch {
+            expected: p,
+            got: inputs.len(),
+        });
+    }
+    let first = inputs[0].len();
+    for (rank, buf) in inputs.iter().enumerate() {
+        if buf.len() != first {
+            return Err(RuntimeError::RaggedInputs {
+                first,
+                rank,
+                len: buf.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// A threaded tree-AllReduce executor: one thread per rank per direction
+/// per tree (the paper's persistent kernels), synchronized with
+/// [`DeviceSemaphore`]s, computing real sums.
+///
+/// # Examples
+///
+/// ```
+/// use ccube_collectives::{DoubleBinaryTree, Overlap};
+/// use ccube_runtime::TreeAllReduceRuntime;
+///
+/// let dt = DoubleBinaryTree::new(8).unwrap();
+/// let rt = TreeAllReduceRuntime::new(dt.trees().to_vec(), Overlap::ReductionBroadcast, 8);
+/// let inputs: Vec<Vec<f32>> = (0..8).map(|r| vec![(r + 1) as f32; 64]).collect();
+/// let out = rt.run(inputs).unwrap();
+/// assert!(out.iter().all(|o| o.iter().all(|&x| x == 36.0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeAllReduceRuntime {
+    trees: Vec<BinaryTree>,
+    overlap: Overlap,
+    num_chunks: usize,
+    mailbox_capacity: usize,
+}
+
+impl TreeAllReduceRuntime {
+    /// Creates a runtime over the given trees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trees` is empty, the trees disagree on rank count, or
+    /// `num_chunks` is zero.
+    pub fn new(trees: Vec<BinaryTree>, overlap: Overlap, num_chunks: usize) -> Self {
+        assert!(!trees.is_empty(), "need at least one tree");
+        assert!(num_chunks > 0, "need at least one chunk");
+        let p = trees[0].num_ranks();
+        assert!(trees.iter().all(|t| t.num_ranks() == p));
+        TreeAllReduceRuntime {
+            trees,
+            overlap,
+            num_chunks,
+            mailbox_capacity: 4,
+        }
+    }
+
+    /// Sets the per-edge receive-buffer capacity (default 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_mailbox_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0);
+        self.mailbox_capacity = capacity;
+        self
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.trees[0].num_ranks()
+    }
+
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.num_chunks
+    }
+
+    /// The logical trees.
+    pub fn trees(&self) -> &[BinaryTree] {
+        &self.trees
+    }
+
+    /// The overlap mode.
+    pub fn overlap(&self) -> Overlap {
+        self.overlap
+    }
+
+    pub(crate) fn build_state(&self, inputs: Vec<Vec<f32>>) -> Result<TreeExecState, RuntimeError> {
+        validate_inputs(self.num_ranks(), &inputs)?;
+        Ok(TreeExecState::new(
+            &self.trees,
+            self.overlap,
+            self.num_chunks,
+            self.mailbox_capacity,
+            inputs,
+        ))
+    }
+
+    /// Executes the AllReduce and returns each rank's reduced buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::RankCountMismatch`] or
+    /// [`RuntimeError::RaggedInputs`] for malformed inputs.
+    pub fn run(&self, inputs: Vec<Vec<f32>>) -> Result<Vec<Vec<f32>>, RuntimeError> {
+        let state = self.build_state(inputs)?;
+        let p = self.num_ranks();
+        std::thread::scope(|s| {
+            for ti in 0..self.trees.len() {
+                for r in Rank::all(p) {
+                    let st = &state;
+                    s.spawn(move || st.reduction_worker(ti, r));
+                    let st = &state;
+                    s.spawn(move || st.broadcast_worker(ti, r));
+                }
+            }
+        });
+        Ok(state.into_outputs())
+    }
+}
+
+/// A threaded ring-AllReduce executor (Reduce-Scatter + AllGather), the
+/// paper's `R` baseline, with one thread per rank.
+///
+/// # Examples
+///
+/// ```
+/// use ccube_runtime::RingAllReduceRuntime;
+/// let rt = RingAllReduceRuntime::new(4);
+/// let inputs: Vec<Vec<f32>> = (0..4).map(|r| vec![r as f32; 16]).collect();
+/// let out = rt.run(inputs).unwrap();
+/// assert!(out.iter().all(|o| o.iter().all(|&x| x == 6.0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingAllReduceRuntime {
+    num_ranks: usize,
+    mailbox_capacity: usize,
+}
+
+impl RingAllReduceRuntime {
+    /// Creates a ring runtime over `p` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 2`.
+    pub fn new(p: usize) -> Self {
+        assert!(p >= 2, "ring needs at least two ranks");
+        RingAllReduceRuntime {
+            num_ranks: p,
+            mailbox_capacity: 2,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+
+    /// Executes the AllReduce and returns each rank's reduced buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::RankCountMismatch`] or
+    /// [`RuntimeError::RaggedInputs`] for malformed inputs.
+    pub fn run(&self, inputs: Vec<Vec<f32>>) -> Result<Vec<Vec<f32>>, RuntimeError> {
+        validate_inputs(self.num_ranks, &inputs)?;
+        let p = self.num_ranks;
+        let n = inputs[0].len();
+        let ranges = chunk_ranges(n, p);
+        let slots: Vec<Vec<Mutex<Vec<f32>>>> = inputs
+            .into_iter()
+            .map(|buf| {
+                ranges
+                    .iter()
+                    .map(|r| Mutex::new(buf[r.clone()].to_vec()))
+                    .collect()
+            })
+            .collect();
+        // mailboxes[i]: from rank i to rank (i+1) % p
+        let mailboxes: Vec<Mailbox<ChunkMsg>> = (0..p)
+            .map(|_| Mailbox::new(self.mailbox_capacity))
+            .collect();
+
+        let modp = |x: i64| (((x % p as i64) + p as i64) % p as i64) as usize;
+
+        std::thread::scope(|s| {
+            for r in 0..p {
+                let slots = &slots;
+                let mailboxes = &mailboxes;
+                s.spawn(move || {
+                    let pred = modp(r as i64 - 1);
+                    // Reduce-Scatter: send chunk (r-s), accumulate chunk
+                    // (r-s-1) received from the predecessor.
+                    for step in 0..p - 1 {
+                        let send_chunk = modp(r as i64 - step as i64);
+                        let payload = slots[r][send_chunk].lock().clone();
+                        mailboxes[r].send((send_chunk, payload));
+                        let (c, data) = mailboxes[pred].recv();
+                        debug_assert_eq!(c, modp(r as i64 - step as i64 - 1));
+                        let mut slot = slots[r][c].lock();
+                        for (a, b) in slot.iter_mut().zip(&data) {
+                            *a += b;
+                        }
+                    }
+                    // AllGather: circulate the fully reduced chunks.
+                    for step in 0..p - 1 {
+                        let send_chunk = modp(r as i64 + 1 - step as i64);
+                        let payload = slots[r][send_chunk].lock().clone();
+                        mailboxes[r].send((send_chunk, payload));
+                        let (c, data) = mailboxes[pred].recv();
+                        debug_assert_eq!(c, modp(r as i64 - step as i64));
+                        *slots[r][c].lock() = data;
+                    }
+                });
+            }
+        });
+
+        Ok(slots
+            .into_iter()
+            .map(|chunks| {
+                let mut buf = Vec::new();
+                for slot in chunks {
+                    buf.extend_from_slice(&slot.into_inner());
+                }
+                buf
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccube_collectives::DoubleBinaryTree;
+
+    fn integer_inputs(p: usize, n: usize, seed: u64) -> Vec<Vec<f32>> {
+        // Small integers sum exactly in f32, so results are bit-exact
+        // regardless of reduction order.
+        (0..p)
+            .map(|r| {
+                (0..n)
+                    .map(|i| (((r as u64 * 31 + i as u64 * 7 + seed) % 13) as f32) - 6.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn reference_sum(inputs: &[Vec<f32>]) -> Vec<f32> {
+        let n = inputs[0].len();
+        let mut out = vec![0f32; n];
+        for buf in inputs {
+            for (o, x) in out.iter_mut().zip(buf) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn chunk_ranges_cover_everything() {
+        let ranges = chunk_ranges(103, 8);
+        assert_eq!(ranges.len(), 8);
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges.last().unwrap().end, 103);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn tree_chunks_interleave_by_parity() {
+        let tc = tree_chunks(2, 7);
+        assert_eq!(tc[0], vec![0, 2, 4, 6]);
+        assert_eq!(tc[1], vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn single_tree_baseline_matches_reference() {
+        let tree = BinaryTree::inorder(6).unwrap();
+        let rt = TreeAllReduceRuntime::new(vec![tree], Overlap::None, 5);
+        let inputs = integer_inputs(6, 77, 1);
+        let expect = reference_sum(&inputs);
+        let out = rt.run(inputs).unwrap();
+        for o in out {
+            assert_eq!(o, expect);
+        }
+    }
+
+    #[test]
+    fn single_tree_overlapped_matches_reference() {
+        let tree = BinaryTree::inorder(7).unwrap();
+        let rt = TreeAllReduceRuntime::new(vec![tree], Overlap::ReductionBroadcast, 9);
+        let inputs = integer_inputs(7, 100, 2);
+        let expect = reference_sum(&inputs);
+        let out = rt.run(inputs).unwrap();
+        for o in out {
+            assert_eq!(o, expect);
+        }
+    }
+
+    #[test]
+    fn double_tree_overlapped_matches_reference() {
+        let dt = DoubleBinaryTree::new(8).unwrap();
+        let rt =
+            TreeAllReduceRuntime::new(dt.trees().to_vec(), Overlap::ReductionBroadcast, 16);
+        let inputs = integer_inputs(8, 256, 3);
+        let expect = reference_sum(&inputs);
+        let out = rt.run(inputs).unwrap();
+        for o in out {
+            assert_eq!(o, expect);
+        }
+    }
+
+    #[test]
+    fn ring_matches_reference() {
+        for p in [2usize, 3, 5, 8] {
+            let rt = RingAllReduceRuntime::new(p);
+            let inputs = integer_inputs(p, 64, p as u64);
+            let expect = reference_sum(&inputs);
+            let out = rt.run(inputs).unwrap();
+            for o in out {
+                assert_eq!(o, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_shorter_than_chunk_count_still_works() {
+        let tree = BinaryTree::inorder(4).unwrap();
+        let rt = TreeAllReduceRuntime::new(vec![tree], Overlap::ReductionBroadcast, 8);
+        let inputs = integer_inputs(4, 5, 4); // 5 elements, 8 chunks
+        let expect = reference_sum(&inputs);
+        let out = rt.run(inputs).unwrap();
+        for o in out {
+            assert_eq!(o, expect);
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        let tree = BinaryTree::inorder(4).unwrap();
+        let rt = TreeAllReduceRuntime::new(vec![tree], Overlap::None, 2);
+        assert!(matches!(
+            rt.run(vec![vec![0.0; 8]; 3]),
+            Err(RuntimeError::RankCountMismatch { .. })
+        ));
+        let mut bad = vec![vec![0.0f32; 8]; 4];
+        bad[2] = vec![0.0; 7];
+        assert!(matches!(
+            rt.run(bad),
+            Err(RuntimeError::RaggedInputs { rank: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn tiny_mailboxes_do_not_deadlock() {
+        let dt = DoubleBinaryTree::new(8).unwrap();
+        let rt = TreeAllReduceRuntime::new(dt.trees().to_vec(), Overlap::ReductionBroadcast, 32)
+            .with_mailbox_capacity(1);
+        let inputs = integer_inputs(8, 512, 9);
+        let expect = reference_sum(&inputs);
+        let out = rt.run(inputs).unwrap();
+        for o in out {
+            assert_eq!(o, expect);
+        }
+    }
+}

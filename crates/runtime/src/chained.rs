@@ -1,0 +1,425 @@
+//! Gradient queuing and communication/computation chaining (C2, CC).
+//!
+//! The paper's gradient queue (Fig. 9) lets the *next iteration's forward
+//! pass* begin layer-by-layer while AllReduce is still running:
+//!
+//! * the broadcast kernel `post`s the **Enqueue Semaphore** whenever a
+//!   fully reduced chunk lands in the gradient buffer (the buffer itself
+//!   is the queue — chunks arrive in order, Observation #3);
+//! * the compute stream keeps a **Layer Index Counter** and `check`s the
+//!   enqueue count against the **Layer-Chunk Table** entry of the next
+//!   layer; when enough chunks have arrived, that layer's parameter
+//!   update + forward computation runs and the counter advances.
+//!
+//! With a double tree the chunks interleave between two pipelines, so the
+//! queue keeps one enqueue semaphore per tree and the table stores the
+//! per-tree chunk requirement — a faithful generalization of the paper's
+//! single counter.
+
+use crate::allreduce::TreeAllReduceRuntime;
+use crate::error::RuntimeError;
+use crate::sync::DeviceSemaphore;
+use ccube_collectives::Rank;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One rank's gradient queue: per-tree enqueue semaphores plus the
+/// layer-chunk table.
+///
+/// # Examples
+///
+/// ```
+/// use ccube_runtime::GradientQueue;
+/// // 4 chunks over 2 trees; layer 0 needs chunks 0..2, layer 1 all 4.
+/// let q = GradientQueue::new(2, &[2, 4]).unwrap();
+/// q.enqueue(0); // chunk 0 (tree 0)
+/// q.enqueue(1); // chunk 1 (tree 1)
+/// q.wait_layer(0); // returns: both tree counters reached 1
+/// ```
+#[derive(Debug)]
+pub struct GradientQueue {
+    /// Enqueue semaphore per tree (paper Fig. 9 ⓗ).
+    sems: Vec<Arc<DeviceSemaphore>>,
+    /// required[layer][tree]: chunks of that tree needed before the layer
+    /// may run (the Layer-Chunk Table, Fig. 9 ⓔ).
+    required: Vec<Vec<i64>>,
+}
+
+impl GradientQueue {
+    /// Builds a queue for `num_trees` pipelines from the (exclusive,
+    /// cumulative) layer-chunk table — entry `l` is the number of leading
+    /// chunks layer `l` needs (see
+    /// `NetworkModel::layer_chunk_table` in `ccube-dnn`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidLayerTable`] if the table is empty
+    /// or not non-decreasing.
+    pub fn new(num_trees: usize, layer_chunk_table: &[usize]) -> Result<Self, RuntimeError> {
+        if num_trees == 0 {
+            return Err(RuntimeError::InvalidLayerTable(
+                "need at least one tree".into(),
+            ));
+        }
+        if layer_chunk_table.is_empty() {
+            return Err(RuntimeError::InvalidLayerTable("table is empty".into()));
+        }
+        if layer_chunk_table.windows(2).any(|w| w[0] > w[1]) {
+            return Err(RuntimeError::InvalidLayerTable(
+                "table must be non-decreasing".into(),
+            ));
+        }
+        let sems = (0..num_trees)
+            .map(|_| Arc::new(DeviceSemaphore::counting(0)))
+            .collect();
+        let required = layer_chunk_table
+            .iter()
+            .map(|&upper| {
+                (0..num_trees)
+                    .map(|t| {
+                        // chunks c < upper with c % num_trees == t
+                        ((upper + num_trees - 1).saturating_sub(t) / num_trees) as i64
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(GradientQueue { sems, required })
+    }
+
+    /// Builds a queue sharing existing enqueue semaphores (used by the
+    /// chained executor so the broadcast kernels post directly into it).
+    pub(crate) fn with_semaphores(
+        sems: Vec<Arc<DeviceSemaphore>>,
+        layer_chunk_table: &[usize],
+    ) -> Result<Self, RuntimeError> {
+        let q = GradientQueue::new(sems.len(), layer_chunk_table)?;
+        Ok(GradientQueue {
+            sems,
+            required: q.required,
+        })
+    }
+
+    /// Number of layers gated by the queue.
+    pub fn num_layers(&self) -> usize {
+        self.required.len()
+    }
+
+    /// Records the arrival of a fully reduced chunk of `tree`
+    /// (the enqueue operation ①/ⓗ of Fig. 9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tree` is out of range.
+    pub fn enqueue(&self, tree: usize) {
+        self.sems[tree].post();
+    }
+
+    /// Blocks until every chunk layer `layer` needs has been enqueued —
+    /// the dequeue gate (`check` against the Layer-Chunk Table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn wait_layer(&self, layer: usize) {
+        for (t, sem) in self.sems.iter().enumerate() {
+            sem.check(self.required[layer][t]);
+        }
+    }
+
+    /// The per-tree chunk requirement of a layer (for tests/reporting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` or `tree` is out of range.
+    pub fn required(&self, layer: usize, tree: usize) -> i64 {
+        self.required[layer][tree]
+    }
+
+    /// Chunks currently enqueued for `tree` (racy snapshot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tree` is out of range.
+    pub fn enqueued(&self, tree: usize) -> i64 {
+        self.sems[tree].count()
+    }
+}
+
+/// The result of a chained run: each rank's reduced buffer plus its
+/// ordered layer events.
+pub type ChainedOutput = (Vec<Vec<f32>>, Vec<Vec<LayerEvent>>);
+
+/// A record of one chained layer execution on one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerEvent {
+    /// The layer that ran.
+    pub layer: usize,
+    /// Global sequence number (totally ordered across ranks) at the
+    /// moment the layer's dequeue gate opened.
+    pub seq: u64,
+    /// Chunks enqueued across all trees when the gate opened — must be at
+    /// least the layer's requirement.
+    pub chunks_available: i64,
+}
+
+/// The chained (C2 / CC) executor: runs a tree AllReduce *and* the next
+/// iteration's forward pass concurrently, layer-gated by a
+/// [`GradientQueue`] per rank.
+///
+/// # Examples
+///
+/// ```
+/// use ccube_collectives::{DoubleBinaryTree, Overlap};
+/// use ccube_runtime::{ChainedRun, TreeAllReduceRuntime};
+///
+/// let dt = DoubleBinaryTree::new(4).unwrap();
+/// let rt = TreeAllReduceRuntime::new(dt.trees().to_vec(), Overlap::ReductionBroadcast, 4);
+/// let chained = ChainedRun::new(rt, vec![1, 2, 4]).unwrap(); // 3 layers
+/// let inputs: Vec<Vec<f32>> = (0..4).map(|r| vec![r as f32; 64]).collect();
+/// let (outputs, events) = chained.run(inputs, |_rank, _layer| {}).unwrap();
+/// assert!(outputs.iter().all(|o| o.iter().all(|&x| x == 6.0)));
+/// // every rank ran its 3 layers in order
+/// assert!(events.iter().all(|e| e.len() == 3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChainedRun {
+    runtime: TreeAllReduceRuntime,
+    layer_chunk_table: Vec<usize>,
+}
+
+impl ChainedRun {
+    /// Creates a chained executor from a tree runtime and the
+    /// layer-chunk table (exclusive cumulative chunk index per layer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidLayerTable`] if the table is empty,
+    /// decreasing, or its last entry exceeds the chunk count.
+    pub fn new(
+        runtime: TreeAllReduceRuntime,
+        layer_chunk_table: Vec<usize>,
+    ) -> Result<Self, RuntimeError> {
+        if layer_chunk_table.is_empty() {
+            return Err(RuntimeError::InvalidLayerTable("table is empty".into()));
+        }
+        if layer_chunk_table.windows(2).any(|w| w[0] > w[1]) {
+            return Err(RuntimeError::InvalidLayerTable(
+                "table must be non-decreasing".into(),
+            ));
+        }
+        let last = *layer_chunk_table.last().expect("non-empty");
+        if last > runtime.num_chunks() {
+            return Err(RuntimeError::InvalidLayerTable(format!(
+                "table needs {last} chunks but the collective has {}",
+                runtime.num_chunks()
+            )));
+        }
+        Ok(ChainedRun {
+            runtime,
+            layer_chunk_table,
+        })
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layer_chunk_table.len()
+    }
+
+    /// Runs the AllReduce with per-rank compute threads chained through
+    /// gradient queues. `on_layer(rank, layer)` is invoked as each
+    /// layer's gate opens (this is where the layer's parameter update and
+    /// forward computation would run).
+    ///
+    /// Returns the reduced buffers and, per rank, the ordered
+    /// [`LayerEvent`]s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError`] variants for malformed inputs.
+    pub fn run<F>(
+        &self,
+        inputs: Vec<Vec<f32>>,
+        on_layer: F,
+    ) -> Result<ChainedOutput, RuntimeError>
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        let state = self.runtime.build_state(inputs)?;
+        let p = self.runtime.num_ranks();
+        let num_trees = self.runtime.trees().len();
+        let seq = AtomicU64::new(0);
+
+        // One gradient queue per rank, sharing the executor's enqueue
+        // semaphores so the broadcast kernels post straight into them.
+        let queues: Vec<GradientQueue> = (0..p)
+            .map(|r| {
+                GradientQueue::with_semaphores(
+                    state.enqueue[r].clone(),
+                    &self.layer_chunk_table,
+                )
+            })
+            .collect::<Result<_, _>>()?;
+
+        let mut events: Vec<Vec<LayerEvent>> = vec![Vec::new(); p];
+
+        std::thread::scope(|s| {
+            for ti in 0..num_trees {
+                for r in Rank::all(p) {
+                    let st = &state;
+                    s.spawn(move || st.reduction_worker(ti, r));
+                    let st = &state;
+                    s.spawn(move || st.broadcast_worker(ti, r));
+                }
+            }
+            // Compute streams: one per rank, gated by its gradient queue.
+            for (r, (queue, ev)) in queues.iter().zip(events.iter_mut()).enumerate() {
+                let on_layer = &on_layer;
+                let seq = &seq;
+                s.spawn(move || {
+                    // The Layer Index Counter walks the layers in order.
+                    for layer in 0..queue.num_layers() {
+                        queue.wait_layer(layer);
+                        let available: i64 =
+                            (0..num_trees).map(|t| queue.enqueued(t)).sum();
+                        let n = seq.fetch_add(1, Ordering::SeqCst);
+                        on_layer(r, layer);
+                        ev.push(LayerEvent {
+                            layer,
+                            seq: n,
+                            chunks_available: available,
+                        });
+                    }
+                });
+            }
+        });
+
+        Ok((state.into_outputs(), events))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccube_collectives::{BinaryTree, DoubleBinaryTree, Overlap};
+
+    fn inputs(p: usize, n: usize) -> Vec<Vec<f32>> {
+        (0..p)
+            .map(|r| (0..n).map(|i| ((r * 3 + i) % 7) as f32).collect())
+            .collect()
+    }
+
+    fn reference(inp: &[Vec<f32>]) -> Vec<f32> {
+        let mut out = vec![0f32; inp[0].len()];
+        for b in inp {
+            for (o, x) in out.iter_mut().zip(b) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn queue_requirements_split_by_parity() {
+        let q = GradientQueue::new(2, &[3, 5, 8]).unwrap();
+        // layer 0 needs chunks {0,1,2}: tree0 {0,2}=2, tree1 {1}=1
+        assert_eq!(q.required(0, 0), 2);
+        assert_eq!(q.required(0, 1), 1);
+        // layer 2 needs all 8: 4 + 4
+        assert_eq!(q.required(2, 0), 4);
+        assert_eq!(q.required(2, 1), 4);
+    }
+
+    #[test]
+    fn queue_rejects_bad_tables() {
+        assert!(GradientQueue::new(1, &[]).is_err());
+        assert!(GradientQueue::new(1, &[3, 2]).is_err());
+        assert!(GradientQueue::new(0, &[1]).is_err());
+    }
+
+    #[test]
+    fn chained_run_matches_reference_and_orders_layers() {
+        let dt = DoubleBinaryTree::new(8).unwrap();
+        let rt =
+            TreeAllReduceRuntime::new(dt.trees().to_vec(), Overlap::ReductionBroadcast, 16);
+        let chained = ChainedRun::new(rt, vec![2, 5, 9, 16]).unwrap();
+        let inp = inputs(8, 160);
+        let expect = reference(&inp);
+        let (out, events) = chained.run(inp, |_, _| {}).unwrap();
+        for o in out {
+            assert_eq!(o, expect);
+        }
+        for rank_events in &events {
+            assert_eq!(rank_events.len(), 4);
+            // layers execute in order on each rank
+            for (i, e) in rank_events.iter().enumerate() {
+                assert_eq!(e.layer, i);
+            }
+            // seq strictly increases per rank
+            for w in rank_events.windows(2) {
+                assert!(w[0].seq < w[1].seq);
+            }
+        }
+    }
+
+    #[test]
+    fn gate_never_opens_early() {
+        // chunks_available at gate time must cover the layer requirement.
+        let dt = DoubleBinaryTree::new(4).unwrap();
+        let rt =
+            TreeAllReduceRuntime::new(dt.trees().to_vec(), Overlap::ReductionBroadcast, 8);
+        let table = vec![1, 4, 8];
+        let chained = ChainedRun::new(rt, table.clone()).unwrap();
+        let (_, events) = chained.run(inputs(4, 64), |_, _| {}).unwrap();
+        for rank_events in &events {
+            for e in rank_events {
+                // requirement over both trees is exactly table[layer]
+                assert!(
+                    e.chunks_available >= table[e.layer] as i64,
+                    "layer {} gate opened with {} chunks",
+                    e.layer,
+                    e.chunks_available
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chained_works_with_baseline_tree_too() {
+        // C2 without C1: baseline tree + gradient queuing.
+        let tree = BinaryTree::inorder(4).unwrap();
+        let rt = TreeAllReduceRuntime::new(vec![tree], Overlap::None, 8);
+        let chained = ChainedRun::new(rt, vec![4, 8]).unwrap();
+        let inp = inputs(4, 64);
+        let expect = reference(&inp);
+        let (out, events) = chained.run(inp, |_, _| {}).unwrap();
+        for o in out {
+            assert_eq!(o, expect);
+        }
+        assert!(events.iter().all(|e| e.len() == 2));
+    }
+
+    #[test]
+    fn invalid_tables_are_rejected() {
+        let tree = BinaryTree::inorder(4).unwrap();
+        let rt = TreeAllReduceRuntime::new(vec![tree], Overlap::None, 4);
+        assert!(ChainedRun::new(rt.clone(), vec![]).is_err());
+        assert!(ChainedRun::new(rt.clone(), vec![3, 2]).is_err());
+        assert!(ChainedRun::new(rt, vec![5]).is_err()); // more than 4 chunks
+    }
+
+    #[test]
+    fn on_layer_callback_sees_every_rank() {
+        use std::sync::atomic::AtomicUsize;
+        let dt = DoubleBinaryTree::new(4).unwrap();
+        let rt =
+            TreeAllReduceRuntime::new(dt.trees().to_vec(), Overlap::ReductionBroadcast, 4);
+        let chained = ChainedRun::new(rt, vec![4]).unwrap();
+        let calls = AtomicUsize::new(0);
+        let _ = chained
+            .run(inputs(4, 32), |_, _| {
+                calls.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 4);
+    }
+}

@@ -1,0 +1,62 @@
+//! Runtime error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the threaded runtimes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// The number of input buffers does not match the rank count.
+    RankCountMismatch {
+        /// Ranks the runtime was built for.
+        expected: usize,
+        /// Input buffers supplied.
+        got: usize,
+    },
+    /// Input buffers have differing lengths.
+    RaggedInputs {
+        /// Length of rank 0's buffer.
+        first: usize,
+        /// The offending rank.
+        rank: usize,
+        /// That rank's length.
+        len: usize,
+    },
+    /// The layer-chunk table is inconsistent with the chunk count.
+    InvalidLayerTable(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::RankCountMismatch { expected, got } => {
+                write!(f, "expected {expected} input buffers, got {got}")
+            }
+            RuntimeError::RaggedInputs { first, rank, len } => write!(
+                f,
+                "input buffers must share a length: rank 0 has {first}, rank {rank} has {len}"
+            ),
+            RuntimeError::InvalidLayerTable(msg) => {
+                write!(f, "invalid layer-chunk table: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RuntimeError::RankCountMismatch {
+            expected: 8,
+            got: 4,
+        };
+        assert!(e.to_string().contains('8'));
+        assert!(e.to_string().contains('4'));
+    }
+}

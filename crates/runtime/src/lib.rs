@@ -1,0 +1,68 @@
+//! Threaded functional AllReduce runtime for C-Cube.
+//!
+//! The paper implements C-Cube as CUDA **persistent kernels** with
+//! device-side peer-to-peer synchronization — no host round trips — using
+//! spin locks and semaphores built from atomics (`lock`/`unlock`,
+//! `post`/`wait`/`check`, paper Fig. 11). This crate transliterates that
+//! protocol to Rust atomics and runs it for real: one thread per "GPU",
+//! per-direction worker loops (the persistent kernels), bounded mailboxes
+//! as the receive buffers, and actual `f32` arithmetic for the
+//! reductions.
+//!
+//! What this buys the reproduction:
+//!
+//! * **Functional correctness** — the overlapped tree and the chained
+//!   C-Cube execution compute bit-identical AllReduce results on every
+//!   rank (validated against a serial reference in tests and proptests).
+//! * **Ordering guarantees under real concurrency** — in-order chunk
+//!   delivery per tree (Observation #3) and the gradient queue's
+//!   layer-gating (a layer's forward pass never starts before all of its
+//!   gradient chunks arrived) are asserted on real thread interleavings,
+//!   not just on the simulator's idealized timeline.
+//!
+//! The three sync primitives are exactly the paper's:
+//!
+//! * [`DeviceLock`] — `atomicCAS` spin lock with fences;
+//! * [`DeviceSemaphore`] — `post` (bounded producer), `wait` (consumer),
+//!   and `check` (non-consuming threshold test, used by gradient
+//!   queuing's dequeue gate);
+//! * [`Mailbox`] — a bounded receive buffer managed by two semaphores.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccube_collectives::{BinaryTree, Overlap};
+//! use ccube_runtime::TreeAllReduceRuntime;
+//!
+//! let tree = BinaryTree::inorder(4).unwrap();
+//! let rt = TreeAllReduceRuntime::new(vec![tree], Overlap::ReductionBroadcast, 4);
+//! let inputs: Vec<Vec<f32>> = (0..4).map(|r| vec![r as f32; 32]).collect();
+//! let outputs = rt.run(inputs).unwrap();
+//! // every rank holds the sum 0+1+2+3 = 6 in every element
+//! assert!(outputs.iter().all(|o| o.iter().all(|&x| x == 6.0)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod allreduce;
+mod chained;
+mod error;
+mod mailbox;
+mod sync;
+mod trainer;
+
+pub use allreduce::{RingAllReduceRuntime, TreeAllReduceRuntime};
+pub use chained::{ChainedRun, GradientQueue, LayerEvent};
+pub use error::RuntimeError;
+pub use mailbox::Mailbox;
+pub use sync::{DeviceLock, DeviceSemaphore};
+pub use trainer::{local_gradient, serial_reference, Trainer, TrainerConfig};
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::{
+        ChainedRun, DeviceLock, DeviceSemaphore, GradientQueue, Mailbox, RingAllReduceRuntime,
+        RuntimeError, Trainer, TrainerConfig, TreeAllReduceRuntime,
+    };
+}

@@ -1,0 +1,269 @@
+//! Device-side synchronization primitives (paper Fig. 11).
+//!
+//! The paper's persistent kernels synchronize without host intervention:
+//! a spin lock from `atomicCAS` + `threadfence`, and semaphores whose
+//! `post`/`wait`/`check` operations guard a count variable with that
+//! lock. We transliterate the pseudocode one-to-one onto Rust atomics;
+//! `Acquire`/`Release` orderings play the role of `threadfence`.
+
+use std::sync::atomic::{AtomicI64, AtomicU32, Ordering};
+
+/// A spin lock equivalent to the paper's `lock`/`unlock`:
+///
+/// ```text
+/// def lock(lock):                def unlock(lock):
+///   while atomicCAS(lock,0,1)!=0:    threadfence()
+///     threadfence()                  atomicExch(lock,0)
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use ccube_runtime::DeviceLock;
+/// let l = DeviceLock::new();
+/// l.lock();
+/// // ... critical section ...
+/// l.unlock();
+/// ```
+#[derive(Debug, Default)]
+pub struct DeviceLock {
+    locked: AtomicU32,
+}
+
+impl DeviceLock {
+    /// Creates an unlocked lock.
+    pub fn new() -> Self {
+        DeviceLock {
+            locked: AtomicU32::new(0),
+        }
+    }
+
+    /// Acquires the lock, spinning until it is free.
+    pub fn lock(&self) {
+        // while atomicCAS(lock, 0, 1) != 0: threadfence()
+        while self
+            .locked
+            .compare_exchange_weak(0, 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+    }
+
+    /// Releases the lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the lock was not held.
+    pub fn unlock(&self) {
+        // threadfence(); atomicExch(lock, 0)
+        let prev = self.locked.swap(0, Ordering::Release);
+        debug_assert_eq!(prev, 1, "unlock of an unheld DeviceLock");
+    }
+
+    /// Runs `f` with the lock held.
+    pub fn with<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.lock();
+        let r = f();
+        self.unlock();
+        r
+    }
+}
+
+/// A counting semaphore equivalent to the paper's `post`/`wait`/`check`:
+///
+/// ```text
+/// def post(lock,cnt,value):   def wait(lock,cnt):   def check(lock,cnt,value):
+///   lock(lock)                  lock(lock)            lock(lock)
+///   while cnt==value:           while cnt==0:         while cnt<value:
+///     unlock(lock);lock(lock)     unlock(lock);lock     unlock(lock);lock(lock)
+///   ++cnt                       --cnt                 # just check
+///   unlock(lock)                unlock(lock)          unlock(lock)
+/// ```
+///
+/// `post` blocks while the count is at `capacity` (bounded receive
+/// buffers), `wait` consumes one unit, and `check` blocks until the count
+/// reaches a threshold *without consuming* — the operation gradient
+/// queuing's dequeue gate uses (paper §IV-B).
+///
+/// # Examples
+///
+/// ```
+/// use ccube_runtime::DeviceSemaphore;
+/// let s = DeviceSemaphore::new(0, 8);
+/// s.post();
+/// s.post();
+/// s.check(2); // returns immediately: count >= 2
+/// s.wait();
+/// assert_eq!(s.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct DeviceSemaphore {
+    lock: DeviceLock,
+    count: AtomicI64,
+    capacity: i64,
+}
+
+impl DeviceSemaphore {
+    /// Creates a semaphore with an initial count and a capacity bound for
+    /// `post`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` exceeds `capacity` or either is negative.
+    pub fn new(initial: i64, capacity: i64) -> Self {
+        assert!(initial >= 0 && capacity > 0 && initial <= capacity);
+        DeviceSemaphore {
+            lock: DeviceLock::new(),
+            count: AtomicI64::new(initial),
+            capacity,
+        }
+    }
+
+    /// Creates an effectively unbounded semaphore (capacity `i64::MAX`).
+    pub fn counting(initial: i64) -> Self {
+        DeviceSemaphore::new(initial, i64::MAX)
+    }
+
+    fn read(&self) -> i64 {
+        // All mutation happens under `lock`, matching the paper's plain
+        // count variable; Relaxed is sufficient because the lock's
+        // Acquire/Release edges order the accesses.
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Increments the count, blocking while it is at capacity.
+    pub fn post(&self) {
+        self.lock.lock();
+        while self.read() == self.capacity {
+            self.lock.unlock();
+            std::thread::yield_now();
+            self.lock.lock();
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.lock.unlock();
+    }
+
+    /// Decrements the count, blocking while it is zero.
+    pub fn wait(&self) {
+        self.lock.lock();
+        while self.read() == 0 {
+            self.lock.unlock();
+            std::thread::yield_now();
+            self.lock.lock();
+        }
+        self.count.fetch_sub(1, Ordering::Relaxed);
+        self.lock.unlock();
+    }
+
+    /// Blocks until the count reaches `value`, without consuming.
+    pub fn check(&self, value: i64) {
+        self.lock.lock();
+        while self.read() < value {
+            self.lock.unlock();
+            std::thread::yield_now();
+            self.lock.lock();
+        }
+        self.lock.unlock();
+    }
+
+    /// The current count (racy snapshot; for monitoring and tests).
+    pub fn count(&self) -> i64 {
+        self.read()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_provides_mutual_exclusion() {
+        let lock = Arc::new(DeviceLock::new());
+        let counter = Arc::new(AtomicI64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        lock.with(|| {
+                            // non-atomic read-modify-write made safe by the lock
+                            let v = counter.load(Ordering::Relaxed);
+                            counter.store(v + 1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4000);
+    }
+
+    #[test]
+    fn semaphore_post_wait_pairs() {
+        let s = Arc::new(DeviceSemaphore::counting(0));
+        std::thread::scope(|scope| {
+            let s2 = Arc::clone(&s);
+            scope.spawn(move || {
+                for _ in 0..100 {
+                    s2.post();
+                }
+            });
+            for _ in 0..100 {
+                s.wait();
+            }
+        });
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn post_blocks_at_capacity() {
+        let s = Arc::new(DeviceSemaphore::new(0, 2));
+        s.post();
+        s.post();
+        assert_eq!(s.count(), 2);
+        std::thread::scope(|scope| {
+            let s2 = Arc::clone(&s);
+            let t = scope.spawn(move || {
+                s2.post(); // blocks until someone waits
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(s.count(), 2, "post must not exceed capacity");
+            s.wait();
+            t.join().unwrap();
+        });
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn check_does_not_consume() {
+        let s = DeviceSemaphore::counting(3);
+        s.check(3);
+        s.check(1);
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn check_blocks_until_threshold() {
+        let s = Arc::new(DeviceSemaphore::counting(0));
+        std::thread::scope(|scope| {
+            let s2 = Arc::clone(&s);
+            scope.spawn(move || {
+                for _ in 0..5 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    s2.post();
+                }
+            });
+            s.check(5);
+            assert!(s.count() >= 5);
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_initial_rejected() {
+        let _ = DeviceSemaphore::new(5, 2);
+    }
+}

@@ -1,0 +1,261 @@
+//! A synchronous data-parallel training loop over the threaded C-Cube
+//! runtime.
+//!
+//! This is the end-to-end shape of the paper's system: per iteration,
+//! every "GPU" computes local gradients from its shard of the batch, the
+//! gradients are AllReduced with the overlapped double tree, and the
+//! parameter update + next forward pass of each layer is *chained*
+//! through gradient queuing — all with real arithmetic, so replica
+//! divergence (the bug class synchronous training exists to prevent) is
+//! directly observable.
+//!
+//! The "model" is deliberately simple — a linear scorer per rank whose
+//! gradient is a deterministic function of the parameters and the rank's
+//! data shard — because what is under test is the *communication and
+//! chaining machinery*, not the learning: after every iteration all
+//! replicas must hold bit-identical parameters, equal to a serial
+//! reference execution.
+
+use crate::allreduce::TreeAllReduceRuntime;
+use crate::chained::ChainedRun;
+use crate::error::RuntimeError;
+use ccube_collectives::{DoubleBinaryTree, Overlap};
+
+/// Configuration of a [`Trainer`].
+#[derive(Debug, Clone)]
+pub struct TrainerConfig {
+    /// Number of data-parallel replicas ("GPUs").
+    pub num_ranks: usize,
+    /// Parameters per replica.
+    pub num_params: usize,
+    /// AllReduce chunk count.
+    pub num_chunks: usize,
+    /// Layer boundaries as the cumulative (exclusive) chunk index per
+    /// layer — the Layer-Chunk Table. The last entry must equal
+    /// `num_chunks`.
+    pub layer_chunk_table: Vec<usize>,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+}
+
+impl TrainerConfig {
+    /// A small default: 4 ranks, 256 parameters, 8 chunks, 4 layers.
+    pub fn small() -> Self {
+        TrainerConfig {
+            num_ranks: 4,
+            num_params: 256,
+            num_chunks: 8,
+            layer_chunk_table: vec![2, 4, 6, 8],
+            learning_rate: 0.01,
+        }
+    }
+}
+
+/// The state of one training run: per-rank parameter replicas.
+#[derive(Debug)]
+pub struct Trainer {
+    config: TrainerConfig,
+    /// params[rank][i] — replicas of the same model.
+    params: Vec<Vec<f32>>,
+    chained: ChainedRun,
+    iterations_done: usize,
+}
+
+/// The deterministic local "gradient computation": a pseudo-gradient
+/// that depends on the parameters, the rank's shard, and the iteration,
+/// with values kept to small integer multiples so f32 summation is
+/// exact. Public so tests can run the serial reference with the same
+/// function.
+pub fn local_gradient(params: &[f32], rank: usize, iteration: usize) -> Vec<f32> {
+    params
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let data = ((rank * 31 + i * 7 + iteration * 13) % 5) as f32 - 2.0;
+            // quantized "loss slope": keeps the arithmetic exact in f32
+            (w * 0.0 + data) + ((i % 3) as f32)
+        })
+        .collect()
+}
+
+impl Trainer {
+    /// Creates a trainer with all replicas initialized to the same
+    /// deterministic parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidLayerTable`] if the layer table is
+    /// inconsistent with the chunk count.
+    pub fn new(config: TrainerConfig) -> Result<Self, RuntimeError> {
+        let trees =
+            DoubleBinaryTree::new(config.num_ranks).map_err(|e| RuntimeError::InvalidLayerTable(e.to_string()))?;
+        let rt = TreeAllReduceRuntime::new(
+            trees.trees().to_vec(),
+            Overlap::ReductionBroadcast,
+            config.num_chunks,
+        );
+        let chained = ChainedRun::new(rt, config.layer_chunk_table.clone())?;
+        let init: Vec<f32> = (0..config.num_params)
+            .map(|i| ((i % 11) as f32) / 8.0)
+            .collect();
+        let params = vec![init; config.num_ranks];
+        Ok(Trainer {
+            config,
+            params,
+            chained,
+            iterations_done: 0,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// Iterations run so far.
+    pub fn iterations_done(&self) -> usize {
+        self.iterations_done
+    }
+
+    /// A rank's current parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn params(&self, rank: usize) -> &[f32] {
+        &self.params[rank]
+    }
+
+    /// True if all replicas hold bit-identical parameters.
+    pub fn replicas_agree(&self) -> bool {
+        self.params.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Runs one synchronous iteration: local gradients, chained C-Cube
+    /// AllReduce, SGD update. Returns the number of layers whose dequeue
+    /// gate opened before the collective finished (on rank 0) — the
+    /// chaining activity indicator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError`] from the runtime (cannot occur for a
+    /// well-formed config).
+    pub fn step(&mut self) -> Result<usize, RuntimeError> {
+        let iteration = self.iterations_done;
+        let grads: Vec<Vec<f32>> = (0..self.config.num_ranks)
+            .map(|r| local_gradient(&self.params[r], r, iteration))
+            .collect();
+        let (summed, events) = self.chained.run(grads, |_rank, _layer| {})?;
+        let lr = self.config.learning_rate / self.config.num_ranks as f32;
+        for (rank, total_grad) in summed.iter().enumerate() {
+            for (w, g) in self.params[rank].iter_mut().zip(total_grad) {
+                *w -= lr * g;
+            }
+        }
+        self.iterations_done += 1;
+        let early = events[0]
+            .iter()
+            .filter(|e| e.chunks_available < self.config.num_chunks as i64)
+            .count();
+        Ok(early)
+    }
+
+    /// Runs `n` iterations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`RuntimeError`] encountered.
+    pub fn run(&mut self, n: usize) -> Result<(), RuntimeError> {
+        for _ in 0..n {
+            self.step()?;
+        }
+        Ok(())
+    }
+}
+
+/// Serial reference: the same training loop on one process, no
+/// communication machinery.
+pub fn serial_reference(config: &TrainerConfig, iterations: usize) -> Vec<f32> {
+    let mut params: Vec<f32> = (0..config.num_params)
+        .map(|i| ((i % 11) as f32) / 8.0)
+        .collect();
+    let lr = config.learning_rate / config.num_ranks as f32;
+    for iteration in 0..iterations {
+        let mut total = vec![0f32; config.num_params];
+        for r in 0..config.num_ranks {
+            for (t, g) in total.iter_mut().zip(local_gradient(&params, r, iteration)) {
+                *t += g;
+            }
+        }
+        for (w, g) in params.iter_mut().zip(&total) {
+            *w -= lr * g;
+        }
+    }
+    params
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicas_stay_bit_identical_over_many_iterations() {
+        let mut t = Trainer::new(TrainerConfig::small()).unwrap();
+        t.run(10).unwrap();
+        assert!(t.replicas_agree());
+        assert_eq!(t.iterations_done(), 10);
+    }
+
+    #[test]
+    fn distributed_matches_serial_reference() {
+        let config = TrainerConfig::small();
+        let mut t = Trainer::new(config.clone()).unwrap();
+        t.run(7).unwrap();
+        let reference = serial_reference(&config, 7);
+        assert_eq!(t.params(0), &reference[..]);
+    }
+
+    #[test]
+    fn chaining_is_active_during_training() {
+        let mut t = Trainer::new(TrainerConfig {
+            num_ranks: 8,
+            num_params: 4096,
+            num_chunks: 32,
+            layer_chunk_table: (1..=32).collect(),
+            learning_rate: 0.05,
+        })
+        .unwrap();
+        let mut any_early = 0;
+        for _ in 0..5 {
+            any_early += t.step().unwrap();
+        }
+        assert!(
+            any_early > 0,
+            "no layer ever chained ahead of the collective"
+        );
+        assert!(t.replicas_agree());
+    }
+
+    #[test]
+    fn eight_rank_trainer_matches_serial() {
+        let config = TrainerConfig {
+            num_ranks: 8,
+            num_params: 1000,
+            num_chunks: 10,
+            layer_chunk_table: vec![1, 3, 6, 10],
+            learning_rate: 0.02,
+        };
+        let mut t = Trainer::new(config.clone()).unwrap();
+        t.run(4).unwrap();
+        assert_eq!(t.params(3), &serial_reference(&config, 4)[..]);
+    }
+
+    #[test]
+    fn invalid_table_is_rejected() {
+        let config = TrainerConfig {
+            layer_chunk_table: vec![9], // exceeds num_chunks = 8
+            ..TrainerConfig::small()
+        };
+        assert!(Trainer::new(config).is_err());
+    }
+}

@@ -1,0 +1,590 @@
+//! The discrete-event engine.
+
+use crate::error::SimError;
+use crate::report::{SimReport, TransferTiming};
+use ccube_collectives::{EdgeKey, Embedding, Schedule};
+use ccube_topology::{Seconds, Topology};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// How a busy channel picks its next transfer when several are waiting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Arbitration {
+    /// Strict head-of-line FIFO in readiness order. Models a single
+    /// hardware queue per channel; appropriate when every logical edge
+    /// has its own channel (the DGX-1 embedding).
+    #[default]
+    FifoHol,
+    /// Lowest chunk id first (ties by transfer id). Models the fair
+    /// arbitration between the reduction and broadcast persistent
+    /// kernels sharing a NIC: the in-order collective always prefers the
+    /// oldest chunk, so an early chunk's broadcast is never starved
+    /// behind a backlog of later reduction sends. Used for the
+    /// shared-NIC scale-out topology (Fig. 14).
+    ChunkPriority,
+}
+
+/// Tunables of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimOptions {
+    /// Multiplier on every channel's bandwidth. The paper's
+    /// "low-bandwidth" configuration (modeling PCIe-class interconnect by
+    /// cutting the AllReduce kernel's thread count 4×) corresponds to
+    /// `0.25`; the default `1.0` is the "high-bandwidth" NVLink setting.
+    pub bandwidth_scale: f64,
+    /// Extra per-hop processing latency charged to detour routes (the
+    /// forwarding kernel's store-and-forward cost on the intermediate
+    /// GPU).
+    pub forwarding_latency: Seconds,
+    /// Channel arbitration policy.
+    pub arbitration: Arbitration,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            bandwidth_scale: 1.0,
+            forwarding_latency: Seconds::from_micros(0.5),
+            arbitration: Arbitration::FifoHol,
+        }
+    }
+}
+
+impl SimOptions {
+    /// The paper's low-bandwidth configuration (bandwidth scaled to ¼).
+    pub fn low_bandwidth() -> Self {
+        SimOptions {
+            bandwidth_scale: 0.25,
+            ..SimOptions::default()
+        }
+    }
+
+    /// Options for shared-NIC scale-out runs: chunk-priority arbitration.
+    pub fn scale_out() -> Self {
+        SimOptions {
+            arbitration: Arbitration::ChunkPriority,
+            ..SimOptions::default()
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Waiting on dependencies.
+    Blocked,
+    /// Dependencies met, waiting for channels.
+    Ready,
+    /// Occupying its channels.
+    Running,
+    /// Finished.
+    Done,
+}
+
+/// Simulates `schedule` over `topo` using the routes in `embedding`.
+///
+/// Timing model per transfer: it occupies every channel of its route
+/// simultaneously (wormhole switching) for
+/// `Σ per-hop latency + bytes / (bottleneck bandwidth × bandwidth_scale)`,
+/// plus [`SimOptions::forwarding_latency`] per intermediate hop. Channels
+/// are exclusive and served in FIFO order of transfer readiness; a
+/// transfer starts only when all of its schedule dependencies have
+/// completed *and* all of its channels are free.
+///
+/// # Errors
+///
+/// Returns [`SimError::MissingRoute`] if the embedding lacks a route for
+/// a logical edge, [`SimError::UnknownChannel`] for out-of-range channel
+/// ids, and [`SimError::Deadlock`] if the event loop stalls.
+///
+/// # Examples
+///
+/// ```
+/// use ccube_collectives::{tree_allreduce, Chunking, DoubleBinaryTree, Embedding, Overlap};
+/// use ccube_sim::{simulate, SimOptions};
+/// use ccube_topology::{dgx1, ByteSize};
+///
+/// let topo = dgx1();
+/// let dt = DoubleBinaryTree::new(8).unwrap();
+/// let chunking = Chunking::even(ByteSize::mib(64), 32);
+/// let baseline = tree_allreduce(dt.trees(), &chunking, Overlap::None);
+/// let overlapped = tree_allreduce(dt.trees(), &chunking, Overlap::ReductionBroadcast);
+/// let eb = Embedding::dgx1_double_tree(&topo, &baseline).unwrap();
+/// let eo = Embedding::dgx1_double_tree(&topo, &overlapped).unwrap();
+/// let tb = simulate(&topo, &baseline, &eb, &SimOptions::default()).unwrap();
+/// let to = simulate(&topo, &overlapped, &eo, &SimOptions::default()).unwrap();
+/// // The overlapped tree (C1) finishes well before the baseline (B).
+/// assert!(to.makespan() < tb.makespan());
+/// ```
+pub fn simulate(
+    topo: &Topology,
+    schedule: &Schedule,
+    embedding: &Embedding,
+    opts: &SimOptions,
+) -> Result<SimReport, SimError> {
+    let transfers = schedule.transfers();
+    let n = transfers.len();
+    let num_channels = topo.channels().len();
+
+    // Resolve each transfer's physical path and duration.
+    let mut paths: Vec<&[ccube_topology::ChannelId]> = Vec::with_capacity(n);
+    let mut durations: Vec<Seconds> = Vec::with_capacity(n);
+    let mut via_gpu: Vec<Option<ccube_topology::GpuId>> = Vec::with_capacity(n);
+    let mut route_cache: HashMap<EdgeKey, usize> = HashMap::new();
+    for t in transfers {
+        let key = EdgeKey {
+            src: t.src,
+            dst: t.dst,
+            tree: t.tree,
+        };
+        let route = embedding.route(&key).ok_or(SimError::MissingRoute(key))?;
+        for &c in route.channels() {
+            if c.index() >= num_channels {
+                return Err(SimError::UnknownChannel {
+                    edge: key,
+                    channel_index: c.index(),
+                });
+            }
+        }
+        route_cache.entry(key).or_insert_with(|| route.channels().len());
+        let mut alpha = Seconds::ZERO;
+        let mut bottleneck = f64::INFINITY;
+        for &c in route.channels() {
+            let ch = topo.channel(c);
+            alpha += ch.latency();
+            bottleneck = bottleneck.min(ch.bandwidth().as_bytes_per_sec());
+        }
+        if route.is_detour() {
+            alpha += opts.forwarding_latency;
+        }
+        let serialization =
+            Seconds::new(t.bytes.as_f64() / (bottleneck * opts.bandwidth_scale));
+        paths.push(route.channels());
+        durations.push(alpha + serialization);
+        via_gpu.push(route.via());
+    }
+
+    // Dependency bookkeeping.
+    let mut deps_remaining: Vec<u32> = transfers.iter().map(|t| t.deps.len() as u32).collect();
+    let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for t in transfers {
+        for d in &t.deps {
+            dependents[d.index()].push(t.id.0);
+        }
+    }
+
+    let mut state = vec![State::Blocked; n];
+    let mut channel_free = vec![true; num_channels];
+    let mut pending: Vec<VecDeque<u32>> = vec![VecDeque::new(); num_channels];
+    let mut timings = vec![
+        TransferTiming {
+            start: Seconds::ZERO,
+            complete: Seconds::ZERO,
+        };
+        n
+    ];
+    let mut channel_busy = vec![Seconds::ZERO; num_channels];
+    let mut forwarding_busy: HashMap<ccube_topology::GpuId, Seconds> = HashMap::new();
+
+    // Event queue of completions, ordered by time then transfer id.
+    let mut events: BinaryHeap<Reverse<(Seconds, u32)>> = BinaryHeap::new();
+    let mut remaining = n;
+
+    // Priority key: lowest chunk id first, ties broken by transfer id.
+    let key = |t: usize| (transfers[t].chunk, t as u32);
+
+    // Attempts to start a ready transfer; returns true if started. With
+    // chunk-priority arbitration a transfer also yields to any waiting
+    // transfer of an older chunk on any channel of its path (the freed
+    // channel is implicitly *reserved* for the older chunk).
+    let try_start = |tid: usize,
+                     now: Seconds,
+                     force: bool,
+                     state: &mut Vec<State>,
+                     channel_free: &mut Vec<bool>,
+                     pending: &mut Vec<VecDeque<u32>>,
+                     timings: &mut Vec<TransferTiming>,
+                     events: &mut BinaryHeap<Reverse<(Seconds, u32)>>|
+     -> bool {
+        if state[tid] != State::Ready {
+            return false;
+        }
+        let path = paths[tid];
+        let channels_free = path.iter().all(|c| channel_free[c.index()]);
+        let priority_ok = force
+            || match opts.arbitration {
+                Arbitration::FifoHol => true,
+                Arbitration::ChunkPriority => path.iter().all(|c| {
+                    pending[c.index()].iter().all(|&w| {
+                        let w = w as usize;
+                        w == tid || state[w] != State::Ready || key(w) >= key(tid)
+                    })
+                }),
+            };
+        if !(channels_free && priority_ok) {
+            // Queue on every channel of the path so any future release
+            // re-attempts the start.
+            for c in path {
+                if !pending[c.index()].contains(&(tid as u32)) {
+                    pending[c.index()].push_back(tid as u32);
+                }
+            }
+            return false;
+        }
+        for c in path {
+            channel_free[c.index()] = false;
+            if let Some(pos) = pending[c.index()].iter().position(|&x| x == tid as u32) {
+                pending[c.index()].remove(pos);
+            }
+        }
+        state[tid] = State::Running;
+        timings[tid].start = now;
+        let finish = now + durations[tid];
+        timings[tid].complete = finish;
+        events.push(Reverse((finish, tid as u32)));
+        true
+    };
+
+    // Seed: transfers with no dependencies are ready at t=0.
+    for tid in 0..n {
+        if deps_remaining[tid] == 0 {
+            state[tid] = State::Ready;
+        }
+    }
+    for tid in 0..n {
+        if state[tid] == State::Ready {
+            try_start(
+                tid,
+                Seconds::ZERO,
+                false,
+                &mut state,
+                &mut channel_free,
+                &mut pending,
+                &mut timings,
+                &mut events,
+            );
+        }
+    }
+
+    let mut sim_now = Seconds::ZERO;
+    while remaining > 0 {
+        let Some(Reverse((now, tid32))) = events.pop() else {
+            // Nothing in flight but transfers remain: priority
+            // reservations can starve each other in a cycle; break the
+            // stall by force-starting the best startable ready transfer.
+            let mut ready: Vec<usize> = (0..n).filter(|&t| state[t] == State::Ready).collect();
+            ready.sort_by_key(|&t| key(t));
+            let started = ready.into_iter().any(|t| {
+                try_start(
+                    t,
+                    sim_now,
+                    true,
+                    &mut state,
+                    &mut channel_free,
+                    &mut pending,
+                    &mut timings,
+                    &mut events,
+                )
+            });
+            if !started {
+                return Err(SimError::Deadlock { remaining });
+            }
+            continue;
+        };
+        let tid = tid32 as usize;
+        sim_now = now;
+        debug_assert_eq!(state[tid], State::Running);
+        state[tid] = State::Done;
+        remaining -= 1;
+
+        // Release channels and account busy time.
+        for c in paths[tid] {
+            channel_free[c.index()] = true;
+            channel_busy[c.index()] += durations[tid];
+        }
+        if let Some(via) = via_gpu[tid] {
+            let entry = forwarding_busy.entry(via).or_insert(Seconds::ZERO);
+            *entry += durations[tid];
+        }
+
+        // Unblock dependents.
+        let deps = std::mem::take(&mut dependents[tid]);
+        for &dep in &deps {
+            let d = dep as usize;
+            deps_remaining[d] -= 1;
+            if deps_remaining[d] == 0 {
+                state[d] = State::Ready;
+                try_start(
+                    d,
+                    now,
+                    false,
+                    &mut state,
+                    &mut channel_free,
+                    &mut pending,
+                    &mut timings,
+                    &mut events,
+                );
+            }
+        }
+
+        // Serve the queues of the released channels.
+        for c in paths[tid] {
+            let ci = c.index();
+            match opts.arbitration {
+                Arbitration::FifoHol => {
+                    // Strict head-of-line FIFO in readiness order.
+                    while let Some(&head) = pending[ci].front() {
+                        let h = head as usize;
+                        match state[h] {
+                            State::Ready => {
+                                if try_start(
+                                    h,
+                                    now,
+                                    false,
+                                    &mut state,
+                                    &mut channel_free,
+                                    &mut pending,
+                                    &mut timings,
+                                    &mut events,
+                                ) {
+                                    continue;
+                                }
+                                // Head is ready but another channel of its
+                                // path is busy; it stays queued here and
+                                // there.
+                                break;
+                            }
+                            State::Running | State::Done => {
+                                // Started via another channel's queue.
+                                pending[ci].pop_front();
+                            }
+                            State::Blocked => break,
+                        }
+                    }
+                }
+                Arbitration::ChunkPriority => {
+                    // Oldest waiting chunk first; if it cannot start yet
+                    // (another channel of its path is busy), the channel
+                    // idles, reserved for it.
+                    loop {
+                        pending[ci].retain(|&t| state[t as usize] == State::Ready);
+                        let best = pending[ci]
+                            .iter()
+                            .copied()
+                            .min_by_key(|&t| key(t as usize));
+                        let Some(t) = best else { break };
+                        if !try_start(
+                            t as usize,
+                            now,
+                            false,
+                            &mut state,
+                            &mut channel_free,
+                            &mut pending,
+                            &mut timings,
+                            &mut events,
+                        ) {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if remaining > 0 {
+        return Err(SimError::Deadlock { remaining });
+    }
+
+    // Derive per-(rank, chunk) completion and per-chunk completion.
+    let p = schedule.num_ranks();
+    let k = schedule.chunking().num_chunks();
+    let mut done_at = vec![vec![Seconds::ZERO; k]; p];
+    let mut chunk_complete = vec![Seconds::ZERO; k];
+    let mut makespan = Seconds::ZERO;
+    for t in transfers {
+        let finish = timings[t.id.index()].complete;
+        let cell = &mut done_at[t.dst.index()][t.chunk.index()];
+        *cell = (*cell).max(finish);
+        let cc = &mut chunk_complete[t.chunk.index()];
+        *cc = (*cc).max(finish);
+        makespan = makespan.max(finish);
+    }
+
+    Ok(SimReport {
+        num_ranks: p,
+        num_chunks: k,
+        timings,
+        done_at,
+        chunk_complete,
+        makespan,
+        channel_busy,
+        forwarding_busy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccube_collectives::{
+        ring_allreduce, tree_allreduce, BinaryTree, ChunkId, Chunking, DoubleBinaryTree,
+        Overlap, Rank,
+    };
+    use ccube_topology::{dgx1, ByteSize};
+
+    fn dgx1_ring_report(bytes: ByteSize) -> SimReport {
+        let topo = dgx1();
+        let s = ring_allreduce(8, bytes);
+        let e = Embedding::identity(&topo, &s).unwrap();
+        simulate(&topo, &s, &e, &SimOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn ring_makespan_matches_alpha_beta_model() {
+        // On an uncongested embedding the DES must agree with Eq. 2 up to
+        // the detour latency corrections.
+        let n = ByteSize::mib(64);
+        let report = dgx1_ring_report(n);
+        // Ring on DGX-1: some hops are detours (ring 0->1->...->7->0 is
+        // not fully connected), so allow a modest margin over the model.
+        let params = ccube_collectives::cost::CostParams::nvlink();
+        let model = ccube_collectives::cost::t_ring(&params, 8, n);
+        let ratio = report.makespan() / model;
+        assert!(
+            ratio > 0.9 && ratio < 1.3,
+            "sim/model ratio {ratio} out of range (sim {}, model {})",
+            report.makespan(),
+            model
+        );
+    }
+
+    #[test]
+    fn overlap_beats_baseline_on_dgx1() {
+        let topo = dgx1();
+        let dt = DoubleBinaryTree::new(8).unwrap();
+        let chunking = Chunking::even(ByteSize::mib(64), 64);
+        let b = tree_allreduce(dt.trees(), &chunking, Overlap::None);
+        let o = tree_allreduce(dt.trees(), &chunking, Overlap::ReductionBroadcast);
+        let eb = Embedding::dgx1_double_tree(&topo, &b).unwrap();
+        let eo = Embedding::dgx1_double_tree(&topo, &o).unwrap();
+        let tb = simulate(&topo, &b, &eb, &SimOptions::default()).unwrap();
+        let to = simulate(&topo, &o, &eo, &SimOptions::default()).unwrap();
+        let speedup = tb.makespan() / to.makespan();
+        assert!(
+            speedup > 1.4 && speedup < 2.1,
+            "C1 over B speedup {speedup} out of expected band"
+        );
+        // Turnaround improves far more than makespan (Fig. 14b).
+        let turn = tb.turnaround() / to.turnaround();
+        assert!(turn > 4.0, "turnaround speedup {turn}");
+    }
+
+    #[test]
+    fn low_bandwidth_slows_the_collective_about_4x() {
+        let topo = dgx1();
+        let s = ring_allreduce(8, ByteSize::mib(64));
+        let e = Embedding::identity(&topo, &s).unwrap();
+        let hi = simulate(&topo, &s, &e, &SimOptions::default()).unwrap();
+        let lo = simulate(&topo, &s, &e, &SimOptions::low_bandwidth()).unwrap();
+        let ratio = lo.makespan() / hi.makespan();
+        assert!(ratio > 3.0 && ratio < 4.1, "ratio={ratio}");
+    }
+
+    #[test]
+    fn done_at_is_bounded_by_chunk_complete() {
+        let report = dgx1_ring_report(ByteSize::mib(8));
+        for r in 0..report.num_ranks() {
+            for c in 0..report.num_chunks() {
+                assert!(
+                    report.done_at(Rank(r as u32), ChunkId(c as u32))
+                        <= report.chunk_complete(ChunkId(c as u32))
+                );
+            }
+        }
+        assert_eq!(
+            report.makespan(),
+            report
+                .chunk_completions()
+                .iter()
+                .copied()
+                .max()
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn tree_chunks_complete_in_order() {
+        let topo = dgx1();
+        let dt = DoubleBinaryTree::new(8).unwrap();
+        let chunking = Chunking::even(ByteSize::mib(32), 32);
+        let o = tree_allreduce(dt.trees(), &chunking, Overlap::ReductionBroadcast);
+        let eo = Embedding::dgx1_double_tree(&topo, &o).unwrap();
+        let report = simulate(&topo, &o, &eo, &SimOptions::default()).unwrap();
+        assert!(report.chunks_in_order(2));
+    }
+
+    #[test]
+    fn forwarding_busy_appears_on_detour_gpus() {
+        let topo = dgx1();
+        let dt = DoubleBinaryTree::new(8).unwrap();
+        let chunking = Chunking::even(ByteSize::mib(32), 16);
+        let s = tree_allreduce(dt.trees(), &chunking, Overlap::ReductionBroadcast);
+        let e = Embedding::dgx1_double_tree(&topo, &s).unwrap();
+        let report = simulate(&topo, &s, &e, &SimOptions::default()).unwrap();
+        assert!(
+            !report.forwarding_busy().is_empty(),
+            "double tree on DGX-1 must use detours"
+        );
+    }
+
+    #[test]
+    fn missing_route_is_reported() {
+        let topo = dgx1();
+        let s = ring_allreduce(8, ByteSize::mib(1));
+        // Embed a different schedule so the ring's edges are absent.
+        let tree = BinaryTree::inorder(8).unwrap();
+        let other = tree_allreduce(
+            std::slice::from_ref(&tree),
+            &Chunking::even(ByteSize::mib(1), 4),
+            Overlap::None,
+        );
+        let e = Embedding::identity(&topo, &other).unwrap();
+        assert!(matches!(
+            simulate(&topo, &s, &e, &SimOptions::default()),
+            Err(SimError::MissingRoute(_))
+        ));
+    }
+
+    #[test]
+    fn single_tree_sim_agrees_with_unit_step_shape() {
+        // With alpha == 0-ish and equal chunks, completion order from the
+        // DES must match the unit-step executor's ordering.
+        let topo = dgx1();
+        let tree = BinaryTree::inorder(8).unwrap();
+        let chunking = Chunking::even(ByteSize::mib(16), 8);
+        let s = tree_allreduce(
+            std::slice::from_ref(&tree),
+            &chunking,
+            Overlap::ReductionBroadcast,
+        );
+        let e = Embedding::identity(&topo, &s).unwrap();
+        let report = simulate(&topo, &s, &e, &SimOptions::default()).unwrap();
+        let steps =
+            ccube_collectives::verify::execute_steps(&s, ccube_collectives::verify::ChannelKeying::PerTree)
+                .unwrap();
+        // first chunk completes first in both
+        let des_first = report
+            .chunk_completions()
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .unwrap()
+            .0;
+        let step_first = steps
+            .chunk_complete_step
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &s)| s)
+            .unwrap()
+            .0;
+        assert_eq!(des_first, step_first);
+    }
+}

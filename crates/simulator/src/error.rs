@@ -1,0 +1,67 @@
+//! Simulator error types.
+
+use ccube_collectives::EdgeKey;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while simulating a schedule.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The embedding is missing a route for a logical edge the schedule
+    /// uses.
+    MissingRoute(EdgeKey),
+    /// A route references a channel that does not exist in the topology.
+    UnknownChannel {
+        /// The offending edge.
+        edge: EdgeKey,
+        /// The channel index that was out of range.
+        channel_index: usize,
+    },
+    /// The event loop stalled with transfers outstanding (a dependency
+    /// cycle or an impossible resource requirement).
+    Deadlock {
+        /// Number of transfers that never ran.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MissingRoute(edge) => {
+                write!(f, "embedding has no route for logical edge {edge}")
+            }
+            SimError::UnknownChannel {
+                edge,
+                channel_index,
+            } => write!(
+                f,
+                "route for {edge} references unknown channel index {channel_index}"
+            ),
+            SimError::Deadlock { remaining } => {
+                write!(f, "simulation deadlocked with {remaining} transfers outstanding")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccube_collectives::{Rank, TreeIndex};
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::MissingRoute(EdgeKey {
+            src: Rank(0),
+            dst: Rank(1),
+            tree: TreeIndex(0),
+        });
+        assert!(e.to_string().contains("r0->r1"));
+        let d = SimError::Deadlock { remaining: 3 };
+        assert!(d.to_string().contains('3'));
+    }
+}

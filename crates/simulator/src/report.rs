@@ -1,0 +1,157 @@
+//! Simulation results.
+
+use ccube_collectives::{ChunkId, Rank};
+use ccube_topology::{GpuId, Seconds};
+use std::collections::HashMap;
+
+/// Timing of a single simulated transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferTiming {
+    /// When the transfer acquired its channels.
+    pub start: Seconds,
+    /// When it completed and released them.
+    pub complete: Seconds,
+}
+
+/// The full result of one simulation run.
+///
+/// All per-chunk quantities use the schedule's global chunk ids.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    pub(crate) num_ranks: usize,
+    pub(crate) num_chunks: usize,
+    pub(crate) timings: Vec<TransferTiming>,
+    /// done_at[rank][chunk]: when the rank holds the final value of the
+    /// chunk (its last inbound transfer of that chunk completed).
+    pub(crate) done_at: Vec<Vec<Seconds>>,
+    /// chunk_complete[chunk]: when the chunk is final at *every* rank.
+    pub(crate) chunk_complete: Vec<Seconds>,
+    pub(crate) makespan: Seconds,
+    pub(crate) channel_busy: Vec<Seconds>,
+    pub(crate) forwarding_busy: HashMap<GpuId, Seconds>,
+}
+
+impl SimReport {
+    /// Number of ranks in the simulated schedule.
+    pub fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+
+    /// Number of chunks in the simulated schedule.
+    pub fn num_chunks(&self) -> usize {
+        self.num_chunks
+    }
+
+    /// Completion time of the entire collective.
+    pub fn makespan(&self) -> Seconds {
+        self.makespan
+    }
+
+    /// Per-transfer start/complete timings, indexed by transfer id.
+    pub fn timings(&self) -> &[TransferTiming] {
+        &self.timings
+    }
+
+    /// When `rank` holds the final AllReduced value of `chunk`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` or `chunk` is out of range.
+    pub fn done_at(&self, rank: Rank, chunk: ChunkId) -> Seconds {
+        self.done_at[rank.index()][chunk.index()]
+    }
+
+    /// When `chunk` became final at every rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is out of range.
+    pub fn chunk_complete(&self, chunk: ChunkId) -> Seconds {
+        self.chunk_complete[chunk.index()]
+    }
+
+    /// All chunk completion times in chunk order.
+    pub fn chunk_completions(&self) -> &[Seconds] {
+        &self.chunk_complete
+    }
+
+    /// The **gradient turnaround time**: when the first chunk has
+    /// completed the whole collective and is ready for computation
+    /// (paper §III-C, Fig. 7 and Fig. 14b).
+    pub fn turnaround(&self) -> Seconds {
+        self.chunk_complete
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(Seconds::ZERO)
+    }
+
+    /// Busy time of each channel, indexed by channel id.
+    pub fn channel_busy(&self) -> &[Seconds] {
+        &self.channel_busy
+    }
+
+    /// Utilization of a channel over the makespan (0.0–1.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel_index` is out of range.
+    pub fn channel_utilization(&self, channel_index: usize) -> f64 {
+        if self.makespan.is_zero() {
+            return 0.0;
+        }
+        self.channel_busy[channel_index] / self.makespan
+    }
+
+    /// Forwarding busy time accumulated by each detour-intermediate GPU.
+    pub fn forwarding_busy(&self) -> &HashMap<GpuId, Seconds> {
+        &self.forwarding_busy
+    }
+
+    /// Effective AllReduce algorithm bandwidth: message bytes divided by
+    /// makespan.
+    pub fn algorithm_bandwidth(&self, message_bytes: u64) -> f64 {
+        message_bytes as f64 / self.makespan.as_secs_f64()
+    }
+
+    /// True if chunk completion times are non-decreasing within each
+    /// parity class of `num_trees` — the in-order delivery property.
+    pub fn chunks_in_order(&self, num_trees: usize) -> bool {
+        for parity in 0..num_trees {
+            let mut prev = Seconds::ZERO;
+            for (c, &t) in self.chunk_complete.iter().enumerate() {
+                if c % num_trees == parity {
+                    if t < prev {
+                        return false;
+                    }
+                    prev = t;
+                }
+            }
+        }
+        true
+    }
+    /// Exports the full transfer trace as CSV
+    /// (`transfer_id,phase,src,dst,chunk,bytes,start_us,complete_us`) for
+    /// offline analysis or plotting.
+    pub fn trace_csv(&self, schedule: &ccube_collectives::Schedule) -> String {
+        use std::fmt::Write as _;
+        let mut out =
+            String::from("transfer_id,phase,src,dst,chunk,bytes,start_us,complete_us\n");
+        for t in schedule.transfers() {
+            let timing = self.timings[t.id.index()];
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{:.3},{:.3}",
+                t.id.0,
+                t.phase,
+                t.src.0,
+                t.dst.0,
+                t.chunk.0,
+                t.bytes.as_u64(),
+                timing.start.as_micros(),
+                timing.complete.as_micros()
+            );
+        }
+        out
+    }
+}

@@ -1,0 +1,530 @@
+//! Unified compute + communication co-simulation.
+//!
+//! The paper's scale-out study notes that ASTRA-sim "did not have ability
+//! to provide detailed modeling of compute in deep learning", so
+//! "overlapping compute with communication and gradient queuing could not
+//! be modeled" there — the authors had to fall back to turnaround time as
+//! a proxy (§V-B3). This module removes that limitation for the
+//! reproduction: a [`SystemJob`] carries both the collective's transfers
+//! and per-GPU **compute tasks**, with dependencies in *both* directions
+//! (communication gated on backward compute, forward layers gated on
+//! chunk deliveries), and [`simulate_system`] executes everything in one
+//! event loop:
+//!
+//! * channels behave exactly as in [`simulate`](crate::simulate)
+//!   (exclusive, FIFO, wormhole timing);
+//! * each GPU is one exclusive compute resource — at most one compute
+//!   task runs on it at a time, in readiness order (a single compute
+//!   stream, like the paper's implementation).
+
+use crate::error::SimError;
+use ccube_collectives::{EdgeKey, Embedding, Schedule, TransferId};
+use ccube_topology::{GpuId, Seconds, Topology};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Identifier of a compute task within a [`SystemJob`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComputeTaskId(pub u32);
+
+impl ComputeTaskId {
+    /// The id as an array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One compute task: a kernel occupying its GPU's compute stream for a
+/// fixed duration, gated on other compute tasks and/or transfers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputeTask {
+    /// The task's id (its index in the job's compute list).
+    pub id: ComputeTaskId,
+    /// The GPU whose compute stream the task occupies.
+    pub gpu: GpuId,
+    /// Execution time.
+    pub duration: Seconds,
+    /// Compute tasks that must finish first.
+    pub deps_compute: Vec<ComputeTaskId>,
+    /// Transfers that must finish first (e.g. the chunk deliveries a
+    /// forward layer's dequeue gate waits on).
+    pub deps_transfers: Vec<TransferId>,
+    /// A label for reporting ("bwd", "fwd L3", ...).
+    pub label: String,
+}
+
+/// A co-simulation job: a collective schedule plus compute tasks, plus
+/// extra communication→compute gates.
+#[derive(Debug, Clone)]
+pub struct SystemJob {
+    /// The communication transfers.
+    pub schedule: Schedule,
+    /// The compute tasks.
+    pub compute: Vec<ComputeTask>,
+    /// Extra dependencies: transfer `t` may not start before compute task
+    /// `c` finishes (e.g. the one-shot AllReduce waits for backward).
+    pub transfer_gates: Vec<(TransferId, ComputeTaskId)>,
+}
+
+/// The result of a co-simulation.
+#[derive(Debug, Clone)]
+pub struct SystemReport {
+    /// Completion time of every transfer, by transfer id.
+    pub transfer_complete: Vec<Seconds>,
+    /// Completion time of every compute task, by task id.
+    pub compute_complete: Vec<Seconds>,
+    /// Total wall-clock time.
+    pub makespan: Seconds,
+    /// Per-GPU compute busy time.
+    pub gpu_busy: HashMap<GpuId, Seconds>,
+}
+
+impl SystemReport {
+    /// Compute utilization of a GPU over the makespan.
+    pub fn gpu_utilization(&self, gpu: GpuId) -> f64 {
+        if self.makespan.is_zero() {
+            return 0.0;
+        }
+        self.gpu_busy
+            .get(&gpu)
+            .map(|b| *b / self.makespan)
+            .unwrap_or(0.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Node {
+    Transfer(u32),
+    Compute(u32),
+}
+
+/// Runs a [`SystemJob`] over a topology/embedding: one event loop for
+/// both the transfers (channel-exclusive, FIFO) and the compute tasks
+/// (one exclusive compute stream per GPU).
+///
+/// # Errors
+///
+/// Returns the same errors as [`simulate`](crate::simulate), plus
+/// [`SimError::Deadlock`] for cyclic compute/transfer gating.
+pub fn simulate_system(
+    topo: &Topology,
+    job: &SystemJob,
+    embedding: &Embedding,
+    opts: &crate::engine::SimOptions,
+) -> Result<SystemReport, SimError> {
+    let transfers = job.schedule.transfers();
+    let nt = transfers.len();
+    let nc = job.compute.len();
+    let num_channels = topo.channels().len();
+
+    // Resolve transfer paths/durations exactly as the network engine does.
+    let mut paths: Vec<&[ccube_topology::ChannelId]> = Vec::with_capacity(nt);
+    let mut t_durations: Vec<Seconds> = Vec::with_capacity(nt);
+    for t in transfers {
+        let key = EdgeKey {
+            src: t.src,
+            dst: t.dst,
+            tree: t.tree,
+        };
+        let route = embedding.route(&key).ok_or(SimError::MissingRoute(key))?;
+        let mut alpha = Seconds::ZERO;
+        let mut bottleneck = f64::INFINITY;
+        for &c in route.channels() {
+            if c.index() >= num_channels {
+                return Err(SimError::UnknownChannel {
+                    edge: key,
+                    channel_index: c.index(),
+                });
+            }
+            let ch = topo.channel(c);
+            alpha += ch.latency();
+            bottleneck = bottleneck.min(ch.bandwidth().as_bytes_per_sec());
+        }
+        if route.is_detour() {
+            alpha += opts.forwarding_latency;
+        }
+        paths.push(route.channels());
+        t_durations
+            .push(alpha + Seconds::new(t.bytes.as_f64() / (bottleneck * opts.bandwidth_scale)));
+    }
+
+    // Unified dependency counts and reverse edges.
+    let node_count = nt + nc;
+    let idx = |n: Node| -> usize {
+        match n {
+            Node::Transfer(i) => i as usize,
+            Node::Compute(i) => nt + i as usize,
+        }
+    };
+    let mut deps_remaining = vec![0u32; node_count];
+    let mut dependents: Vec<Vec<Node>> = vec![Vec::new(); node_count];
+    for t in transfers {
+        deps_remaining[t.id.index()] += t.deps.len() as u32;
+        for d in &t.deps {
+            dependents[idx(Node::Transfer(d.0))].push(Node::Transfer(t.id.0));
+        }
+    }
+    for (tid, cid) in &job.transfer_gates {
+        deps_remaining[tid.index()] += 1;
+        dependents[idx(Node::Compute(cid.0))].push(Node::Transfer(tid.0));
+    }
+    for c in &job.compute {
+        let me = idx(Node::Compute(c.id.0));
+        deps_remaining[me] += (c.deps_compute.len() + c.deps_transfers.len()) as u32;
+        for d in &c.deps_compute {
+            dependents[idx(Node::Compute(d.0))].push(Node::Compute(c.id.0));
+        }
+        for d in &c.deps_transfers {
+            dependents[idx(Node::Transfer(d.0))].push(Node::Compute(c.id.0));
+        }
+    }
+
+    // Resources.
+    let mut channel_free = vec![true; num_channels];
+    let mut channel_waiters: Vec<VecDeque<u32>> = vec![VecDeque::new(); num_channels];
+    let mut gpu_free: HashMap<GpuId, bool> = HashMap::new();
+    let mut gpu_waiters: HashMap<GpuId, VecDeque<u32>> = HashMap::new();
+    for c in &job.compute {
+        gpu_free.entry(c.gpu).or_insert(true);
+        gpu_waiters.entry(c.gpu).or_default();
+    }
+
+    let mut ready = vec![false; node_count];
+    let mut done = vec![false; node_count];
+    let mut transfer_complete = vec![Seconds::ZERO; nt];
+    let mut compute_complete = vec![Seconds::ZERO; nc];
+    let mut gpu_busy: HashMap<GpuId, Seconds> = HashMap::new();
+    let mut remaining = node_count;
+
+    // (finish_time, node) completions.
+    let mut events: BinaryHeap<Reverse<(Seconds, u32, bool)>> = BinaryHeap::new();
+    // encode: (time, id, is_compute)
+
+    // Try starting a ready node; enqueue as waiter otherwise.
+    macro_rules! try_start {
+        ($node:expr, $now:expr) => {{
+            match $node {
+                Node::Transfer(i) => {
+                    let ti = i as usize;
+                    if ready[ti] && paths[ti].iter().all(|c| channel_free[c.index()]) {
+                        for c in paths[ti] {
+                            channel_free[c.index()] = false;
+                        }
+                        ready[ti] = false;
+                        events.push(Reverse(($now + t_durations[ti], i, false)));
+                    } else if ready[ti] {
+                        for c in paths[ti] {
+                            if !channel_waiters[c.index()].contains(&i) {
+                                channel_waiters[c.index()].push_back(i);
+                            }
+                        }
+                    }
+                }
+                Node::Compute(i) => {
+                    let ci = i as usize;
+                    let me = nt + ci;
+                    let gpu = job.compute[ci].gpu;
+                    if ready[me] && gpu_free[&gpu] {
+                        *gpu_free.get_mut(&gpu).expect("gpu known") = false;
+                        ready[me] = false;
+                        events.push(Reverse(($now + job.compute[ci].duration, i, true)));
+                    } else if ready[me] {
+                        let q = gpu_waiters.get_mut(&gpu).expect("gpu known");
+                        if !q.contains(&i) {
+                            q.push_back(i);
+                        }
+                    }
+                }
+            }
+        }};
+    }
+
+    // Seed.
+    for t in transfers {
+        if deps_remaining[t.id.index()] == 0 {
+            ready[t.id.index()] = true;
+            try_start!(Node::Transfer(t.id.0), Seconds::ZERO);
+        }
+    }
+    for c in &job.compute {
+        let me = nt + c.id.index();
+        if deps_remaining[me] == 0 {
+            ready[me] = true;
+            try_start!(Node::Compute(c.id.0), Seconds::ZERO);
+        }
+    }
+
+    let mut makespan = Seconds::ZERO;
+    while let Some(Reverse((now, id, is_compute))) = events.pop() {
+        makespan = makespan.max(now);
+        let node = if is_compute {
+            Node::Compute(id)
+        } else {
+            Node::Transfer(id)
+        };
+        let me = idx(node);
+        done[me] = true;
+        remaining -= 1;
+
+        // Release the resource and record.
+        match node {
+            Node::Transfer(i) => {
+                let ti = i as usize;
+                transfer_complete[ti] = now;
+                for c in paths[ti] {
+                    channel_free[c.index()] = true;
+                }
+            }
+            Node::Compute(i) => {
+                let ci = i as usize;
+                compute_complete[ci] = now;
+                let gpu = job.compute[ci].gpu;
+                *gpu_free.get_mut(&gpu).expect("gpu known") = true;
+                *gpu_busy.entry(gpu).or_insert(Seconds::ZERO) += job.compute[ci].duration;
+            }
+        }
+
+        // Unblock dependents.
+        let deps = std::mem::take(&mut dependents[me]);
+        for dep in deps {
+            let di = idx(dep);
+            deps_remaining[di] -= 1;
+            if deps_remaining[di] == 0 {
+                ready[di] = true;
+                try_start!(dep, now);
+            }
+        }
+
+        // Serve freed resources (FIFO, head-of-line).
+        match node {
+            Node::Transfer(i) => {
+                for c in paths[i as usize] {
+                    let ci = c.index();
+                    while let Some(&head) = channel_waiters[ci].front() {
+                        let hi = head as usize;
+                        if done[hi] || (!ready[hi]) {
+                            channel_waiters[ci].pop_front();
+                            continue;
+                        }
+                        if paths[hi].iter().all(|cc| channel_free[cc.index()]) {
+                            channel_waiters[ci].pop_front();
+                            try_start!(Node::Transfer(head), now);
+                            continue;
+                        }
+                        break;
+                    }
+                }
+            }
+            Node::Compute(i) => {
+                let gpu = job.compute[i as usize].gpu;
+                loop {
+                    // Pop the next live waiter while holding the queue
+                    // borrow, then start it after releasing the borrow.
+                    let head = {
+                        let q = gpu_waiters.get_mut(&gpu).expect("gpu known");
+                        while let Some(&h) = q.front() {
+                            let me2 = nt + h as usize;
+                            if done[me2] || !ready[me2] {
+                                q.pop_front();
+                            } else {
+                                break;
+                            }
+                        }
+                        if gpu_free[&gpu] {
+                            q.pop_front()
+                        } else {
+                            None
+                        }
+                    };
+                    let Some(h) = head else { break };
+                    try_start!(Node::Compute(h), now);
+                }
+            }
+        }
+    }
+
+    if remaining > 0 {
+        return Err(SimError::Deadlock { remaining });
+    }
+
+    Ok(SystemReport {
+        transfer_complete,
+        compute_complete,
+        makespan,
+        gpu_busy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SimOptions;
+    use ccube_collectives::{ring_allreduce, Chunking, Embedding, Rank};
+    use ccube_topology::{dgx1, ByteSize};
+
+    fn compute_only_job(schedule: Schedule) -> SystemJob {
+        SystemJob {
+            schedule,
+            compute: vec![],
+            transfer_gates: vec![],
+        }
+    }
+
+    #[test]
+    fn transfers_alone_match_the_network_engine() {
+        let topo = dgx1();
+        let s = ring_allreduce(8, ByteSize::mib(16));
+        let e = Embedding::identity(&topo, &s).unwrap();
+        let net = crate::engine::simulate(&topo, &s, &e, &SimOptions::default()).unwrap();
+        let sys = simulate_system(
+            &topo,
+            &compute_only_job(s.clone()),
+            &e,
+            &SimOptions::default(),
+        )
+        .unwrap();
+        let rel = (sys.makespan.as_secs_f64() - net.makespan().as_secs_f64()).abs()
+            / net.makespan().as_secs_f64();
+        assert!(rel < 1e-9, "system {} vs network {}", sys.makespan, net.makespan());
+    }
+
+    #[test]
+    fn compute_serializes_per_gpu() {
+        let topo = dgx1();
+        let s = ring_allreduce(8, ByteSize::kib(64));
+        let e = Embedding::identity(&topo, &s).unwrap();
+        // Two independent 1 ms tasks on the same GPU must serialize; on
+        // different GPUs they run concurrently.
+        let mk = |id: u32, gpu: u32| ComputeTask {
+            id: ComputeTaskId(id),
+            gpu: ccube_topology::GpuId(gpu),
+            duration: Seconds::from_millis(1.0),
+            deps_compute: vec![],
+            deps_transfers: vec![],
+            label: format!("t{id}"),
+        };
+        let same = SystemJob {
+            schedule: s.clone(),
+            compute: vec![mk(0, 0), mk(1, 0)],
+            transfer_gates: vec![],
+        };
+        let diff = SystemJob {
+            schedule: s,
+            compute: vec![mk(0, 0), mk(1, 1)],
+            transfer_gates: vec![],
+        };
+        let r_same = simulate_system(&topo, &same, &e, &SimOptions::default()).unwrap();
+        let r_diff = simulate_system(&topo, &diff, &e, &SimOptions::default()).unwrap();
+        let last_same = r_same.compute_complete.iter().cloned().fold(Seconds::ZERO, Seconds::max);
+        let last_diff = r_diff.compute_complete.iter().cloned().fold(Seconds::ZERO, Seconds::max);
+        assert!((last_same.as_millis() - 2.0).abs() < 1e-9, "{last_same}");
+        assert!((last_diff.as_millis() - 1.0).abs() < 1e-9, "{last_diff}");
+    }
+
+    #[test]
+    fn transfer_gates_delay_communication() {
+        let topo = dgx1();
+        let s = ring_allreduce(8, ByteSize::kib(64));
+        let e = Embedding::identity(&topo, &s).unwrap();
+        // Gate every zero-dep transfer on a 2 ms "backward" task.
+        let gates: Vec<(TransferId, ComputeTaskId)> = s
+            .transfers()
+            .iter()
+            .filter(|t| t.deps.is_empty())
+            .map(|t| (t.id, ComputeTaskId(0)))
+            .collect();
+        let job = SystemJob {
+            schedule: s,
+            compute: vec![ComputeTask {
+                id: ComputeTaskId(0),
+                gpu: ccube_topology::GpuId(0),
+                duration: Seconds::from_millis(2.0),
+                deps_compute: vec![],
+                deps_transfers: vec![],
+                label: "bwd".into(),
+            }],
+            transfer_gates: gates,
+        };
+        let r = simulate_system(&topo, &job, &e, &SimOptions::default()).unwrap();
+        // No transfer may finish before the gate opens at 2 ms.
+        assert!(r
+            .transfer_complete
+            .iter()
+            .all(|&t| t > Seconds::from_millis(2.0)));
+    }
+
+    #[test]
+    fn compute_gated_on_transfers_waits_for_them() {
+        let topo = dgx1();
+        let s = ring_allreduce(8, ByteSize::mib(8));
+        let e = Embedding::identity(&topo, &s).unwrap();
+        // A "forward layer" on rank 3 gated on every transfer delivering
+        // to rank 3.
+        let deps: Vec<TransferId> = s
+            .transfers()
+            .iter()
+            .filter(|t| t.dst == Rank(3))
+            .map(|t| t.id)
+            .collect();
+        let job = SystemJob {
+            schedule: s,
+            compute: vec![ComputeTask {
+                id: ComputeTaskId(0),
+                gpu: ccube_topology::GpuId(3),
+                duration: Seconds::from_micros(10.0),
+                deps_compute: vec![],
+                deps_transfers: deps.clone(),
+                label: "fwd".into(),
+            }],
+            transfer_gates: vec![],
+        };
+        let r = simulate_system(&topo, &job, &e, &SimOptions::default()).unwrap();
+        let last_delivery = deps
+            .iter()
+            .map(|d| r.transfer_complete[d.index()])
+            .fold(Seconds::ZERO, Seconds::max);
+        assert!(r.compute_complete[0] >= last_delivery);
+        assert!(r.gpu_utilization(ccube_topology::GpuId(3)) > 0.0);
+    }
+
+    #[test]
+    fn cyclic_gating_is_a_deadlock() {
+        let topo = dgx1();
+        let s = ring_allreduce(8, ByteSize::kib(64));
+        let e = Embedding::identity(&topo, &s).unwrap();
+        let first = s.transfers()[0].id;
+        // compute waits on the first transfer AND gates it: a cycle.
+        let job = SystemJob {
+            schedule: s,
+            compute: vec![ComputeTask {
+                id: ComputeTaskId(0),
+                gpu: ccube_topology::GpuId(0),
+                duration: Seconds::from_millis(1.0),
+                deps_compute: vec![],
+                deps_transfers: vec![first],
+                label: "cyclic".into(),
+            }],
+            transfer_gates: vec![(first, ComputeTaskId(0))],
+        };
+        assert!(matches!(
+            simulate_system(&topo, &job, &e, &SimOptions::default()),
+            Err(SimError::Deadlock { .. })
+        ));
+    }
+
+    #[test]
+    fn unused_chunking_is_fine() {
+        // Smoke: the job builder types compose with tree schedules too.
+        use ccube_collectives::{tree_allreduce, DoubleBinaryTree, Overlap};
+        let topo = dgx1();
+        let dt = DoubleBinaryTree::new(8).unwrap();
+        let s = tree_allreduce(
+            dt.trees(),
+            &Chunking::even(ByteSize::mib(8), 8),
+            Overlap::ReductionBroadcast,
+        );
+        let e = Embedding::dgx1_double_tree(&topo, &s).unwrap();
+        let r = simulate_system(&topo, &compute_only_job(s), &e, &SimOptions::default()).unwrap();
+        assert!(r.makespan > Seconds::ZERO);
+    }
+}

@@ -1,0 +1,144 @@
+//! ASCII timeline rendering of simulation results.
+//!
+//! Produces a per-rank Gantt chart of transfer activity, the textual
+//! analog of the paper's Fig. 7 timing diagrams — useful in examples and
+//! for eyeballing where overlap happens.
+
+use crate::report::SimReport;
+use ccube_collectives::{Phase, Schedule};
+use ccube_topology::Seconds;
+use std::fmt::Write as _;
+
+/// Rendering options for [`render_timeline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineOptions {
+    /// Number of character columns the makespan is divided into.
+    pub width: usize,
+    /// Render receive activity (`dst`-side) instead of send activity.
+    pub receive_side: bool,
+}
+
+impl Default for TimelineOptions {
+    fn default() -> Self {
+        TimelineOptions {
+            width: 72,
+            receive_side: false,
+        }
+    }
+}
+
+/// Renders a per-rank activity chart: `R`/`r` for reduction sends,
+/// `B`/`b` for broadcast sends (`S`/`G` for ring phases), `.` for idle.
+///
+/// Each rank occupies one row; a column is "busy" with the phase of the
+/// transfer active at that time slice (later transfers win ties).
+///
+/// # Examples
+///
+/// ```
+/// use ccube_collectives::{ring_allreduce, Embedding};
+/// use ccube_sim::{render_timeline, simulate, SimOptions, TimelineOptions};
+/// use ccube_topology::{dgx1, ByteSize};
+///
+/// let topo = dgx1();
+/// let s = ring_allreduce(8, ByteSize::mib(8));
+/// let e = Embedding::identity(&topo, &s).unwrap();
+/// let report = simulate(&topo, &s, &e, &SimOptions::default()).unwrap();
+/// let chart = render_timeline(&s, &report, &TimelineOptions::default());
+/// assert!(chart.lines().count() >= 8);
+/// ```
+pub fn render_timeline(
+    schedule: &Schedule,
+    report: &SimReport,
+    opts: &TimelineOptions,
+) -> String {
+    let width = opts.width.max(8);
+    let p = schedule.num_ranks();
+    let makespan = report.makespan();
+    let mut rows = vec![vec!['.'; width]; p];
+
+    let col_of = |t: Seconds| -> usize {
+        if makespan.is_zero() {
+            return 0;
+        }
+        ((t / makespan) * (width as f64 - 1.0)).floor() as usize
+    };
+
+    for t in schedule.transfers() {
+        let timing = report.timings()[t.id.index()];
+        let row = if opts.receive_side {
+            t.dst.index()
+        } else {
+            t.src.index()
+        };
+        let glyph = match t.phase {
+            Phase::Reduce => 'R',
+            Phase::Broadcast => 'B',
+            Phase::ReduceScatter => 'S',
+            Phase::AllGather => 'G',
+        };
+        let from = col_of(timing.start);
+        let to = col_of(timing.complete).max(from);
+        for cell in rows[row].iter_mut().take(to + 1).skip(from) {
+            *cell = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "timeline: {} over {} ({} per column)",
+        schedule.algorithm(),
+        makespan,
+        Seconds::new(makespan.as_secs_f64() / width as f64),
+    );
+    for (r, row) in rows.iter().enumerate() {
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "r{r:<3} |{line}|");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccube_collectives::{
+        tree_allreduce, Chunking, DoubleBinaryTree, Embedding, Overlap,
+    };
+    use crate::engine::{simulate, SimOptions};
+    use ccube_topology::{dgx1, ByteSize};
+
+    #[test]
+    fn timeline_shows_overlap_for_c1() {
+        let topo = dgx1();
+        let dt = DoubleBinaryTree::new(8).unwrap();
+        let chunking = Chunking::even(ByteSize::mib(32), 16);
+        let s = tree_allreduce(dt.trees(), &chunking, Overlap::ReductionBroadcast);
+        let e = Embedding::dgx1_double_tree(&topo, &s).unwrap();
+        let report = simulate(&topo, &s, &e, &SimOptions::default()).unwrap();
+        let chart = render_timeline(&s, &report, &TimelineOptions::default());
+        // Both phases must appear, and some row must contain R after B has
+        // started somewhere (i.e. the phases overlap in wall-clock time).
+        assert!(chart.contains('R') && chart.contains('B'));
+        let first_b = chart.find('B').unwrap();
+        let last_r = chart.rfind('R').unwrap();
+        assert!(last_r > first_b, "no visible overlap in chart:\n{chart}");
+    }
+
+    #[test]
+    fn timeline_has_one_row_per_rank() {
+        let topo = dgx1();
+        let s = ccube_collectives::ring_allreduce(8, ByteSize::mib(4));
+        let e = Embedding::identity(&topo, &s).unwrap();
+        let report = simulate(&topo, &s, &e, &SimOptions::default()).unwrap();
+        let chart = render_timeline(
+            &s,
+            &report,
+            &TimelineOptions {
+                width: 40,
+                receive_side: true,
+            },
+        );
+        assert_eq!(chart.lines().count(), 9); // header + 8 ranks
+    }
+}

@@ -1,0 +1,253 @@
+//! The NVIDIA DGX-1 (V100) hybrid mesh-cube topology.
+//!
+//! This is the 8-GPU system the paper uses for its proof of concept
+//! (§V-A): each V100 has 6 NVLinks at 25 GB/s. The GPUs form two
+//! fully-connected quads {0,1,2,3} and {4,5,6,7} plus four cross-quad
+//! links, with some pairs connected by *two* NVLinks. The doubled pairs —
+//! in particular GPU2–GPU3 and GPU6–GPU7 (paper Fig. 10) — are what make
+//! the overlapped **double** tree possible: the two trees of the two-tree
+//! algorithm would otherwise have to share a channel in opposite roles
+//! (uplink of one tree = downlink of the other), which breaks overlap.
+//!
+//! Pairs in different quads without a direct cross link (e.g. GPU2→GPU4)
+//! would fall back to the PCIe/host path; the paper's detour routes avoid
+//! this by forwarding through an intermediate GPU (see
+//! [`Router`](crate::Router)).
+
+use crate::channel::ChannelClass;
+use crate::error::TopologyError;
+use crate::graph::{GpuId, Topology, TopologyBuilder};
+use crate::units::{Bandwidth, Seconds};
+
+/// Number of GPUs in a DGX-1.
+pub const DGX1_NUM_GPUS: usize = 8;
+
+/// Bidirectional NVLink pairs of the DGX-1 hybrid mesh-cube, with link
+/// multiplicity. Each GPU has exactly 6 NVLinks.
+///
+/// Doubled pairs include GPU2–GPU3 and GPU6–GPU7, matching the paper's
+/// Fig. 10 which relies on those extra channels for the 2-tree C-Cube.
+const DGX1_LINKS: &[(u32, u32, usize)] = &[
+    // quad {0,1,2,3}: fully connected
+    (0, 1, 1),
+    (0, 2, 1),
+    (0, 3, 2),
+    (1, 2, 2),
+    (1, 3, 1),
+    (2, 3, 2),
+    // quad {4,5,6,7}: fully connected (mirror of the first quad)
+    (4, 5, 1),
+    (4, 6, 1),
+    (4, 7, 2),
+    (5, 6, 2),
+    (5, 7, 1),
+    (6, 7, 2),
+    // cross-quad links
+    (0, 4, 2),
+    (1, 5, 2),
+    (2, 6, 1),
+    (3, 7, 1),
+];
+
+/// Configuration knobs for the DGX-1 model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dgx1Config {
+    /// Per-NVLink bandwidth. The V100 NVLink2 provides 25 GB/s per
+    /// direction per link.
+    pub nvlink_bandwidth: Bandwidth,
+    /// Per-message NVLink latency (the α term).
+    pub nvlink_latency: Seconds,
+    /// Whether to also add the PCIe/host-bridge channels between all GPU
+    /// pairs (the slow path the paper's detour routes avoid).
+    pub include_host_bridge: bool,
+    /// PCIe effective bandwidth (shared host path).
+    pub host_bandwidth: Bandwidth,
+    /// PCIe + host round latency.
+    pub host_latency: Seconds,
+}
+
+impl Default for Dgx1Config {
+    fn default() -> Self {
+        Dgx1Config {
+            nvlink_bandwidth: Bandwidth::gb_per_sec(25.0),
+            nvlink_latency: Seconds::from_micros(1.5),
+            include_host_bridge: true,
+            // PCIe Gen3 x16 is ~16 GB/s raw but the through-host P2P path
+            // achieves far less in practice; model it at 8 GB/s with a much
+            // larger latency.
+            host_bandwidth: Bandwidth::gb_per_sec(8.0),
+            host_latency: Seconds::from_micros(10.0),
+        }
+    }
+}
+
+/// Builds the DGX-1 topology with default V100 parameters.
+///
+/// # Examples
+///
+/// ```
+/// use ccube_topology::{dgx1, GpuId};
+/// let topo = dgx1();
+/// // Every V100 has exactly 6 NVLinks.
+/// for g in 0..8 {
+///     let nv = topo
+///         .outgoing(GpuId(g))
+///         .iter()
+///         .filter(|&&c| topo.channel(c).class() == ccube_topology::ChannelClass::NvLink)
+///         .count();
+///     assert_eq!(nv, 6);
+/// }
+/// ```
+pub fn dgx1() -> Topology {
+    dgx1_with(&Dgx1Config::default()).expect("default DGX-1 config is valid")
+}
+
+/// Builds the DGX-1 topology with explicit parameters.
+///
+/// # Errors
+///
+/// Returns an error only if the configuration produces an invalid graph
+/// (not possible with the fixed link table; kept for API symmetry).
+pub fn dgx1_with(config: &Dgx1Config) -> Result<Topology, TopologyError> {
+    let mut b = TopologyBuilder::new("dgx1", DGX1_NUM_GPUS);
+    for &(a, bb, mult) in DGX1_LINKS {
+        for _ in 0..mult {
+            b.bidirectional(
+                GpuId(a),
+                GpuId(bb),
+                config.nvlink_bandwidth,
+                config.nvlink_latency,
+                ChannelClass::NvLink,
+            )?;
+        }
+    }
+    if config.include_host_bridge {
+        // The host bridge gives all-to-all reachability through PCIe+CPU.
+        for a in 0..DGX1_NUM_GPUS as u32 {
+            for bb in (a + 1)..DGX1_NUM_GPUS as u32 {
+                b.bidirectional(
+                    GpuId(a),
+                    GpuId(bb),
+                    config.host_bandwidth,
+                    config.host_latency,
+                    ChannelClass::HostBridge,
+                )?;
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nvlink_degree(topo: &Topology, g: u32) -> usize {
+        topo.outgoing(GpuId(g))
+            .iter()
+            .filter(|&&c| topo.channel(c).class() == ChannelClass::NvLink)
+            .count()
+    }
+
+    #[test]
+    fn every_gpu_has_six_nvlinks() {
+        let topo = dgx1();
+        for g in 0..8 {
+            assert_eq!(nvlink_degree(&topo, g), 6, "gpu{g}");
+        }
+    }
+
+    #[test]
+    fn total_nvlink_channel_count() {
+        let topo = dgx1();
+        let nv = topo
+            .channels()
+            .iter()
+            .filter(|c| c.class() == ChannelClass::NvLink)
+            .count();
+        // 24 bidirectional NVLinks -> 48 unidirectional channels.
+        assert_eq!(nv, 48);
+    }
+
+    #[test]
+    fn paper_fig10_doubled_pairs_exist() {
+        let topo = dgx1();
+        // GPU2-GPU3 and GPU6-GPU7 have two separate bidirectional channels
+        // (paper §IV-A and footnote 5).
+        for (a, b) in [(2, 3), (6, 7)] {
+            let direct: Vec<_> = topo
+                .channels_between(GpuId(a), GpuId(b))
+                .into_iter()
+                .filter(|&c| topo.channel(c).class() == ChannelClass::NvLink)
+                .collect();
+            assert_eq!(direct.len(), 2, "gpu{a}-gpu{b}");
+        }
+    }
+
+    #[test]
+    fn paper_fig10_missing_cross_links() {
+        let topo = dgx1();
+        // GPU2 and GPU4 are not directly connected by NVLink (paper's
+        // detour example routes 2 -> 0 -> 4).
+        let direct: Vec<_> = topo
+            .channels_between(GpuId(2), GpuId(4))
+            .into_iter()
+            .filter(|&c| topo.channel(c).class() == ChannelClass::NvLink)
+            .collect();
+        assert!(direct.is_empty());
+    }
+
+    #[test]
+    fn quads_are_fully_connected() {
+        let topo = dgx1();
+        for quad in [[0u32, 1, 2, 3], [4, 5, 6, 7]] {
+            for &a in &quad {
+                for &b in &quad {
+                    if a != b {
+                        let nv = topo
+                            .channels_between(GpuId(a), GpuId(b))
+                            .into_iter()
+                            .filter(|&c| topo.channel(c).class() == ChannelClass::NvLink)
+                            .count();
+                        assert!(nv >= 1, "gpu{a}-gpu{b} missing");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn host_bridge_gives_full_reachability() {
+        let topo = dgx1();
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                if a != b {
+                    assert!(topo.has_direct(GpuId(a), GpuId(b)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn host_bridge_can_be_disabled() {
+        let cfg = Dgx1Config {
+            include_host_bridge: false,
+            ..Dgx1Config::default()
+        };
+        let topo = dgx1_with(&cfg).unwrap();
+        assert_eq!(topo.channels().len(), 48);
+        assert!(!topo.has_direct(GpuId(2), GpuId(4)));
+    }
+
+    #[test]
+    fn nvlink_aggregate_bandwidth_is_150_gbps() {
+        // Paper §V-A: 6 NVLinks x 25 GB/s = 150 GB/s per GPU.
+        let cfg = Dgx1Config {
+            include_host_bridge: false,
+            ..Dgx1Config::default()
+        };
+        let topo = dgx1_with(&cfg).unwrap();
+        let bw = topo.injection_bandwidth(GpuId(0));
+        assert!((bw.as_gb_per_sec() - 150.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,66 @@
+//! Error types for topology construction and routing.
+
+use crate::graph::GpuId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building topologies or resolving routes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A GPU id referenced a node outside the topology.
+    UnknownGpu {
+        /// The offending id.
+        gpu: GpuId,
+        /// Number of GPUs actually present.
+        num_gpus: usize,
+    },
+    /// A channel was requested between a GPU and itself.
+    SelfLoop(GpuId),
+    /// No route (direct, detour, or host) exists between two GPUs.
+    NoRoute {
+        /// Source GPU.
+        src: GpuId,
+        /// Destination GPU.
+        dst: GpuId,
+    },
+    /// A builder parameter was invalid (empty topology, zero radix, ...).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownGpu { gpu, num_gpus } => {
+                write!(f, "unknown gpu {gpu} in topology with {num_gpus} gpus")
+            }
+            TopologyError::SelfLoop(gpu) => {
+                write!(f, "channel endpoints must differ, got self-loop on {gpu}")
+            }
+            TopologyError::NoRoute { src, dst } => {
+                write!(f, "no route from {src} to {dst}")
+            }
+            TopologyError::InvalidParameter(msg) => {
+                write!(f, "invalid topology parameter: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_concise() {
+        let e = TopologyError::NoRoute {
+            src: GpuId(2),
+            dst: GpuId(4),
+        };
+        assert_eq!(e.to_string(), "no route from gpu2 to gpu4");
+        let e = TopologyError::SelfLoop(GpuId(1));
+        assert!(e.to_string().contains("self-loop"));
+    }
+}

@@ -1,0 +1,263 @@
+//! Indirect, switch-based scale-out topology for the Fig. 14 simulations.
+//!
+//! The paper's scalability study (§V-B3) "evaluate[s] a hierarchical,
+//! indirect topology (i.e., intermediate switches) as the number of nodes
+//! increases" with "constant interconnect bandwidth". We model each node
+//! with one injection and one ejection NIC channel into an ideal switch
+//! fabric; a point-to-point transfer occupies the sender's injection
+//! channel and the receiver's ejection channel simultaneously. The switch
+//! fabric itself is non-blocking, but the per-message latency grows with
+//! the number of switch levels, `ceil(log_radix(P))`, which is what makes
+//! latency matter at scale and favors the O(log P) tree algorithm.
+//!
+//! Channel-id layout: node `i`'s injection channel is `2*i`, its ejection
+//! channel is `2*i + 1`; a transfer from `a` to `b` uses the path
+//! `[inj(a), ej(b)]`.
+
+use crate::channel::{ChannelClass, ChannelId};
+use crate::error::TopologyError;
+use crate::graph::{GpuId, Topology, TopologyBuilder};
+use crate::units::{Bandwidth, Seconds};
+
+/// Configuration for the hierarchical scale-out topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchicalConfig {
+    /// Number of nodes (endpoints).
+    pub num_nodes: usize,
+    /// Per-node NIC bandwidth (constant regardless of scale — the paper
+    /// assumes constant interconnect bandwidth in its Fig. 14 comparison).
+    pub nic_bandwidth: Bandwidth,
+    /// Base per-hop latency (one switch traversal).
+    pub hop_latency: Seconds,
+    /// Switch radix; latency grows with `ceil(log_radix(num_nodes))`.
+    pub radix: usize,
+}
+
+impl Default for HierarchicalConfig {
+    fn default() -> Self {
+        HierarchicalConfig {
+            num_nodes: 16,
+            nic_bandwidth: Bandwidth::gb_per_sec(25.0),
+            hop_latency: Seconds::from_micros(1.5),
+            radix: 16,
+        }
+    }
+}
+
+impl HierarchicalConfig {
+    /// Number of switch levels messages traverse: `ceil(log_radix(P))`,
+    /// at least 1.
+    pub fn levels(&self) -> usize {
+        if self.num_nodes <= 1 {
+            return 1;
+        }
+        let mut levels = 0usize;
+        let mut reach = 1usize;
+        while reach < self.num_nodes {
+            reach = reach.saturating_mul(self.radix);
+            levels += 1;
+        }
+        levels.max(1)
+    }
+
+    /// End-to-end per-message latency: up through `levels` switches and
+    /// back down (`2 * levels` hops).
+    pub fn message_latency(&self) -> Seconds {
+        self.hop_latency * (2 * self.levels()) as f64
+    }
+}
+
+/// Builds a hierarchical topology with default parameters for `num_nodes`.
+///
+/// # Panics
+///
+/// Panics if `num_nodes` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use ccube_topology::hierarchical;
+/// let topo = hierarchical(64);
+/// assert_eq!(topo.num_gpus(), 64);
+/// // one injection + one ejection channel per node
+/// assert_eq!(topo.channels().len(), 128);
+/// ```
+pub fn hierarchical(num_nodes: usize) -> Topology {
+    let cfg = HierarchicalConfig {
+        num_nodes,
+        ..HierarchicalConfig::default()
+    };
+    hierarchical_with(&cfg).expect("num_nodes must be positive")
+}
+
+/// Builds a hierarchical topology with explicit parameters.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InvalidParameter`] if `num_nodes < 2` or
+/// `radix < 2`.
+pub fn hierarchical_with(cfg: &HierarchicalConfig) -> Result<Topology, TopologyError> {
+    if cfg.num_nodes < 2 {
+        return Err(TopologyError::InvalidParameter(
+            "hierarchical topology needs at least two nodes".into(),
+        ));
+    }
+    if cfg.radix < 2 {
+        return Err(TopologyError::InvalidParameter(format!(
+            "switch radix must be at least 2, got {}",
+            cfg.radix
+        )));
+    }
+    // Half the end-to-end latency is charged on injection, half on ejection,
+    // so a single transfer sees the full message latency.
+    let half_latency = cfg.message_latency() * 0.5;
+    let mut b = TopologyBuilder::new(format!("hier{}", cfg.num_nodes), cfg.num_nodes);
+    // Only endpoint nodes exist in the graph (the switch fabric is
+    // implicit), so each NIC channel nominally points at the node's ring
+    // successor; routing never walks the graph here — paths come from
+    // `nic_path`, which only needs the channel-id layout below.
+    for i in 0..cfg.num_nodes {
+        let node = GpuId(i as u32);
+        let peer = GpuId(((i + 1) % cfg.num_nodes) as u32);
+        // injection channel: id 2*i
+        b.channel(
+            node,
+            peer,
+            cfg.nic_bandwidth,
+            half_latency,
+            ChannelClass::Nic,
+        )?;
+        // ejection channel: id 2*i + 1
+        b.channel(
+            peer,
+            node,
+            cfg.nic_bandwidth,
+            half_latency,
+            ChannelClass::Nic,
+        )?;
+    }
+    b.build()
+}
+
+/// The injection channel id of `node` in a [`hierarchical`] topology.
+pub fn injection_channel(node: GpuId) -> ChannelId {
+    ChannelId(node.0 * 2)
+}
+
+/// The ejection channel id of `node` in a [`hierarchical`] topology.
+pub fn ejection_channel(node: GpuId) -> ChannelId {
+    ChannelId(node.0 * 2 + 1)
+}
+
+/// The channel path a message from `src` to `dst` occupies in a
+/// [`hierarchical`] topology: the sender's injection channel and the
+/// receiver's ejection channel.
+pub fn nic_path(src: GpuId, dst: GpuId) -> Vec<ChannelId> {
+    vec![injection_channel(src), ejection_channel(dst)]
+}
+
+/// A DGX-2-like NVSwitch topology: `num_gpus` GPUs attached to a
+/// non-blocking switch crossbar, each with the full aggregate NVLink
+/// bandwidth (6 links × 25 GB/s on V100) behind a single switch hop.
+///
+/// The paper's related-work section leaves "how alternative physical
+/// topologies … can be exploited for efficient collective
+/// communications" open; this topology lets the experiments compare the
+/// hybrid mesh-cube (with its detours and doubled links) against a flat
+/// switch where every pair is one hop apart and per-GPU bandwidth is the
+/// only constraint.
+///
+/// # Panics
+///
+/// Panics if `num_gpus < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use ccube_topology::nvswitch;
+/// let topo = nvswitch(16);
+/// assert_eq!(topo.num_gpus(), 16);
+/// ```
+pub fn nvswitch(num_gpus: usize) -> Topology {
+    let cfg = HierarchicalConfig {
+        num_nodes: num_gpus,
+        // full V100 NVLink aggregate into the switch
+        nic_bandwidth: Bandwidth::gb_per_sec(150.0),
+        hop_latency: Seconds::from_micros(1.0),
+        // single-level crossbar
+        radix: num_gpus.max(2),
+    };
+    hierarchical_with(&cfg).expect("at least two gpus")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_grow_logarithmically() {
+        let mk = |n| HierarchicalConfig {
+            num_nodes: n,
+            radix: 16,
+            ..HierarchicalConfig::default()
+        };
+        assert_eq!(mk(2).levels(), 1);
+        assert_eq!(mk(16).levels(), 1);
+        assert_eq!(mk(17).levels(), 2);
+        assert_eq!(mk(256).levels(), 2);
+        assert_eq!(mk(257).levels(), 3);
+    }
+
+    #[test]
+    fn message_latency_scales_with_levels() {
+        let cfg = HierarchicalConfig {
+            num_nodes: 256,
+            radix: 16,
+            hop_latency: Seconds::from_micros(1.0),
+            ..HierarchicalConfig::default()
+        };
+        // 2 levels up + 2 down = 4 us
+        assert!((cfg.message_latency().as_micros() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn channel_id_layout_matches_helpers() {
+        let topo = hierarchical(8);
+        for i in 0..8u32 {
+            let inj = injection_channel(GpuId(i));
+            let ej = ejection_channel(GpuId(i));
+            assert_eq!(topo.channel(inj).src(), GpuId(i));
+            assert_eq!(topo.channel(ej).dst(), GpuId(i));
+        }
+    }
+
+    #[test]
+    fn nic_path_has_two_channels() {
+        let p = nic_path(GpuId(3), GpuId(5));
+        assert_eq!(p, vec![ChannelId(6), ChannelId(11)]);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let cfg = HierarchicalConfig {
+            num_nodes: 0,
+            ..HierarchicalConfig::default()
+        };
+        assert!(hierarchical_with(&cfg).is_err());
+        let cfg = HierarchicalConfig {
+            num_nodes: 4,
+            radix: 1,
+            ..HierarchicalConfig::default()
+        };
+        assert!(hierarchical_with(&cfg).is_err());
+    }
+
+    #[test]
+    fn single_node_topology_is_rejected() {
+        let cfg = HierarchicalConfig {
+            num_nodes: 1,
+            ..HierarchicalConfig::default()
+        };
+        assert!(hierarchical_with(&cfg).is_err());
+    }
+}

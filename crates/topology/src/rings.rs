@@ -1,0 +1,213 @@
+//! Edge-disjoint Hamiltonian ring discovery.
+//!
+//! NCCL's ring AllReduce on the DGX-1 does not run one ring — it
+//! decomposes the NVLink graph into several edge-disjoint Hamiltonian
+//! cycles and runs a ring on each (in both directions), which is how it
+//! reaches the aggregate NVLink bandwidth. This module finds such a
+//! decomposition by backtracking search over the link multiplicities;
+//! the DGX-1's 24 NVLinks decompose into exactly three 8-link cycles.
+
+use crate::channel::ChannelClass;
+use crate::graph::{GpuId, Topology};
+use std::collections::HashMap;
+
+type Caps = HashMap<(u32, u32), u32>;
+
+fn pair(a: GpuId, b: GpuId) -> (u32, u32) {
+    if a.0 <= b.0 {
+        (a.0, b.0)
+    } else {
+        (b.0, a.0)
+    }
+}
+
+/// Extracts the undirected NVLink multiplicities of a topology.
+fn link_capacities(topo: &Topology) -> Caps {
+    let mut caps: Caps = HashMap::new();
+    for ch in topo.channels() {
+        if ch.class() == ChannelClass::NvLink {
+            *caps.entry(pair(ch.src(), ch.dst())).or_insert(0) += 1;
+        }
+    }
+    // Each bidirectional link contributed two unidirectional channels.
+    for v in caps.values_mut() {
+        *v /= 2;
+    }
+    caps
+}
+
+/// Finds up to `count` Hamiltonian cycles that are pairwise edge-disjoint
+/// (respecting link multiplicities: a doubled NVLink can carry two
+/// cycles). Returns as many as exist, possibly fewer than requested.
+///
+/// Cycles start at `gpu0` and are returned as node sequences of length
+/// `num_gpus` (the closing edge back to the start is implicit).
+///
+/// # Examples
+///
+/// ```
+/// use ccube_topology::{dgx1, disjoint_rings};
+/// let topo = dgx1();
+/// let rings = disjoint_rings(&topo, 3);
+/// // The DGX-1's 24 NVLinks decompose into three Hamiltonian cycles.
+/// assert_eq!(rings.len(), 3);
+/// ```
+pub fn disjoint_rings(topo: &Topology, count: usize) -> Vec<Vec<GpuId>> {
+    let n = topo.num_gpus();
+    if n < 3 || count == 0 {
+        return Vec::new();
+    }
+    let mut caps = link_capacities(topo);
+    let mut best: Vec<Vec<GpuId>> = Vec::new();
+    // Greedy-with-backtracking: find the largest k <= count for which a
+    // disjoint set exists, preferring to keep every cycle found.
+    for k in (1..=count).rev() {
+        let mut caps_try = caps.clone();
+        let mut acc = Vec::new();
+        if solve(topo, &mut caps_try, k, &mut acc) {
+            best = acc;
+            caps = caps_try;
+            break;
+        }
+    }
+    let _ = caps;
+    best
+}
+
+/// Tries to place `k` more disjoint cycles; on success extends `acc`.
+fn solve(topo: &Topology, caps: &mut Caps, k: usize, acc: &mut Vec<Vec<GpuId>>) -> bool {
+    if k == 0 {
+        return true;
+    }
+    let n = topo.num_gpus();
+    let mut path = vec![GpuId(0)];
+    let mut visited = vec![false; n];
+    visited[0] = true;
+    extend_cycle(topo, caps, &mut path, &mut visited, k, acc)
+}
+
+fn extend_cycle(
+    topo: &Topology,
+    caps: &mut Caps,
+    path: &mut Vec<GpuId>,
+    visited: &mut Vec<bool>,
+    k: usize,
+    acc: &mut Vec<Vec<GpuId>>,
+) -> bool {
+    let n = topo.num_gpus();
+    let cur = *path.last().expect("path never empty");
+    if path.len() == n {
+        // Close the cycle back to gpu0.
+        let close = pair(cur, GpuId(0));
+        if caps.get(&close).copied().unwrap_or(0) == 0 {
+            return false;
+        }
+        *caps.get_mut(&close).expect("checked above") -= 1;
+        acc.push(path.clone());
+        if solve(topo, caps, k - 1, acc) {
+            return true;
+        }
+        acc.pop();
+        *caps.get_mut(&close).expect("restored") += 1;
+        return false;
+    }
+    let mut nexts: Vec<GpuId> = topo
+        .neighbors(cur)
+        .into_iter()
+        .filter(|&nb| !visited[nb.index()] && caps.get(&pair(cur, nb)).copied().unwrap_or(0) > 0)
+        .collect();
+    nexts.sort();
+    for nb in nexts {
+        let key = pair(cur, nb);
+        *caps.get_mut(&key).expect("filtered above") -= 1;
+        visited[nb.index()] = true;
+        path.push(nb);
+        if extend_cycle(topo, caps, path, visited, k, acc) {
+            return true;
+        }
+        path.pop();
+        visited[nb.index()] = false;
+        *caps.get_mut(&key).expect("restored") += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dgx1::dgx1;
+
+    fn assert_valid_cycle(topo: &Topology, cycle: &[GpuId]) {
+        assert_eq!(cycle.len(), topo.num_gpus());
+        let mut seen = vec![false; topo.num_gpus()];
+        for g in cycle {
+            assert!(!seen[g.index()], "{g} repeated");
+            seen[g.index()] = true;
+        }
+        for i in 0..cycle.len() {
+            let a = cycle[i];
+            let b = cycle[(i + 1) % cycle.len()];
+            let direct = topo
+                .channels_between(a, b)
+                .into_iter()
+                .any(|c| topo.channel(c).class() == ChannelClass::NvLink);
+            assert!(direct, "{a}-{b} is not an NVLink");
+        }
+    }
+
+    #[test]
+    fn dgx1_decomposes_into_three_rings() {
+        let topo = dgx1();
+        let rings = disjoint_rings(&topo, 3);
+        assert_eq!(rings.len(), 3);
+        for r in &rings {
+            assert_valid_cycle(&topo, r);
+        }
+    }
+
+    #[test]
+    fn rings_respect_link_multiplicities() {
+        let topo = dgx1();
+        let rings = disjoint_rings(&topo, 3);
+        let mut used: Caps = HashMap::new();
+        for r in &rings {
+            for i in 0..r.len() {
+                *used.entry(pair(r[i], r[(i + 1) % r.len()])).or_insert(0) += 1;
+            }
+        }
+        let caps = link_capacities(&topo);
+        for (k, &u) in &used {
+            assert!(
+                u <= caps.get(k).copied().unwrap_or(0),
+                "pair {k:?} oversubscribed: {u}"
+            );
+        }
+        // Three 8-link cycles consume all 24 NVLinks.
+        let total: u32 = used.values().sum();
+        assert_eq!(total, 24);
+    }
+
+    #[test]
+    fn requesting_more_rings_returns_what_exists() {
+        let topo = dgx1();
+        let rings = disjoint_rings(&topo, 10);
+        assert_eq!(rings.len(), 3, "only three disjoint cycles exist");
+    }
+
+    #[test]
+    fn tiny_topologies_yield_nothing() {
+        use crate::graph::TopologyBuilder;
+        use crate::units::{Bandwidth, Seconds};
+        let mut b = TopologyBuilder::new("pair", 2);
+        b.bidirectional(
+            GpuId(0),
+            GpuId(1),
+            Bandwidth::gb_per_sec(25.0),
+            Seconds::from_micros(1.0),
+            ChannelClass::NvLink,
+        )
+        .unwrap();
+        let topo = b.build().unwrap();
+        assert!(disjoint_rings(&topo, 2).is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! 2-D torus topologies.
+//!
+//! Multi-GPU nodes and accelerator pods are also built as meshes and
+//! tori (e.g. TPU pods); the paper's related work asks how such
+//! "alternative physical topologies in large-scale systems can be
+//! exploited for efficient collective communications". This generator
+//! produces a `rows × cols` torus of direct bidirectional links so the
+//! embedding/routing/simulation stack can answer that question for the
+//! C-Cube algorithms: rings embed natively along torus rings, while the
+//! double tree needs detours wherever tree edges jump non-neighbors.
+
+use crate::channel::ChannelClass;
+use crate::error::TopologyError;
+use crate::graph::{GpuId, Topology, TopologyBuilder};
+use crate::units::{Bandwidth, Seconds};
+
+/// Configuration for [`torus2d_with`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TorusConfig {
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// Per-link bandwidth.
+    pub link_bandwidth: Bandwidth,
+    /// Per-message link latency.
+    pub link_latency: Seconds,
+}
+
+impl Default for TorusConfig {
+    fn default() -> Self {
+        TorusConfig {
+            rows: 4,
+            cols: 4,
+            link_bandwidth: Bandwidth::gb_per_sec(25.0),
+            link_latency: Seconds::from_micros(1.5),
+        }
+    }
+}
+
+/// Builds a `rows × cols` 2-D torus with default NVLink-class links.
+/// Node `(r, c)` is `GpuId(r * cols + c)` and connects to its four
+/// wrap-around neighbors (degree 4; duplicate parallel links appear
+/// when a dimension has length 2).
+///
+/// # Panics
+///
+/// Panics if either dimension is smaller than 2.
+///
+/// # Examples
+///
+/// ```
+/// use ccube_topology::{torus2d, GpuId};
+/// let topo = torus2d(4, 4);
+/// assert_eq!(topo.num_gpus(), 16);
+/// // every node has degree 4
+/// assert_eq!(topo.outgoing(GpuId(5)).len(), 4);
+/// ```
+pub fn torus2d(rows: usize, cols: usize) -> Topology {
+    torus2d_with(&TorusConfig {
+        rows,
+        cols,
+        ..TorusConfig::default()
+    })
+    .expect("dimensions >= 2")
+}
+
+/// Builds a 2-D torus with explicit parameters.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InvalidParameter`] if either dimension is
+/// smaller than 2.
+pub fn torus2d_with(cfg: &TorusConfig) -> Result<Topology, TopologyError> {
+    if cfg.rows < 2 || cfg.cols < 2 {
+        return Err(TopologyError::InvalidParameter(format!(
+            "torus dimensions must be at least 2x2, got {}x{}",
+            cfg.rows, cfg.cols
+        )));
+    }
+    let id = |r: usize, c: usize| GpuId((r * cfg.cols + c) as u32);
+    let mut b = TopologyBuilder::new(
+        format!("torus{}x{}", cfg.rows, cfg.cols),
+        cfg.rows * cfg.cols,
+    );
+    for r in 0..cfg.rows {
+        for c in 0..cfg.cols {
+            // rightward and downward wrap links; the reverse directions
+            // come from `bidirectional`.
+            b.bidirectional(
+                id(r, c),
+                id(r, (c + 1) % cfg.cols),
+                cfg.link_bandwidth,
+                cfg.link_latency,
+                ChannelClass::NvLink,
+            )?;
+            b.bidirectional(
+                id(r, c),
+                id((r + 1) % cfg.rows, c),
+                cfg.link_bandwidth,
+                cfg.link_latency,
+                ChannelClass::NvLink,
+            )?;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::Router;
+
+    #[test]
+    fn four_by_four_structure() {
+        let topo = torus2d(4, 4);
+        assert_eq!(topo.num_gpus(), 16);
+        // 2 links per node added, bidirectional -> 4 channels per node
+        assert_eq!(topo.channels().len(), 16 * 4);
+        for g in 0..16u32 {
+            assert_eq!(topo.neighbors(GpuId(g)).len(), 4);
+        }
+    }
+
+    #[test]
+    fn wraparound_links_exist() {
+        let topo = torus2d(3, 4);
+        // (0,0) <-> (0,3) via column wrap and (0,0) <-> (2,0) via row wrap
+        assert!(topo.has_direct(GpuId(0), GpuId(3)));
+        assert!(topo.has_direct(GpuId(0), GpuId(8)));
+    }
+
+    #[test]
+    fn length_two_dimension_doubles_links() {
+        let topo = torus2d(2, 3);
+        // In a length-2 ring the wrap link coincides with the direct one,
+        // producing a doubled pair (like the DGX-1's doubled NVLinks).
+        let between = topo.channels_between(GpuId(0), GpuId(3));
+        assert_eq!(between.len(), 2);
+    }
+
+    #[test]
+    fn diagonal_pairs_need_detours() {
+        let topo = torus2d(4, 4);
+        let router = Router::without_host_fallback(&topo);
+        // (0,0) -> (1,1) has no direct link but a one-hop detour exists.
+        let r = router.route(GpuId(0), GpuId(5)).unwrap();
+        assert!(r.is_detour());
+        // (0,0) -> (2,2) is distance 4 on the torus; no single-hop detour
+        // exists, so strict routing fails (the stack would need a longer
+        // static route, which the DGX-1 never does).
+        assert!(router.route(GpuId(0), GpuId(10)).is_err());
+    }
+
+    #[test]
+    fn small_dimensions_rejected() {
+        assert!(torus2d_with(&TorusConfig {
+            rows: 1,
+            cols: 4,
+            ..TorusConfig::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn torus_embeds_a_hamiltonian_ring() {
+        let topo = torus2d(4, 4);
+        let rings = crate::rings::disjoint_rings(&topo, 2);
+        assert!(
+            !rings.is_empty(),
+            "a torus always contains Hamiltonian cycles"
+        );
+        assert_eq!(rings[0].len(), 16);
+    }
+}

@@ -1,0 +1,413 @@
+//! Physical units used throughout the workspace.
+//!
+//! All three newtypes wrap `f64` and exist to keep bandwidths, byte counts
+//! and times from being mixed up at API boundaries (C-NEWTYPE).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A point in (or span of) simulated time, in seconds.
+///
+/// `Seconds` is totally ordered; constructing a NaN value panics, which is
+/// what makes the ordering total.
+///
+/// # Examples
+///
+/// ```
+/// use ccube_topology::Seconds;
+/// let t = Seconds::from_micros(2.0) + Seconds::from_micros(3.0);
+/// assert_eq!(t, Seconds::from_micros(5.0));
+/// assert!(t < Seconds::from_millis(1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Seconds(f64);
+
+impl Seconds {
+    /// Zero time.
+    pub const ZERO: Seconds = Seconds(0.0);
+
+    /// Creates a time value from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is NaN.
+    pub fn new(secs: f64) -> Self {
+        assert!(!secs.is_nan(), "Seconds must not be NaN");
+        Seconds(secs)
+    }
+
+    /// Creates a time value from microseconds.
+    pub fn from_micros(us: f64) -> Self {
+        Seconds::new(us * 1e-6)
+    }
+
+    /// Creates a time value from milliseconds.
+    pub fn from_millis(ms: f64) -> Self {
+        Seconds::new(ms * 1e-3)
+    }
+
+    /// Creates a time value from nanoseconds.
+    pub fn from_nanos(ns: f64) -> Self {
+        Seconds::new(ns * 1e-9)
+    }
+
+    /// The raw number of seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0
+    }
+
+    /// This time expressed in microseconds.
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// This time expressed in milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// The larger of two times.
+    pub fn max(self, other: Seconds) -> Seconds {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two times.
+    pub fn min(self, other: Seconds) -> Seconds {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True if this is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl Eq for Seconds {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Seconds {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Values are never NaN (checked at construction), so this is total.
+        self.0.partial_cmp(&other.0).expect("Seconds is never NaN")
+    }
+}
+
+impl Add for Seconds {
+    type Output = Seconds;
+    fn add(self, rhs: Seconds) -> Seconds {
+        Seconds::new(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Seconds {
+    fn add_assign(&mut self, rhs: Seconds) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Seconds {
+    type Output = Seconds;
+    fn sub(self, rhs: Seconds) -> Seconds {
+        Seconds::new(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Seconds {
+    type Output = Seconds;
+    fn mul(self, rhs: f64) -> Seconds {
+        Seconds::new(self.0 * rhs)
+    }
+}
+
+impl Div<Seconds> for Seconds {
+    type Output = f64;
+    fn div(self, rhs: Seconds) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl fmt::Display for Seconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1.0 {
+            write!(f, "{:.4} s", self.0)
+        } else if self.0 >= 1e-3 {
+            write!(f, "{:.4} ms", self.0 * 1e3)
+        } else {
+            write!(f, "{:.4} us", self.0 * 1e6)
+        }
+    }
+}
+
+/// Channel bandwidth, stored internally as bytes per second.
+///
+/// # Examples
+///
+/// ```
+/// use ccube_topology::{Bandwidth, ByteSize, Seconds};
+/// // A single NVLink in the DGX-1 provides 25 GB/s.
+/// let bw = Bandwidth::gb_per_sec(25.0);
+/// let t = bw.transfer_time(ByteSize::mib(100));
+/// assert!(t > Seconds::from_millis(4.0) && t < Seconds::from_millis(4.3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    /// Creates a bandwidth from bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is not finite and positive.
+    pub fn bytes_per_sec(bytes_per_sec: f64) -> Self {
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+            "bandwidth must be finite and positive, got {bytes_per_sec}"
+        );
+        Bandwidth(bytes_per_sec)
+    }
+
+    /// Creates a bandwidth from decimal gigabytes per second (1 GB = 1e9 B).
+    pub fn gb_per_sec(gb: f64) -> Self {
+        Bandwidth::bytes_per_sec(gb * 1e9)
+    }
+
+    /// Creates a bandwidth from binary gibibytes per second.
+    pub fn gib_per_sec(gib: f64) -> Self {
+        Bandwidth::bytes_per_sec(gib * (1u64 << 30) as f64)
+    }
+
+    /// The raw bytes-per-second value.
+    pub fn as_bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// This bandwidth expressed in decimal GB/s.
+    pub fn as_gb_per_sec(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// The serialization time of `bytes` on this channel (no latency term).
+    pub fn transfer_time(self, bytes: ByteSize) -> Seconds {
+        Seconds::new(bytes.as_u64() as f64 / self.0)
+    }
+
+    /// The inverse bandwidth in seconds per byte — the β of the α+βn model.
+    pub fn beta(self) -> f64 {
+        1.0 / self.0
+    }
+
+    /// A bandwidth scaled by `factor` (e.g. the paper's "low bandwidth"
+    /// configuration divides the effective AllReduce bandwidth by 4).
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> Bandwidth {
+        Bandwidth::bytes_per_sec(self.0 * factor)
+    }
+
+    /// The smaller of two bandwidths (the bottleneck of a multi-hop path).
+    pub fn min(self, other: Bandwidth) -> Bandwidth {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} GB/s", self.as_gb_per_sec())
+    }
+}
+
+/// A number of bytes (message / chunk / parameter sizes).
+///
+/// # Examples
+///
+/// ```
+/// use ccube_topology::ByteSize;
+/// assert_eq!(ByteSize::mib(64).as_u64(), 64 * 1024 * 1024);
+/// assert_eq!(ByteSize::kib(16) * 4, ByteSize::kib(64));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ByteSize(u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// Creates a size from a raw byte count.
+    pub fn new(bytes: u64) -> Self {
+        ByteSize(bytes)
+    }
+
+    /// Creates a size in binary kibibytes.
+    pub fn kib(k: u64) -> Self {
+        ByteSize(k * 1024)
+    }
+
+    /// Creates a size in binary mebibytes.
+    pub fn mib(m: u64) -> Self {
+        ByteSize(m * 1024 * 1024)
+    }
+
+    /// Creates a size in binary gibibytes.
+    pub fn gib(g: u64) -> Self {
+        ByteSize(g * 1024 * 1024 * 1024)
+    }
+
+    /// The raw byte count.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The byte count as `f64` (for cost-model arithmetic).
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// This size expressed in binary mebibytes.
+    pub fn as_mib(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Splits this size into `parts` spans that differ by at most one byte
+    /// and sum to the whole (earlier spans take the remainder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is zero.
+    pub fn split(self, parts: usize) -> Vec<ByteSize> {
+        assert!(parts > 0, "cannot split into zero parts");
+        let parts_u64 = parts as u64;
+        let base = self.0 / parts_u64;
+        let rem = self.0 % parts_u64;
+        (0..parts_u64)
+            .map(|i| ByteSize(base + u64::from(i < rem)))
+            .collect()
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: ByteSize) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for ByteSize {
+    type Output = ByteSize;
+    fn sub(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for ByteSize {
+    type Output = ByteSize;
+    fn mul(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0 * rhs)
+    }
+}
+
+impl std::iter::Sum for ByteSize {
+    fn sum<I: Iterator<Item = ByteSize>>(iter: I) -> ByteSize {
+        iter.fold(ByteSize::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1 << 30 {
+            write!(f, "{:.2} GiB", self.0 as f64 / (1u64 << 30) as f64)
+        } else if self.0 >= 1 << 20 {
+            write!(f, "{:.2} MiB", self.0 as f64 / (1u64 << 20) as f64)
+        } else if self.0 >= 1 << 10 {
+            write!(f, "{:.2} KiB", self.0 as f64 / 1024.0)
+        } else {
+            write!(f, "{} B", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_arithmetic_and_ordering() {
+        let a = Seconds::from_micros(10.0);
+        let b = Seconds::from_micros(5.0);
+        assert_eq!(a + b, Seconds::from_micros(15.0));
+        assert_eq!(a - b, b);
+        assert!(a > b);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        assert!((a * 2.0).as_micros() - 20.0 < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn seconds_rejects_nan() {
+        let _ = Seconds::new(f64::NAN);
+    }
+
+    #[test]
+    fn seconds_display_scales() {
+        assert_eq!(format!("{}", Seconds::new(2.5)), "2.5000 s");
+        assert_eq!(format!("{}", Seconds::from_millis(2.5)), "2.5000 ms");
+        assert_eq!(format!("{}", Seconds::from_micros(2.5)), "2.5000 us");
+    }
+
+    #[test]
+    fn bandwidth_transfer_time() {
+        let bw = Bandwidth::gb_per_sec(25.0);
+        let t = bw.transfer_time(ByteSize::new(25_000_000));
+        assert!((t.as_secs_f64() - 1e-3).abs() < 1e-12);
+        assert!((bw.beta() - 4e-11).abs() < 1e-22);
+    }
+
+    #[test]
+    fn bandwidth_scaling_models_low_bw_config() {
+        let high = Bandwidth::gb_per_sec(100.0);
+        let low = high.scaled(0.25);
+        assert!((low.as_gb_per_sec() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn bandwidth_rejects_zero() {
+        let _ = Bandwidth::bytes_per_sec(0.0);
+    }
+
+    #[test]
+    fn bytesize_split_is_exact_and_balanced() {
+        let total = ByteSize::new(1003);
+        let parts = total.split(4);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts.iter().copied().sum::<ByteSize>(), total);
+        let max = parts.iter().max().unwrap().as_u64();
+        let min = parts.iter().min().unwrap().as_u64();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn bytesize_display_scales() {
+        assert_eq!(format!("{}", ByteSize::new(12)), "12 B");
+        assert_eq!(format!("{}", ByteSize::kib(2)), "2.00 KiB");
+        assert_eq!(format!("{}", ByteSize::mib(64)), "64.00 MiB");
+        assert_eq!(format!("{}", ByteSize::gib(1)), "1.00 GiB");
+    }
+}

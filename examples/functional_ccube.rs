@@ -1,0 +1,82 @@
+//! Functional C-Cube end-to-end: run a *real* threaded AllReduce with
+//! the overlapped double tree, gradient queuing, and chained forward
+//! "computation" — then verify the numerics and show how early each
+//! layer's forward pass started.
+//!
+//! ```text
+//! cargo run --release --example functional_ccube
+//! ```
+
+use ccube::pipeline::TrainingPipeline;
+use ccube_collectives::{DoubleBinaryTree, Overlap};
+use ccube_dnn::resnet50;
+use ccube_runtime::{ChainedRun, TreeAllReduceRuntime};
+
+fn main() {
+    let net = resnet50();
+    let pipeline = TrainingPipeline::dgx1(&net, 64);
+    let num_chunks = pipeline.num_chunks();
+    let table = pipeline.layer_chunk_table();
+
+    println!(
+        "{}: {} gradient bytes in {} chunks over {} layers",
+        net.name(),
+        net.total_param_bytes(),
+        num_chunks,
+        table.len()
+    );
+
+    // Scale the real buffer down (same chunk structure, fewer floats) so
+    // the example runs instantly while exercising the full protocol.
+    let elements = 64 * num_chunks;
+    let p = 8;
+    let inputs: Vec<Vec<f32>> = (0..p)
+        .map(|r| (0..elements).map(|i| ((r * 7 + i) % 11) as f32).collect())
+        .collect();
+    let mut expect = vec![0f32; elements];
+    for buf in &inputs {
+        for (e, x) in expect.iter_mut().zip(buf) {
+            *e += x;
+        }
+    }
+
+    let dt = DoubleBinaryTree::new(p).expect("8 ranks");
+    let rt = TreeAllReduceRuntime::new(
+        dt.trees().to_vec(),
+        Overlap::ReductionBroadcast,
+        num_chunks,
+    );
+    let chained = ChainedRun::new(rt, table.clone()).expect("valid table");
+
+    let (outputs, events) = chained
+        .run(inputs, |_rank, _layer| {
+            // here the layer's parameter update + forward pass would run
+        })
+        .expect("well-formed inputs");
+
+    // 1. Numerical correctness on every rank.
+    for (r, out) in outputs.iter().enumerate() {
+        assert_eq!(out, &expect, "rank {r} disagrees with the serial sum");
+    }
+    println!("numerics: all {p} ranks bit-match the serial reference sum");
+
+    // 2. Chaining: how many layers had their gate open before the last
+    //    chunk arrived (i.e. genuinely overlapped with communication)?
+    let rank0 = &events[0];
+    let early = rank0
+        .iter()
+        .filter(|e| e.chunks_available < num_chunks as i64)
+        .count();
+    println!(
+        "chaining: {}/{} layers on rank 0 started before the collective finished",
+        early,
+        rank0.len()
+    );
+    for e in rank0.iter().take(8) {
+        println!(
+            "  layer {:<2} gate opened with {:>3}/{} chunks enqueued",
+            e.layer, e.chunks_available, num_chunks
+        );
+    }
+    println!("  ...");
+}

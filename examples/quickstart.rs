@@ -1,0 +1,43 @@
+//! Quickstart: compare the five execution modes of the paper on
+//! ResNet-50 over a DGX-1-like 8-GPU machine.
+//!
+//! ```text
+//! cargo run --example quickstart [batch]
+//! ```
+
+use ccube::pipeline::{Mode, TrainingPipeline};
+use ccube_dnn::{resnet50, vgg16, zfnet};
+
+fn main() {
+    let batch: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+
+    println!("C-Cube quickstart: 8-GPU DGX-1 model, batch {batch} per GPU\n");
+    for net in [zfnet(), vgg16(), resnet50()] {
+        println!("{net}");
+        let pipeline = TrainingPipeline::dgx1(&net, batch);
+        println!(
+            "  {:<3} {:>12} {:>12} {:>12} {:>10} {:>8}",
+            "", "comm", "turnaround", "iteration", "bubbles", "norm."
+        );
+        let baseline = pipeline.iteration(Mode::Baseline);
+        for r in pipeline.all_modes() {
+            println!(
+                "  {:<3} {:>12} {:>12} {:>12} {:>10} {:>8.3}",
+                r.mode.label(),
+                format!("{}", r.t_comm),
+                format!("{}", r.turnaround),
+                format!("{}", r.t_iter),
+                format!("{}", r.total_bubble),
+                r.normalized_perf,
+            );
+        }
+        let cc = pipeline.iteration(Mode::CCube);
+        println!(
+            "  => C-Cube improves over the baseline tree by {:.1}%\n",
+            (baseline.t_iter / cc.t_iter - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Visualize the difference between the baseline and the overlapped tree
+//! on the DGX-1 as ASCII timelines (the textual version of the paper's
+//! Fig. 7 timing diagrams). `R` marks reduction sends, `B` broadcast
+//! sends.
+//!
+//! ```text
+//! cargo run --release --example timeline_view [mib]
+//! ```
+
+use ccube_collectives::cost::{k_opt, CostParams};
+use ccube_collectives::{tree_allreduce, Chunking, DoubleBinaryTree, Embedding, Overlap};
+use ccube_sim::{render_timeline, simulate, SimOptions, TimelineOptions};
+use ccube_topology::{dgx1, ByteSize};
+
+fn main() {
+    let mib: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let n = ByteSize::mib(mib);
+
+    let topo = dgx1();
+    let dt = DoubleBinaryTree::new(8).expect("8 ranks");
+    let params = CostParams::nvlink();
+    let k = k_opt(&params, 8, n).div_ceil(2).max(1) * 2;
+    let chunking = Chunking::even(n, k);
+
+    for (title, overlap) in [
+        ("baseline double tree (B)", Overlap::None),
+        ("overlapped double tree (C1)", Overlap::ReductionBroadcast),
+    ] {
+        let s = tree_allreduce(dt.trees(), &chunking, overlap);
+        let e = Embedding::dgx1_double_tree(&topo, &s).expect("embeddable");
+        let report = simulate(&topo, &s, &e, &SimOptions::default()).expect("simulates");
+        println!("== {title}: {n} in {k} chunks ==");
+        println!(
+            "{}",
+            render_timeline(&s, &report, &TimelineOptions::default())
+        );
+        println!(
+            "makespan {}   turnaround {}\n",
+            report.makespan(),
+            report.turnaround()
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! A real synchronous training loop over the threaded C-Cube runtime:
+//! several iterations of gradient computation, chained overlapped-tree
+//! AllReduce with gradient queuing, and SGD updates — then verify that
+//! all replicas stayed bit-identical and match a serial reference.
+//!
+//! ```text
+//! cargo run --release --example train_loop [iterations]
+//! ```
+
+use ccube_runtime::{serial_reference, Trainer, TrainerConfig};
+
+fn main() {
+    let iterations: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+
+    let config = TrainerConfig {
+        num_ranks: 8,
+        num_params: 8192,
+        num_chunks: 32,
+        layer_chunk_table: vec![2, 4, 8, 12, 18, 25, 32],
+        learning_rate: 0.05,
+    };
+    println!(
+        "training: {} ranks, {} params, {} chunks, {} layers, {iterations} iterations",
+        config.num_ranks,
+        config.num_params,
+        config.num_chunks,
+        config.layer_chunk_table.len()
+    );
+
+    let mut trainer = Trainer::new(config.clone()).expect("valid config");
+    let mut chained_layers = 0usize;
+    for i in 0..iterations {
+        let early = trainer.step().expect("step succeeds");
+        chained_layers += early;
+        if i < 3 || i == iterations - 1 {
+            println!("  iter {i:>3}: {early} layers chained ahead of the collective");
+        }
+    }
+
+    assert!(trainer.replicas_agree(), "replicas diverged!");
+    let reference = serial_reference(&config, iterations);
+    assert_eq!(
+        trainer.params(0),
+        &reference[..],
+        "distributed result differs from the serial reference"
+    );
+    println!(
+        "done: replicas bit-identical and equal to the serial reference; \
+         {chained_layers} layer-starts overlapped with communication in total"
+    );
+}

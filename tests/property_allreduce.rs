@@ -1,0 +1,186 @@
+//! Property-based tests over the whole stack: any rank count, chunk
+//! count, tree shape and data must give a correct, in-order AllReduce.
+
+use ccube::arrivals::ChunkArrivals;
+use ccube::pipeline::chain_forward;
+use ccube_collectives::cost::{k_opt, t_tree_phase, CostParams};
+use ccube_collectives::verify::{check_allreduce, execute_steps, ChannelKeying};
+use ccube_collectives::{
+    ring_allreduce, tree_allreduce, BinaryTree, Chunking, DoubleBinaryTree, Overlap,
+};
+use ccube_runtime::{RingAllReduceRuntime, TreeAllReduceRuntime};
+use ccube_topology::{Bandwidth, ByteSize, Seconds};
+use proptest::prelude::*;
+
+fn overlap_strategy() -> impl Strategy<Value = Overlap> {
+    prop_oneof![
+        Just(Overlap::None),
+        Just(Overlap::ReductionBroadcast)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ring_schedules_are_correct(p in 2usize..24, kib in 1u64..512) {
+        let s = ring_allreduce(p, ByteSize::kib(kib));
+        check_allreduce(&s).unwrap();
+    }
+
+    #[test]
+    fn single_tree_schedules_are_correct(
+        p in 2usize..24,
+        k in 1usize..20,
+        overlap in overlap_strategy(),
+    ) {
+        let tree = BinaryTree::inorder(p).unwrap();
+        let s = tree_allreduce(
+            std::slice::from_ref(&tree),
+            &Chunking::even(ByteSize::kib(64), k),
+            overlap,
+        );
+        check_allreduce(&s).unwrap();
+    }
+
+    #[test]
+    fn double_tree_schedules_are_correct_and_in_order(
+        p in 2usize..20,
+        k in 2usize..24,
+        overlap in overlap_strategy(),
+    ) {
+        let dt = DoubleBinaryTree::new(p).unwrap();
+        let s = tree_allreduce(dt.trees(), &Chunking::even(ByteSize::kib(128), k), overlap);
+        check_allreduce(&s).unwrap();
+        let report = execute_steps(&s, ChannelKeying::PerTree).unwrap();
+        prop_assert!(report.chunks_in_order(2));
+    }
+
+    #[test]
+    fn overlap_never_adds_steps(p in 2usize..16, k in 1usize..16) {
+        let tree = BinaryTree::inorder(p).unwrap();
+        let chunking = Chunking::even(ByteSize::kib(64), k);
+        let b = tree_allreduce(std::slice::from_ref(&tree), &chunking, Overlap::None);
+        let o = tree_allreduce(
+            std::slice::from_ref(&tree),
+            &chunking,
+            Overlap::ReductionBroadcast,
+        );
+        let rb = execute_steps(&b, ChannelKeying::PerTree).unwrap();
+        let ro = execute_steps(&o, ChannelKeying::PerTree).unwrap();
+        prop_assert!(ro.num_steps <= rb.num_steps);
+        prop_assert!(ro.turnaround_step() <= rb.turnaround_step());
+    }
+
+    #[test]
+    fn k_opt_is_a_local_minimum(
+        p in 2usize..512,
+        mib in 1u64..256,
+        alpha_us in 1u64..20,
+        gbps in 1u64..100,
+    ) {
+        let params = CostParams::new(
+            Seconds::from_micros(alpha_us as f64),
+            Bandwidth::gb_per_sec(gbps as f64),
+        );
+        let n = ByteSize::mib(mib);
+        let k = k_opt(&params, p, n);
+        let t = t_tree_phase(&params, p, n, k);
+        if k > 1 {
+            prop_assert!(t <= t_tree_phase(&params, p, n, k - 1));
+        }
+        prop_assert!(t <= t_tree_phase(&params, p, n, k + 1));
+    }
+
+    #[test]
+    fn threaded_tree_matches_serial_sum(
+        p in 2usize..9,
+        k in 1usize..12,
+        n in 1usize..120,
+        overlap in overlap_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let tree = BinaryTree::inorder(p).unwrap();
+        let rt = TreeAllReduceRuntime::new(vec![tree], overlap, k);
+        let inputs: Vec<Vec<f32>> = (0..p)
+            .map(|r| {
+                (0..n)
+                    .map(|i| (((r as u64 * 17 + i as u64 * 3 + seed) % 21) as f32) - 10.0)
+                    .collect()
+            })
+            .collect();
+        let mut expect = vec![0f32; n];
+        for buf in &inputs {
+            for (e, x) in expect.iter_mut().zip(buf) {
+                *e += x;
+            }
+        }
+        let out = rt.run(inputs).unwrap();
+        for o in out {
+            prop_assert_eq!(&o, &expect);
+        }
+    }
+
+    #[test]
+    fn threaded_ring_matches_serial_sum(
+        p in 2usize..9,
+        n in 1usize..120,
+        seed in 0u64..1000,
+    ) {
+        let rt = RingAllReduceRuntime::new(p);
+        let inputs: Vec<Vec<f32>> = (0..p)
+            .map(|r| {
+                (0..n)
+                    .map(|i| (((r as u64 * 11 + i as u64 * 7 + seed) % 17) as f32) - 8.0)
+                    .collect()
+            })
+            .collect();
+        let mut expect = vec![0f32; n];
+        for buf in &inputs {
+            for (e, x) in expect.iter_mut().zip(buf) {
+                *e += x;
+            }
+        }
+        let out = rt.run(inputs).unwrap();
+        for o in out {
+            prop_assert_eq!(&o, &expect);
+        }
+    }
+
+    #[test]
+    fn chained_forward_invariants(
+        fwd_ms in proptest::collection::vec(1u64..20, 1..12),
+        arrivals_ms in proptest::collection::vec(0u64..100, 1..12),
+    ) {
+        let layers = fwd_ms.len().min(arrivals_ms.len());
+        let fwd: Vec<Seconds> = fwd_ms[..layers]
+            .iter()
+            .map(|&m| Seconds::from_millis(m as f64))
+            .collect();
+        let mut times: Vec<Seconds> = arrivals_ms[..layers]
+            .iter()
+            .map(|&m| Seconds::from_millis(m as f64))
+            .collect();
+        times.sort();
+        let arrivals = ChunkArrivals::new(times);
+        let table: Vec<usize> = (1..=layers).collect();
+        let chain = chain_forward(&fwd, &table, &arrivals);
+
+        // starts are ordered and never precede the layer's gradients
+        #[allow(clippy::needless_range_loop)] // parallel-array indexing
+        for i in 0..layers {
+            prop_assert!(chain.ends[i] >= chain.starts[i]);
+            prop_assert!(chain.starts[i] >= arrivals.ready_after(table[i]));
+            if i > 0 {
+                prop_assert!(chain.starts[i] >= chain.ends[i - 1]);
+            }
+        }
+        // finish >= both lower bounds
+        let total_fwd = fwd.iter().fold(Seconds::ZERO, |a, &b| a + b);
+        prop_assert!(chain.finish >= total_fwd);
+        prop_assert!(chain.finish >= arrivals.last());
+        // finish == total fwd + total bubbles + first-layer wait
+        let expect = total_fwd + chain.total_bubble();
+        prop_assert!((chain.finish.as_secs_f64() - expect.as_secs_f64()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests over the substrates added beyond the core AllReduce
+//! path: collective primitives, multi-ring schedules, torus topologies,
+//! the α/β fitter, and the timeline/pipeline agreement.
+
+use ccube::pipeline::{Mode, TrainingPipeline};
+use ccube::timeline::TimelineSim;
+use ccube_collectives::cost::{fit_params, CostParams};
+use ccube_collectives::{primitives, ring_allreduce_multi, verify, BinaryTree, Chunking, Rank};
+use ccube_topology::{torus2d, Bandwidth, ByteSize, GpuId, Router, Seconds};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn tree_broadcast_is_correct(p in 2usize..24, k in 1usize..16) {
+        let tree = BinaryTree::inorder(p).unwrap();
+        let s = primitives::tree_broadcast(
+            std::slice::from_ref(&tree),
+            &Chunking::even(ByteSize::kib(64), k),
+        );
+        verify::check_broadcast(&s).unwrap();
+    }
+
+    #[test]
+    fn tree_reduce_is_correct(p in 2usize..24, k in 1usize..16) {
+        let tree = BinaryTree::inorder(p).unwrap();
+        let s = primitives::tree_reduce(
+            std::slice::from_ref(&tree),
+            &Chunking::even(ByteSize::kib(64), k),
+        );
+        verify::check_reduce(&s, &[tree.root()]).unwrap();
+    }
+
+    #[test]
+    fn ring_phases_are_correct(p in 2usize..20, kib in 1u64..256) {
+        let n = ByteSize::kib(kib);
+        verify::check_reduce_scatter(&primitives::ring_reduce_scatter(p, n)).unwrap();
+        verify::check_all_gather(&primitives::ring_all_gather(p, n)).unwrap();
+    }
+
+    #[test]
+    fn multi_ring_with_random_rotations_is_correct(
+        p in 2usize..12,
+        rings in 1usize..4,
+        rot in 0usize..12,
+    ) {
+        // Ring orders that are rotations/reversals of the identity are
+        // always valid permutations.
+        let orders: Vec<Vec<Rank>> = (0..rings)
+            .map(|r| {
+                let mut order: Vec<Rank> =
+                    (0..p).map(|i| Rank(((i + rot + r) % p) as u32)).collect();
+                if r % 2 == 1 {
+                    order.reverse();
+                }
+                order
+            })
+            .collect();
+        let s = ring_allreduce_multi(ByteSize::kib(128), &orders);
+        verify::check_allreduce(&s).unwrap();
+    }
+
+    #[test]
+    fn torus_neighbors_route_directly(rows in 2usize..6, cols in 2usize..6) {
+        let topo = torus2d(rows, cols);
+        let router = Router::without_host_fallback(&topo);
+        for r in 0..rows {
+            for c in 0..cols {
+                let a = GpuId((r * cols + c) as u32);
+                let right = GpuId((r * cols + (c + 1) % cols) as u32);
+                if a != right {
+                    let route = router.route(a, right).unwrap();
+                    prop_assert!(!route.is_detour());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fit_inverts_step_time(
+        alpha_us in 1u64..50,
+        gbps in 1u64..200,
+    ) {
+        let truth = CostParams::new(
+            Seconds::from_micros(alpha_us as f64),
+            Bandwidth::gb_per_sec(gbps as f64),
+        );
+        let samples: Vec<(ByteSize, Seconds)> = [16u64, 64, 256, 1024, 4096]
+            .iter()
+            .map(|&k| {
+                let b = ByteSize::kib(k);
+                (b, truth.step_time(b))
+            })
+            .collect();
+        let fitted = fit_params(&samples).unwrap();
+        let rel_bw = (fitted.bandwidth().as_gb_per_sec() - gbps as f64).abs() / gbps as f64;
+        prop_assert!(rel_bw < 1e-6, "bw off by {rel_bw}");
+        let a_err = (fitted.alpha().as_micros() - alpha_us as f64).abs();
+        prop_assert!(a_err < 1e-6, "alpha off by {a_err} us");
+    }
+
+    #[test]
+    fn timeline_steady_state_equals_closed_form(
+        batch in prop::sample::select(vec![16usize, 32, 64, 128]),
+        mode in prop::sample::select(vec![
+            Mode::Baseline,
+            Mode::OverlappedTree,
+            Mode::Chained,
+            Mode::CCube,
+            Mode::Ring,
+        ]),
+    ) {
+        let pipeline = TrainingPipeline::dgx1(&ccube_dnn::zfnet(), batch);
+        let report = TimelineSim::new(&pipeline, mode, 8).run(4);
+        let steady = report.steady_iteration_time().as_secs_f64();
+        let closed = pipeline.iteration(mode).t_iter.as_secs_f64();
+        prop_assert!(
+            (steady - closed).abs() / closed < 0.01,
+            "{mode} b={batch}: {steady} vs {closed}"
+        );
+    }
+
+    #[test]
+    fn gradient_queue_requirements_partition_chunks(
+        num_trees in 1usize..4,
+        table_step in 1usize..5,
+        layers in 1usize..10,
+    ) {
+        use ccube_runtime::GradientQueue;
+        let table: Vec<usize> = (1..=layers).map(|l| l * table_step).collect();
+        let q = GradientQueue::new(num_trees, &table).unwrap();
+        for (l, &upper) in table.iter().enumerate() {
+            let total: i64 = (0..num_trees).map(|t| q.required(l, t)).sum();
+            prop_assert_eq!(total, upper as i64, "layer {} needs {} chunks", l, upper);
+        }
+    }
+}
