@@ -35,7 +35,10 @@ fn dgx1_c1_makespan(k: usize, placement_aware: bool, opts: &SimOptions) -> f64 {
     } else {
         Embedding::identity(&topo, &s).unwrap()
     };
-    simulate(&topo, &s, &e, opts).unwrap().makespan().as_secs_f64()
+    simulate(&topo, &s, &e, opts)
+        .unwrap()
+        .makespan()
+        .as_secs_f64()
 }
 
 fn ablation_chunk_count(c: &mut Criterion) {

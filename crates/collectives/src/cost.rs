@@ -336,8 +336,11 @@ mod tests {
     #[test]
     fn k_opt_minimizes_eq3_over_neighbors() {
         let p = params();
-        for (ranks, n) in [(4, ByteSize::mib(16)), (64, ByteSize::mib(1)), (8, ByteSize::kib(64))]
-        {
+        for (ranks, n) in [
+            (4, ByteSize::mib(16)),
+            (64, ByteSize::mib(1)),
+            (8, ByteSize::kib(64)),
+        ] {
             let k = k_opt(&p, ranks, n);
             let t = t_tree_phase(&p, ranks, n, k);
             if k > 1 {
@@ -369,9 +372,7 @@ mod tests {
             for n in [ByteSize::kib(16), ByteSize::mib(1), ByteSize::mib(64)] {
                 assert!(t_overlapped(&p, ranks, n) < t_tree(&p, ranks, n));
                 let k = k_opt(&p, ranks, n);
-                assert!(
-                    t_overlapped_chunked(&p, ranks, n, k) < t_tree_chunked(&p, ranks, n, k)
-                );
+                assert!(t_overlapped_chunked(&p, ranks, n, k) < t_tree_chunked(&p, ranks, n, k));
             }
         }
     }
@@ -487,8 +488,7 @@ mod tests {
             })
             .collect();
         let fitted = fit_params(&samples).unwrap();
-        let rel =
-            (fitted.bandwidth().as_gb_per_sec() - 25.0).abs() / 25.0;
+        let rel = (fitted.bandwidth().as_gb_per_sec() - 25.0).abs() / 25.0;
         assert!(rel < 0.03, "fitted bw off by {rel}");
     }
 

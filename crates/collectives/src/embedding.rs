@@ -354,7 +354,10 @@ mod tests {
         let emb = Embedding::dgx1_double_tree(&topo, &s).unwrap();
         let load = emb.forwarding_load();
         assert_eq!(load.len(), 2, "forwarders: {load:?}");
-        assert!(load.values().all(|&l| l == 2), "each forwards both directions");
+        assert!(
+            load.values().all(|&l| l == 2),
+            "each forwards both directions"
+        );
     }
 
     #[test]

@@ -53,8 +53,9 @@
 mod chunk;
 pub mod cost;
 pub mod embedding;
-mod rank;
+pub mod lowering;
 pub mod primitives;
+mod rank;
 mod ring;
 mod schedule;
 mod tree;
@@ -63,6 +64,7 @@ pub mod verify;
 
 pub use chunk::{ChunkId, Chunking};
 pub use embedding::{EdgeKey, Embedding, EmbeddingError};
+pub use lowering::{lower_schedule, LinkTiming, LowerError, TransferSpec};
 pub use rank::Rank;
 pub use ring::{ring_allreduce, ring_allreduce_multi};
 pub use schedule::{Phase, Schedule, ScheduleStats, Transfer, TransferId, TreeIndex};
@@ -73,7 +75,8 @@ pub use tree_schedule::{tree_allreduce, Overlap};
 pub mod prelude {
     pub use crate::cost::CostParams;
     pub use crate::{
-        ring_allreduce, ring_allreduce_multi, tree_allreduce, BinaryTree, ChunkId, Chunking, DoubleBinaryTree,
-        Embedding, Overlap, Phase, Rank, Schedule, Transfer, TransferId, TreeIndex,
+        ring_allreduce, ring_allreduce_multi, tree_allreduce, BinaryTree, ChunkId, Chunking,
+        DoubleBinaryTree, Embedding, Overlap, Phase, Rank, Schedule, Transfer, TransferId,
+        TreeIndex,
     };
 }

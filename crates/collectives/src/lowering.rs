@@ -1,0 +1,221 @@
+//! Lowering of logical schedules to physical transfer events.
+//!
+//! A [`Schedule`] is purely logical: transfers name ranks and chunks but
+//! know nothing about channels or wall-clock time. Before any engine can
+//! replay one, every transfer must be resolved against an [`Embedding`]
+//! and a [`Topology`](ccube_topology::Topology) into a physical
+//! [`TransferSpec`]: the channel path it occupies, the intermediate GPU
+//! it detours through (if any), and its wormhole duration
+//! `Σ per-hop latency (+ forwarding latency for detours)
+//!  + bytes / (bottleneck bandwidth × bandwidth_scale)`.
+//!
+//! Both discrete-event engines of `ccube-sim` (the network-only
+//! `simulate` and the compute/communication `simulate_system`) consume
+//! this one lowering, so their timing models can never drift apart.
+
+use crate::chunk::ChunkId;
+use crate::embedding::{EdgeKey, Embedding};
+use crate::schedule::{Schedule, TransferId};
+use ccube_topology::{ChannelId, GpuId, Seconds, Topology};
+use std::error::Error;
+use std::fmt;
+
+/// The link-timing knobs of the lowering (a subset of the simulator's
+/// options that affects transfer durations).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkTiming {
+    /// Multiplier on every channel's bandwidth (1.0 = nominal; the
+    /// paper's low-bandwidth configuration uses 0.25).
+    pub bandwidth_scale: f64,
+    /// Extra latency charged to detour routes for the store-and-forward
+    /// kernel on the intermediate GPU.
+    pub forwarding_latency: Seconds,
+}
+
+impl Default for LinkTiming {
+    fn default() -> Self {
+        LinkTiming {
+            bandwidth_scale: 1.0,
+            forwarding_latency: Seconds::from_micros(0.5),
+        }
+    }
+}
+
+/// One transfer, lowered onto the physical topology: ready to be
+/// scheduled by an event-driven engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferSpec {
+    /// The transfer's id (its index in the schedule).
+    pub id: TransferId,
+    /// The global chunk the transfer carries (arbitration priority).
+    pub chunk: ChunkId,
+    /// The physical channels the transfer occupies, in route order.
+    pub path: Vec<ChannelId>,
+    /// The intermediate GPU for detour routes.
+    pub via: Option<GpuId>,
+    /// Wormhole occupancy time of the whole path.
+    pub duration: Seconds,
+}
+
+/// Errors from lowering a schedule onto a topology.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LowerError {
+    /// The embedding is missing a route for a logical edge the schedule
+    /// uses.
+    MissingRoute(EdgeKey),
+    /// A route references a channel that does not exist in the topology.
+    UnknownChannel {
+        /// The offending edge.
+        edge: EdgeKey,
+        /// The channel index that was out of range.
+        channel_index: usize,
+    },
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::MissingRoute(edge) => {
+                write!(f, "embedding has no route for logical edge {edge}")
+            }
+            LowerError::UnknownChannel {
+                edge,
+                channel_index,
+            } => write!(
+                f,
+                "route for {edge} references unknown channel index {channel_index}"
+            ),
+        }
+    }
+}
+
+impl Error for LowerError {}
+
+/// Resolves every transfer of `schedule` into a [`TransferSpec`] using
+/// the routes of `embedding` over `topo`.
+///
+/// The result is indexed by transfer id (schedules use dense ids).
+///
+/// # Errors
+///
+/// Returns [`LowerError::MissingRoute`] if the embedding lacks a route
+/// for a logical edge and [`LowerError::UnknownChannel`] if a route
+/// references a channel outside the topology.
+///
+/// # Examples
+///
+/// ```
+/// use ccube_collectives::{lower_schedule, ring_allreduce, Embedding, LinkTiming};
+/// use ccube_topology::{dgx1, ByteSize};
+///
+/// let topo = dgx1();
+/// let s = ring_allreduce(8, ByteSize::mib(8));
+/// let e = Embedding::identity(&topo, &s).unwrap();
+/// let specs = lower_schedule(&s, &e, &topo, &LinkTiming::default()).unwrap();
+/// assert_eq!(specs.len(), s.transfers().len());
+/// assert!(specs.iter().all(|sp| !sp.path.is_empty()));
+/// ```
+pub fn lower_schedule(
+    schedule: &Schedule,
+    embedding: &Embedding,
+    topo: &Topology,
+    timing: &LinkTiming,
+) -> Result<Vec<TransferSpec>, LowerError> {
+    let num_channels = topo.channels().len();
+    let mut specs = Vec::with_capacity(schedule.transfers().len());
+    for t in schedule.transfers() {
+        let key = EdgeKey {
+            src: t.src,
+            dst: t.dst,
+            tree: t.tree,
+        };
+        let route = embedding.route(&key).ok_or(LowerError::MissingRoute(key))?;
+        let mut alpha = Seconds::ZERO;
+        let mut bottleneck = f64::INFINITY;
+        for &c in route.channels() {
+            if c.index() >= num_channels {
+                return Err(LowerError::UnknownChannel {
+                    edge: key,
+                    channel_index: c.index(),
+                });
+            }
+            let ch = topo.channel(c);
+            alpha += ch.latency();
+            bottleneck = bottleneck.min(ch.bandwidth().as_bytes_per_sec());
+        }
+        if route.is_detour() {
+            alpha += timing.forwarding_latency;
+        }
+        let serialization = Seconds::new(t.bytes.as_f64() / (bottleneck * timing.bandwidth_scale));
+        specs.push(TransferSpec {
+            id: t.id,
+            chunk: t.chunk,
+            path: route.channels().to_vec(),
+            via: route.via(),
+            duration: alpha + serialization,
+        });
+    }
+    Ok(specs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ring_allreduce, tree_allreduce, BinaryTree, Chunking, Overlap};
+    use ccube_topology::{dgx1, ByteSize};
+
+    #[test]
+    fn durations_scale_with_bandwidth() {
+        let topo = dgx1();
+        let s = ring_allreduce(8, ByteSize::mib(16));
+        let e = Embedding::identity(&topo, &s).unwrap();
+        let hi = lower_schedule(&s, &e, &topo, &LinkTiming::default()).unwrap();
+        let lo = lower_schedule(
+            &s,
+            &e,
+            &topo,
+            &LinkTiming {
+                bandwidth_scale: 0.25,
+                ..LinkTiming::default()
+            },
+        )
+        .unwrap();
+        for (h, l) in hi.iter().zip(&lo) {
+            assert!(l.duration > h.duration);
+        }
+    }
+
+    #[test]
+    fn detours_carry_via_and_forwarding_latency() {
+        let topo = dgx1();
+        let dt = crate::DoubleBinaryTree::new(8).unwrap();
+        let s = tree_allreduce(
+            dt.trees(),
+            &Chunking::even(ByteSize::mib(8), 8),
+            Overlap::ReductionBroadcast,
+        );
+        let e = Embedding::dgx1_double_tree(&topo, &s).unwrap();
+        let specs = lower_schedule(&s, &e, &topo, &LinkTiming::default()).unwrap();
+        assert!(
+            specs.iter().any(|sp| sp.via.is_some()),
+            "the DGX-1 double tree must detour somewhere"
+        );
+    }
+
+    #[test]
+    fn missing_route_is_an_error() {
+        let topo = dgx1();
+        let s = ring_allreduce(8, ByteSize::mib(1));
+        let tree = BinaryTree::inorder(8).unwrap();
+        let other = tree_allreduce(
+            std::slice::from_ref(&tree),
+            &Chunking::even(ByteSize::mib(1), 4),
+            Overlap::None,
+        );
+        let e = Embedding::identity(&topo, &other).unwrap();
+        assert!(matches!(
+            lower_schedule(&s, &e, &topo, &LinkTiming::default()),
+            Err(LowerError::MissingRoute(_))
+        ));
+    }
+}

@@ -90,7 +90,9 @@ pub fn tree_reduce(trees: &[BinaryTree], chunking: &Chunking) -> Schedule {
         let bottom_up = tree.bottom_up();
         for c in chunking.ids().filter(|c| c.index() % trees.len() == ti) {
             for &r in &bottom_up {
-                let Some(parent) = tree.parent(r) else { continue };
+                let Some(parent) = tree.parent(r) else {
+                    continue;
+                };
                 let deps = tree
                     .children(r)
                     .iter()

@@ -256,9 +256,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "permutation")]
     fn invalid_order_is_rejected() {
-        let _ = ring_allreduce_multi(
-            ByteSize::mib(1),
-            &[vec![Rank(0), Rank(0), Rank(1)]],
-        );
+        let _ = ring_allreduce_multi(ByteSize::mib(1), &[vec![Rank(0), Rank(0), Rank(1)]]);
     }
 }

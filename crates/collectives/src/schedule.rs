@@ -268,12 +268,7 @@ impl Schedule {
             } else {
                 broadcast += 1;
             }
-            let base = t
-                .deps
-                .iter()
-                .map(|d| depth[d.index()])
-                .max()
-                .unwrap_or(0);
+            let base = t.deps.iter().map(|d| depth[d.index()]).max().unwrap_or(0);
             depth[t.id.index()] = base + 1;
             critical = critical.max(base + 1);
         }
@@ -408,8 +403,7 @@ mod tests {
         let dt = DoubleBinaryTree::new(8).unwrap();
         let chunking = Chunking::even(ByteSize::mib(8), 8);
         let b = tree_allreduce(dt.trees(), &chunking, Overlap::None).stats();
-        let o = tree_allreduce(dt.trees(), &chunking, Overlap::ReductionBroadcast)
-            .stats();
+        let o = tree_allreduce(dt.trees(), &chunking, Overlap::ReductionBroadcast).stats();
         // Same traffic and — instructively — the same *dependency*
         // critical path (one chunk's reduce-up plus broadcast-down): the
         // baseline's extra steps come entirely from channel serialization

@@ -161,7 +161,11 @@ impl BinaryTree {
     /// path. This is the `log(P)` of the paper's cost model.
     pub fn depth(&self) -> usize {
         fn go(t: &BinaryTree, r: Rank) -> usize {
-            t.children(r).iter().map(|&c| 1 + go(t, c)).max().unwrap_or(0)
+            t.children(r)
+                .iter()
+                .map(|&c| 1 + go(t, c))
+                .max()
+                .unwrap_or(0)
         }
         go(self, self.root)
     }
@@ -313,7 +317,10 @@ mod tests {
 
     #[test]
     fn too_few_ranks_is_rejected() {
-        assert_eq!(BinaryTree::inorder(1).unwrap_err(), TreeError::TooFewRanks(1));
+        assert_eq!(
+            BinaryTree::inorder(1).unwrap_err(),
+            TreeError::TooFewRanks(1)
+        );
         assert!(DoubleBinaryTree::new(0).is_err());
     }
 
@@ -324,10 +331,7 @@ mod tests {
             let t1 = BinaryTree::mirror(&t0);
             spans_all(&t1);
             assert_eq!(t1.depth(), t0.depth());
-            assert_eq!(
-                t1.root(),
-                Rank((p - 1 - t0.root().index()) as u32)
-            );
+            assert_eq!(t1.root(), Rank((p - 1 - t0.root().index()) as u32));
         }
     }
 

@@ -214,11 +214,8 @@ mod tests {
             .iter()
             .find(|t| t.phase == Phase::Broadcast && t.src == root)
             .unwrap();
-        let dep_chunks: std::collections::HashSet<ChunkId> = first_bc
-            .deps
-            .iter()
-            .map(|&d| s.transfer(d).chunk)
-            .collect();
+        let dep_chunks: std::collections::HashSet<ChunkId> =
+            first_bc.deps.iter().map(|&d| s.transfer(d).chunk).collect();
         assert_eq!(dep_chunks.len(), 4, "barrier must cover all chunks");
     }
 }

@@ -55,7 +55,10 @@ impl fmt::Display for VerifyError {
                 "incomplete reduction: {rank} {chunk} has only {have} contributions"
             ),
             VerifyError::Deadlock { step, remaining } => {
-                write!(f, "schedule deadlocked at step {step} with {remaining} transfers left")
+                write!(
+                    f,
+                    "schedule deadlocked at step {step} with {remaining} transfers left"
+                )
             }
         }
     }
@@ -93,7 +96,10 @@ pub fn check_dag(schedule: &Schedule) -> Result<(), VerifyError> {
             )));
         }
         if t.src == t.dst {
-            return Err(VerifyError::MalformedDag(format!("{} is a self-loop", t.id)));
+            return Err(VerifyError::MalformedDag(format!(
+                "{} is a self-loop",
+                t.id
+            )));
         }
         if t.src.index() >= p || t.dst.index() >= p {
             return Err(VerifyError::MalformedDag(format!(
@@ -241,7 +247,10 @@ impl StepReport {
 ///
 /// Returns [`VerifyError::Deadlock`] if no transfer can make progress, or
 /// [`VerifyError::MalformedDag`] if the schedule is structurally invalid.
-pub fn execute_steps(schedule: &Schedule, keying: ChannelKeying) -> Result<StepReport, VerifyError> {
+pub fn execute_steps(
+    schedule: &Schedule,
+    keying: ChannelKeying,
+) -> Result<StepReport, VerifyError> {
     check_dag(schedule)?;
     let transfers = schedule.transfers();
     let n = transfers.len();
@@ -448,8 +457,8 @@ pub fn check_all_gather(schedule: &Schedule) -> Result<(), VerifyError> {
 mod tests {
     use super::*;
     use crate::chunk::Chunking;
-    use crate::schedule::Phase;
     use crate::ring::ring_allreduce;
+    use crate::schedule::Phase;
     use crate::tree::{BinaryTree, DoubleBinaryTree};
     use crate::tree_schedule::{tree_allreduce, Overlap};
     use ccube_topology::ByteSize;
@@ -482,11 +491,7 @@ mod tests {
         for p in 2..10 {
             for overlap in [Overlap::None, Overlap::ReductionBroadcast] {
                 let dt = DoubleBinaryTree::new(p).unwrap();
-                let s = tree_allreduce(
-                    dt.trees(),
-                    &Chunking::even(ByteSize::mib(1), 8),
-                    overlap,
-                );
+                let s = tree_allreduce(dt.trees(), &Chunking::even(ByteSize::mib(1), 8), overlap);
                 check_allreduce(&s).unwrap();
             }
         }
@@ -526,8 +531,7 @@ mod tests {
             let tree = BinaryTree::inorder(p).unwrap();
             let d = tree.depth();
             let chunking = Chunking::even(ByteSize::mib(8), k);
-            let b =
-                tree_allreduce(std::slice::from_ref(&tree), &chunking, Overlap::None);
+            let b = tree_allreduce(std::slice::from_ref(&tree), &chunking, Overlap::None);
             let o = tree_allreduce(
                 std::slice::from_ref(&tree),
                 &chunking,

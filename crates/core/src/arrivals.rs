@@ -184,8 +184,7 @@ mod tests {
             let chunking = Chunking::even(ByteSize::new(chunk_bytes.as_u64() * k as u64), k);
             let s = tree_allreduce(std::slice::from_ref(&tree), &chunking, overlap);
             let steps = execute_steps(&s, ChannelKeying::PerTree).unwrap();
-            let model =
-                ChunkArrivals::analytic_tree(p, 1, k, chunk_bytes, &params(), overlap);
+            let model = ChunkArrivals::analytic_tree(p, 1, k, chunk_bytes, &params(), overlap);
             let t_s = params().step_time(chunk_bytes).as_secs_f64();
             for c in 0..k {
                 let model_steps = (model.times()[c].as_secs_f64() / t_s).round() as usize;

@@ -71,10 +71,7 @@ fn cmd_compare(args: &[String]) -> ExitCode {
         eprintln!("compare: unknown network {name:?} (zfnet | vgg16 | resnet50)");
         return ExitCode::from(2);
     };
-    let batch: usize = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(64);
+    let batch: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(64);
     let low = args.iter().any(|a| a == "--low");
     let scale = if low { 0.25 } else { 1.0 };
     let pipeline = TrainingPipeline::dgx1_with(&net, batch, &ComputeModel::v100(), scale);
@@ -107,10 +104,7 @@ fn cmd_compare(args: &[String]) -> ExitCode {
 }
 
 fn cmd_scaleout(args: &[String]) -> ExitCode {
-    let max_p: usize = args
-        .first()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(128);
+    let max_p: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(128);
     let sizes: Vec<ByteSize> = {
         let explicit: Vec<u64> = args.iter().skip(1).filter_map(|s| s.parse().ok()).collect();
         if explicit.is_empty() {
@@ -190,11 +184,15 @@ fn cmd_train(args: &[String]) -> ExitCode {
             }
         }
     }
-    let ok = trainer.replicas_agree()
-        && trainer.params(0) == &serial_reference(&config, iterations)[..];
+    let ok =
+        trainer.replicas_agree() && trainer.params(0) == &serial_reference(&config, iterations)[..];
     println!(
         "{iterations} iterations, {chained} chained layer-starts, replicas {}",
-        if ok { "bit-identical (== serial)" } else { "DIVERGED" }
+        if ok {
+            "bit-identical (== serial)"
+        } else {
+            "DIVERGED"
+        }
     );
     if ok {
         ExitCode::SUCCESS

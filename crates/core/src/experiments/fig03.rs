@@ -52,15 +52,8 @@ pub fn run_with(model: &GranularityModel) -> Vec<Row> {
     // layer contributes its weight plus two batch-norm tensors, a fully
     // connected layer its weight plus bias — 161 tensors for ResNet-50,
     // matching the real framework's tensor count.
-    let layer_wise: Vec<ByteSize> = net
-        .layers()
-        .iter()
-        .flat_map(|l| l.tensor_bytes())
-        .collect();
-    let slicing: Vec<ByteSize> = layer_wise
-        .iter()
-        .flat_map(|b| b.split(4))
-        .collect();
+    let layer_wise: Vec<ByteSize> = net.layers().iter().flat_map(|l| l.tensor_bytes()).collect();
+    let slicing: Vec<ByteSize> = layer_wise.iter().flat_map(|b| b.split(4)).collect();
 
     let schemes: [(&'static str, Vec<ByteSize>); 3] = [
         ("one-shot", one_shot),

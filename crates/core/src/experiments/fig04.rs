@@ -62,7 +62,12 @@ pub fn run_with(params: &CostParams, ps: &[usize], ns: &[ByteSize]) -> Vec<Row> 
 pub fn to_csv(rows: &[Row]) -> String {
     let mut out = String::from("p,bytes,ring_over_tree\n");
     for r in rows {
-        out.push_str(&format!("{},{},{:.4}\n", r.p, r.n.as_u64(), r.ring_over_tree));
+        out.push_str(&format!(
+            "{},{},{:.4}\n",
+            r.p,
+            r.n.as_u64(),
+            r.ring_over_tree
+        ));
     }
     out
 }

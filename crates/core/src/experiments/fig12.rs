@@ -2,9 +2,7 @@
 //! measured by the discrete-event simulator and compared against the
 //! §II-C cost model.
 
-use ccube_collectives::cost::{
-    self, k_opt, t_double_tree_chunked, t_overlapped_double_chunked,
-};
+use ccube_collectives::cost::{self, k_opt, t_double_tree_chunked, t_overlapped_double_chunked};
 use ccube_collectives::{tree_allreduce, Chunking, DoubleBinaryTree, Embedding, Overlap};
 use ccube_sim::{simulate, SimOptions};
 use ccube_topology::{dgx1, ByteSize, Seconds};

@@ -74,8 +74,7 @@ pub fn run_with(batches: &[usize]) -> Vec<Row> {
 pub fn run_simulated(batches: &[usize]) -> Vec<Row> {
     use crate::arrivals::ChunkArrivals;
     use ccube_collectives::{
-        ring_allreduce_multi, tree_allreduce, Chunking, DoubleBinaryTree, Embedding, Overlap,
-        Rank,
+        ring_allreduce_multi, tree_allreduce, Chunking, DoubleBinaryTree, Embedding, Overlap, Rank,
     };
     use ccube_sim::{simulate, SimOptions};
     use ccube_topology::{dgx1, disjoint_rings};
@@ -118,8 +117,7 @@ pub fn run_simulated(batches: &[usize]) -> Vec<Row> {
             let base = tree_arrivals(Overlap::None);
             let over = tree_arrivals(Overlap::ReductionBroadcast);
             let ring_schedule = ring_allreduce_multi(n, &ring_orders);
-            let ring_emb =
-                Embedding::identity(&topo, &ring_schedule).expect("embeddable");
+            let ring_emb = Embedding::identity(&topo, &ring_schedule).expect("embeddable");
             let ring_time = simulate(&topo, &ring_schedule, &ring_emb, &opts)
                 .expect("simulates")
                 .makespan();

@@ -146,8 +146,7 @@ mod tests {
         // barely moves with batch size.
         let small = run_with(16);
         let large = run_with(128);
-        let loss =
-            |rows: &[Row]| 1.0 - rows.iter().map(|r| r.normalized_perf).fold(1.0, f64::min);
+        let loss = |rows: &[Row]| 1.0 - rows.iter().map(|r| r.normalized_perf).fold(1.0, f64::min);
         assert!((loss(&small) - loss(&large)).abs() < 0.02);
     }
 }

@@ -33,10 +33,7 @@ impl fmt::Display for Row {
 
 /// Evaluates the three canonical cases on an 8-rank DGX-1-like machine.
 pub fn run() -> Vec<Row> {
-    [case1(), case2(), case3()]
-        .iter()
-        .map(evaluate)
-        .collect()
+    [case1(), case2(), case3()].iter().map(evaluate).collect()
 }
 
 /// Evaluates one pattern under C-Cube.
@@ -54,8 +51,7 @@ pub fn evaluate(pattern: &Pattern) -> Row {
 
 /// Renders rows as CSV.
 pub fn to_csv(rows: &[Row]) -> String {
-    let mut out =
-        String::from("case,t_iter_us,total_bubble_us,turnaround_us,chain_efficiency\n");
+    let mut out = String::from("case,t_iter_us,total_bubble_us,turnaround_us,chain_efficiency\n");
     for r in rows {
         out.push_str(&format!(
             "{},{:.2},{:.2},{:.2},{:.4}\n",

@@ -96,9 +96,10 @@ mod tests {
         // The paper's takeaway: compute-to-communication ratio falls with
         // layer index, which is what makes Case-1 chaining work.
         let rows = run(64);
-        let ratio_corr = trend(rows.iter().map(|r| {
-            r.fwd_time.as_secs_f64() / r.param_bytes.as_u64().max(1) as f64
-        }));
+        let ratio_corr = trend(
+            rows.iter()
+                .map(|r| r.fwd_time.as_secs_f64() / r.param_bytes.as_u64().max(1) as f64),
+        );
         assert!(ratio_corr < -0.2, "compute/comm trend {ratio_corr}");
     }
 

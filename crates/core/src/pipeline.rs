@@ -99,9 +99,7 @@ pub struct ChainedForward {
 impl ChainedForward {
     /// Total bubble time across layers.
     pub fn total_bubble(&self) -> Seconds {
-        self.bubbles
-            .iter()
-            .fold(Seconds::ZERO, |acc, &b| acc + b)
+        self.bubbles.iter().fold(Seconds::ZERO, |acc, &b| acc + b)
     }
 }
 
@@ -287,9 +285,7 @@ impl TrainingPipeline {
 
     /// Total forward time.
     pub fn t_fwd(&self) -> Seconds {
-        self.layer_fwd
-            .iter()
-            .fold(Seconds::ZERO, |acc, &t| acc + t)
+        self.layer_fwd.iter().fold(Seconds::ZERO, |acc, &t| acc + t)
     }
 
     /// Per-layer forward times, input-side first.
@@ -447,8 +443,7 @@ impl TrainingPipeline {
                 1.0 / layers as f64
             };
             bwd_done += self.t_bwd * share;
-            let comm = launch_overhead
-                + cost::t_ring(&self.ring, self.p, self.layer_grads[l]);
+            let comm = launch_overhead + cost::t_ring(&self.ring, self.p, self.layer_grads[l]);
             comm_end = comm_end.max(bwd_done) + comm;
             if l == 0 {
                 first_layer_comm_end = comm_end;
@@ -534,10 +529,7 @@ mod tests {
     fn chain_forward_bubbles_when_gradients_are_late() {
         let fwd = vec![Seconds::from_millis(1.0); 2];
         // layer 1's chunk arrives at t=5, long after layer 0 finished
-        let arrivals = ChunkArrivals::new(vec![
-            Seconds::ZERO,
-            Seconds::from_millis(5.0),
-        ]);
+        let arrivals = ChunkArrivals::new(vec![Seconds::ZERO, Seconds::from_millis(5.0)]);
         let chain = chain_forward(&fwd, &[1, 2], &arrivals);
         assert_eq!(chain.starts[1], Seconds::from_millis(5.0));
         assert_eq!(chain.bubbles[1], Seconds::from_millis(4.0));
@@ -591,8 +583,8 @@ mod tests {
         }
         let drop_b = hi.iteration(Mode::Baseline).normalized_perf
             - lo.iteration(Mode::Baseline).normalized_perf;
-        let drop_cc = hi.iteration(Mode::CCube).normalized_perf
-            - lo.iteration(Mode::CCube).normalized_perf;
+        let drop_cc =
+            hi.iteration(Mode::CCube).normalized_perf - lo.iteration(Mode::CCube).normalized_perf;
         assert!(drop_cc < drop_b);
     }
 

@@ -141,8 +141,8 @@ mod tests {
         // `t_bwd + chained-forward-finish` the closed-form CC iteration
         // prices.
         let closed = pipeline.iteration(Mode::CCube).t_iter;
-        let rel = (report.makespan.as_secs_f64() - closed.as_secs_f64()).abs()
-            / closed.as_secs_f64();
+        let rel =
+            (report.makespan.as_secs_f64() - closed.as_secs_f64()).abs() / closed.as_secs_f64();
         assert!(
             rel < 0.03,
             "co-sim {} vs closed form {} ({:.2}% off)",

@@ -14,10 +14,19 @@
 //! * iteration 0 has no inbound gradients, so the timeline exhibits a
 //!   warm-up iteration followed by a steady state — which must agree
 //!   with the closed-form model for homogeneous GPUs (tested).
+//!
+//! The roll-out executes on the workspace-wide DES machinery: every
+//! forward layer and backward pass is an event on a
+//! [`Kernel`](ccube_sim::Kernel), and each GPU is one exclusive
+//! [`ComputeStream`](ccube_sim::ComputeStream) whose slowdown factor
+//! models the Fig. 15 forwarding-occupancy tax — the same kernel and
+//! resources [`ccube_sim::simulate`] and [`ccube_sim::simulate_system`]
+//! run on.
 
 use crate::arrivals::ChunkArrivals;
-use crate::pipeline::{chain_forward, Mode, TrainingPipeline};
+use crate::pipeline::{Mode, TrainingPipeline};
 use ccube_collectives::Overlap;
+use ccube_sim::{ComputeStream, Kernel};
 use ccube_topology::Seconds;
 use std::fmt;
 
@@ -122,20 +131,26 @@ impl<'a> TimelineSim<'a> {
     fn arrivals(&self) -> ChunkArrivals {
         match self.mode {
             Mode::Baseline | Mode::Chained => self.pipeline.tree_arrivals(Overlap::None),
-            Mode::OverlappedTree | Mode::CCube => self
-                .pipeline
-                .tree_arrivals(Overlap::ReductionBroadcast),
+            Mode::OverlappedTree | Mode::CCube => {
+                self.pipeline.tree_arrivals(Overlap::ReductionBroadcast)
+            }
             // The timeline rolls the one-shot strategies; backward
             // overlap is priced by `backward_overlap_iteration` and gets
             // the ring's (everything-at-the-end) arrival curve here.
-            Mode::Ring | Mode::BackwardOverlap => ChunkArrivals::ring_uniform(
-                self.pipeline.ring_time(),
-                self.pipeline.num_chunks(),
-            ),
+            Mode::Ring | Mode::BackwardOverlap => {
+                ChunkArrivals::ring_uniform(self.pipeline.ring_time(), self.pipeline.num_chunks())
+            }
         }
     }
 
     /// Runs `iterations` training iterations and returns the timeline.
+    ///
+    /// Every forward layer and backward pass is an event on the shared
+    /// DES [`Kernel`]; GPUs are exclusive [`ComputeStream`]s. In the
+    /// chained modes, layer `l` of iteration `i + 1` is gated on the
+    /// arrival of its parameter chunks from iteration `i`'s collective;
+    /// otherwise the whole forward pass waits for the collective to
+    /// finish.
     ///
     /// # Panics
     ///
@@ -146,65 +161,160 @@ impl<'a> TimelineSim<'a> {
         let arrivals = self.arrivals();
         let table = self.pipeline.layer_chunk_table();
         let layer_fwd = self.pipeline.layer_fwd_times();
+        let num_layers = layer_fwd.len();
         let t_bwd = self.pipeline.t_bwd();
         let comm_makespan = arrivals.last();
+        let chained = self.mode.is_chained();
 
-        // fwd_done[g]: wall-clock time GPU g finished the current
-        // iteration's forward pass.
-        let mut fwd_done = vec![Seconds::ZERO; p];
-        let mut gpu_busy = vec![Seconds::ZERO; p];
-        let mut iteration_ends = Vec::with_capacity(iterations);
+        let mut kernel: Kernel<Ev> = Kernel::new();
+        let mut streams: Vec<ComputeStream> = self
+            .compute_slowdown
+            .iter()
+            .map(|&f| ComputeStream::with_slowdown(f))
+            .collect();
+
+        // Forward passes run 0..=iterations; backward and the collective
+        // run once per iteration 0..iterations.
+        let mut last_fwd_done = vec![Seconds::ZERO; iterations + 1];
+        let mut bwd_remaining = vec![p; iterations];
+        let mut comm_start = vec![Seconds::ZERO; iterations];
+        let mut comm_end = vec![Seconds::ZERO; iterations];
 
         // Iteration 0's forward pass runs unconstrained from t=0.
         for g in 0..p {
-            let t: f64 = layer_fwd
-                .iter()
-                .map(|l| l.as_secs_f64() * self.compute_slowdown[g])
-                .sum();
-            fwd_done[g] = Seconds::new(t);
-            gpu_busy[g] += fwd_done[g];
+            schedule_layer(&mut kernel, &mut streams, layer_fwd, g, 0, 0, Seconds::ZERO);
         }
 
-        for _iter in 0..iterations {
-            // Backward on each GPU, then the one-shot collective waits
-            // for the slowest.
-            let mut bwd_done = vec![Seconds::ZERO; p];
-            for g in 0..p {
-                let b = t_bwd * self.compute_slowdown[g];
-                bwd_done[g] = fwd_done[g] + b;
-                gpu_busy[g] += b;
-            }
-            let comm_start = bwd_done
-                .iter()
-                .copied()
-                .fold(Seconds::ZERO, Seconds::max);
-
-            // Next iteration's forward pass per GPU.
-            let mut iter_end = comm_start + comm_makespan;
-            for g in 0..p {
-                let scaled: Vec<Seconds> = layer_fwd
-                    .iter()
-                    .map(|l| *l * self.compute_slowdown[g])
-                    .collect();
-                let fwd_time: f64 = scaled.iter().map(|l| l.as_secs_f64()).sum();
-                if self.mode.is_chained() {
-                    let chain = chain_forward(&scaled, &table, &arrivals);
-                    fwd_done[g] = comm_start + chain.finish;
-                } else {
-                    fwd_done[g] = comm_start + comm_makespan + Seconds::new(fwd_time);
+        while let Some((now, ev)) = kernel.pop() {
+            match ev {
+                Ev::LayerDone { gpu, pass, layer } => {
+                    let g = gpu as usize;
+                    let dur = streams[g].scale(layer_fwd[layer as usize]);
+                    streams[g].release(dur);
+                    let next = layer as usize + 1;
+                    if next < num_layers {
+                        // Chained modes gate each layer on its chunks'
+                        // arrival; pass 0 and the one-shot modes only
+                        // chain on the previous layer.
+                        let gate = if pass > 0 && chained {
+                            comm_start[pass as usize - 1] + arrivals.ready_after(table[next])
+                        } else {
+                            Seconds::ZERO
+                        };
+                        schedule_layer(
+                            &mut kernel,
+                            &mut streams,
+                            layer_fwd,
+                            g,
+                            pass,
+                            next as u32,
+                            now.max(gate),
+                        );
+                    } else {
+                        let pi = pass as usize;
+                        last_fwd_done[pi] = last_fwd_done[pi].max(now);
+                        if pi < iterations {
+                            let b = streams[g].scale(t_bwd);
+                            assert!(streams[g].acquire(u32::MAX), "stream busy at bwd");
+                            let done = Ev::BwdDone { gpu, pass };
+                            kernel.schedule(now + b, ev_key(done), done);
+                        }
+                    }
                 }
-                gpu_busy[g] += Seconds::new(fwd_time);
-                iter_end = iter_end.max(fwd_done[g]);
+                Ev::BwdDone { gpu, pass } => {
+                    let g = gpu as usize;
+                    let b = streams[g].scale(t_bwd);
+                    streams[g].release(b);
+                    let pi = pass as usize;
+                    bwd_remaining[pi] -= 1;
+                    if bwd_remaining[pi] == 0 {
+                        // Synchronous barrier: the one-shot collective
+                        // starts when the slowest GPU finishes backward —
+                        // i.e. now, since events pop in time order.
+                        comm_start[pi] = now;
+                        let done = Ev::CommDone { pass };
+                        kernel.schedule(now + comm_makespan, ev_key(done), done);
+                        // Release every GPU into the next forward pass.
+                        let gate = if chained {
+                            now + arrivals.ready_after(table[0])
+                        } else {
+                            now + comm_makespan
+                        };
+                        for g2 in 0..p {
+                            schedule_layer(
+                                &mut kernel,
+                                &mut streams,
+                                layer_fwd,
+                                g2,
+                                pass + 1,
+                                0,
+                                gate,
+                            );
+                        }
+                    }
+                }
+                Ev::CommDone { pass } => {
+                    comm_end[pass as usize] = now;
+                }
             }
-            iteration_ends.push(iter_end);
         }
 
+        let iteration_ends: Vec<Seconds> = (0..iterations)
+            .map(|i| comm_end[i].max(last_fwd_done[i + 1]))
+            .collect();
         TimelineReport {
             makespan: *iteration_ends.last().expect("at least one iteration"),
             iteration_ends,
-            gpu_busy,
+            gpu_busy: streams.iter().map(|s| s.busy()).collect(),
         }
     }
+}
+
+/// Events of the multi-iteration roll-out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(clippy::enum_variant_names)]
+enum Ev {
+    /// GPU `gpu` finished forward layer `layer` of pass `pass`.
+    LayerDone { gpu: u32, pass: u32, layer: u32 },
+    /// GPU `gpu` finished pass `pass`'s backward.
+    BwdDone { gpu: u32, pass: u32 },
+    /// Iteration `pass`'s collective delivered its last chunk.
+    CommDone { pass: u32 },
+}
+
+/// Deterministic tie-break key: pass major, then GPU, then stage.
+fn ev_key(ev: Ev) -> u64 {
+    match ev {
+        Ev::LayerDone { gpu, pass, layer } => {
+            (u64::from(pass) << 32) | (u64::from(gpu) << 16) | u64::from(layer)
+        }
+        Ev::BwdDone { gpu, pass } => (u64::from(pass) << 32) | (u64::from(gpu) << 16) | 0xFFFF,
+        Ev::CommDone { pass } => (u64::from(pass) << 32) | 0xFFFF_FFFF,
+    }
+}
+
+/// Occupies `g`'s compute stream with layer `layer` of pass `pass`,
+/// finishing `scaled duration` after `at`.
+fn schedule_layer(
+    kernel: &mut Kernel<Ev>,
+    streams: &mut [ComputeStream],
+    layer_fwd: &[Seconds],
+    g: usize,
+    pass: u32,
+    layer: u32,
+    at: Seconds,
+) {
+    let dur = streams[g].scale(layer_fwd[layer as usize]);
+    assert!(
+        streams[g].acquire(layer),
+        "per-GPU forward layers are sequential"
+    );
+    let ev = Ev::LayerDone {
+        gpu: g as u32,
+        pass,
+        layer,
+    };
+    kernel.schedule(at + dur, ev_key(ev), ev);
 }
 
 #[cfg(test)]

@@ -130,7 +130,6 @@ impl Layer {
         ByteSize::new(self.params * 4)
     }
 
-
     /// The layer's gradient *tensors* as the framework sees them: a conv
     /// layer contributes its weight tensor plus the two batch-norm
     /// tensors; a fully connected layer its weight plus bias. Layer-wise

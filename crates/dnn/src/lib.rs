@@ -60,5 +60,7 @@ pub use zfnet::zfnet;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
-    pub use crate::{gnmt, resnet50, transformer_big, vgg16, zfnet, ComputeModel, Layer, LayerKind, NetworkModel};
+    pub use crate::{
+        gnmt, resnet50, transformer_big, vgg16, zfnet, ComputeModel, Layer, LayerKind, NetworkModel,
+    };
 }

@@ -73,9 +73,7 @@ impl Pattern {
 
     /// Total forward time.
     pub fn total_fwd_time(&self) -> Seconds {
-        self.fwd_times
-            .iter()
-            .fold(Seconds::ZERO, |acc, &t| acc + t)
+        self.fwd_times.iter().fold(Seconds::ZERO, |acc, &t| acc + t)
     }
 }
 
@@ -132,7 +130,11 @@ pub fn case1() -> Pattern {
 /// Case 2 of Fig. 16: forward compute *increasing* with depth — bubbles
 /// appear because forward layers outrun the arriving gradients.
 pub fn case2() -> Pattern {
-    Pattern::new("case2_compute_inverted", fwd_increasing(), grads_increasing())
+    Pattern::new(
+        "case2_compute_inverted",
+        fwd_increasing(),
+        grads_increasing(),
+    )
 }
 
 /// Case 3 of Fig. 16: gradient size decreasing with depth (heavy early

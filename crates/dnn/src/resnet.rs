@@ -54,12 +54,28 @@ pub fn resnet50() -> NetworkModel {
             // 1x1 reduce operates on the input resolution.
             layers.push(Layer::conv(tag("1x1a"), in_size, in_size, cin, mid, 1, 1));
             // 3x3 (possibly strided) brings the map to the stage size.
-            layers.push(Layer::conv(tag("3x3"), in_size, in_size, mid, mid, 3, stride));
+            layers.push(Layer::conv(
+                tag("3x3"),
+                in_size,
+                in_size,
+                mid,
+                mid,
+                3,
+                stride,
+            ));
             // 1x1 expand at the stage resolution.
             layers.push(Layer::conv(tag("1x1b"), size, size, mid, cout, 1, 1));
             if first {
                 // Projection shortcut.
-                layers.push(Layer::conv(tag("down"), in_size, in_size, cin, cout, 1, stride));
+                layers.push(Layer::conv(
+                    tag("down"),
+                    in_size,
+                    in_size,
+                    cin,
+                    cout,
+                    1,
+                    stride,
+                ));
             }
         }
     }

@@ -43,7 +43,12 @@ pub fn feed_forward(name: impl Into<String>, d_model: u64, d_ff: u64) -> Layer {
 /// do for the shared embedding).
 pub fn embedding(name: impl Into<String>, vocab: u64, d_model: u64) -> Layer {
     // lookup compute is negligible next to the matmuls
-    Layer::new(name, LayerKind::Embedding, vocab * d_model, 2 * d_model * SEQ_LEN)
+    Layer::new(
+        name,
+        LayerKind::Embedding,
+        vocab * d_model,
+        2 * d_model * SEQ_LEN,
+    )
 }
 
 /// The GNMT translation model of the MLPerf suite: shared 32k-vocab
@@ -147,7 +152,11 @@ mod tests {
 
     #[test]
     fn tensor_decomposition_covers_new_kinds() {
-        for layer in [lstm("l", 64, 64), attention("a", 64), embedding("e", 100, 64)] {
+        for layer in [
+            lstm("l", 64, 64),
+            attention("a", 64),
+            embedding("e", 100, 64),
+        ] {
             let total: u64 = layer.tensor_bytes().iter().map(|b| b.as_u64()).sum();
             assert_eq!(total, layer.param_bytes().as_u64(), "{}", layer.name());
         }

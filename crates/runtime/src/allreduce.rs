@@ -492,8 +492,7 @@ mod tests {
     #[test]
     fn double_tree_overlapped_matches_reference() {
         let dt = DoubleBinaryTree::new(8).unwrap();
-        let rt =
-            TreeAllReduceRuntime::new(dt.trees().to_vec(), Overlap::ReductionBroadcast, 16);
+        let rt = TreeAllReduceRuntime::new(dt.trees().to_vec(), Overlap::ReductionBroadcast, 16);
         let inputs = integer_inputs(8, 256, 3);
         let expect = reference_sum(&inputs);
         let out = rt.run(inputs).unwrap();

@@ -236,11 +236,7 @@ impl ChainedRun {
     /// # Errors
     ///
     /// Returns [`RuntimeError`] variants for malformed inputs.
-    pub fn run<F>(
-        &self,
-        inputs: Vec<Vec<f32>>,
-        on_layer: F,
-    ) -> Result<ChainedOutput, RuntimeError>
+    pub fn run<F>(&self, inputs: Vec<Vec<f32>>, on_layer: F) -> Result<ChainedOutput, RuntimeError>
     where
         F: Fn(usize, usize) + Sync,
     {
@@ -253,10 +249,7 @@ impl ChainedRun {
         // semaphores so the broadcast kernels post straight into them.
         let queues: Vec<GradientQueue> = (0..p)
             .map(|r| {
-                GradientQueue::with_semaphores(
-                    state.enqueue[r].clone(),
-                    &self.layer_chunk_table,
-                )
+                GradientQueue::with_semaphores(state.enqueue[r].clone(), &self.layer_chunk_table)
             })
             .collect::<Result<_, _>>()?;
 
@@ -279,8 +272,7 @@ impl ChainedRun {
                     // The Layer Index Counter walks the layers in order.
                     for layer in 0..queue.num_layers() {
                         queue.wait_layer(layer);
-                        let available: i64 =
-                            (0..num_trees).map(|t| queue.enqueued(t)).sum();
+                        let available: i64 = (0..num_trees).map(|t| queue.enqueued(t)).sum();
                         let n = seq.fetch_add(1, Ordering::SeqCst);
                         on_layer(r, layer);
                         ev.push(LayerEvent {
@@ -339,8 +331,7 @@ mod tests {
     #[test]
     fn chained_run_matches_reference_and_orders_layers() {
         let dt = DoubleBinaryTree::new(8).unwrap();
-        let rt =
-            TreeAllReduceRuntime::new(dt.trees().to_vec(), Overlap::ReductionBroadcast, 16);
+        let rt = TreeAllReduceRuntime::new(dt.trees().to_vec(), Overlap::ReductionBroadcast, 16);
         let chained = ChainedRun::new(rt, vec![2, 5, 9, 16]).unwrap();
         let inp = inputs(8, 160);
         let expect = reference(&inp);
@@ -365,8 +356,7 @@ mod tests {
     fn gate_never_opens_early() {
         // chunks_available at gate time must cover the layer requirement.
         let dt = DoubleBinaryTree::new(4).unwrap();
-        let rt =
-            TreeAllReduceRuntime::new(dt.trees().to_vec(), Overlap::ReductionBroadcast, 8);
+        let rt = TreeAllReduceRuntime::new(dt.trees().to_vec(), Overlap::ReductionBroadcast, 8);
         let table = vec![1, 4, 8];
         let chained = ChainedRun::new(rt, table.clone()).unwrap();
         let (_, events) = chained.run(inputs(4, 64), |_, _| {}).unwrap();
@@ -411,8 +401,7 @@ mod tests {
     fn on_layer_callback_sees_every_rank() {
         use std::sync::atomic::AtomicUsize;
         let dt = DoubleBinaryTree::new(4).unwrap();
-        let rt =
-            TreeAllReduceRuntime::new(dt.trees().to_vec(), Overlap::ReductionBroadcast, 4);
+        let rt = TreeAllReduceRuntime::new(dt.trees().to_vec(), Overlap::ReductionBroadcast, 4);
         let chained = ChainedRun::new(rt, vec![4]).unwrap();
         let calls = AtomicUsize::new(0);
         let _ = chained

@@ -87,8 +87,8 @@ impl Trainer {
     /// Returns [`RuntimeError::InvalidLayerTable`] if the layer table is
     /// inconsistent with the chunk count.
     pub fn new(config: TrainerConfig) -> Result<Self, RuntimeError> {
-        let trees =
-            DoubleBinaryTree::new(config.num_ranks).map_err(|e| RuntimeError::InvalidLayerTable(e.to_string()))?;
+        let trees = DoubleBinaryTree::new(config.num_ranks)
+            .map_err(|e| RuntimeError::InvalidLayerTable(e.to_string()))?;
         let rt = TreeAllReduceRuntime::new(
             trees.trees().to_vec(),
             Overlap::ReductionBroadcast,

@@ -1,11 +1,23 @@
-//! The discrete-event engine.
+//! The network engine: a thin scheduler over the DES kernel.
+//!
+//! [`simulate`] no longer owns an event loop of its own. The schedule is
+//! lowered once ([`ccube_collectives::lower_schedule`]) into physical
+//! [`TransferSpec`](ccube_collectives::TransferSpec)s, channel
+//! exclusivity and arbitration live in
+//! [`ChannelPool`](crate::resource::ChannelPool), and event ordering is
+//! the [`Kernel`](crate::kernel::Kernel)'s: completions pop in
+//! `(time, transfer id, sequence)` order, reproducing the historical
+//! engine's tie-break exactly, so results are bit-identical to the
+//! pre-kernel implementation.
 
 use crate::error::SimError;
-use crate::report::{SimReport, TransferTiming};
-use ccube_collectives::{EdgeKey, Embedding, Schedule};
+use crate::kernel::Kernel;
+use crate::report::{SimReport, SimStats, TransferTiming};
+use crate::resource::ChannelPool;
+use crate::trace::{SimTrace, TraceRecord};
+use ccube_collectives::{lower_schedule, Embedding, LinkTiming, Schedule, TransferSpec};
 use ccube_topology::{Seconds, Topology};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::HashMap;
 
 /// How a busy channel picks its next transfer when several are waiting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -38,6 +50,8 @@ pub struct SimOptions {
     pub forwarding_latency: Seconds,
     /// Channel arbitration policy.
     pub arbitration: Arbitration,
+    /// Ring capacity of the structured trace each run records.
+    pub trace_capacity: usize,
 }
 
 impl Default for SimOptions {
@@ -46,6 +60,7 @@ impl Default for SimOptions {
             bandwidth_scale: 1.0,
             forwarding_latency: Seconds::from_micros(0.5),
             arbitration: Arbitration::FifoHol,
+            trace_capacity: SimTrace::DEFAULT_CAPACITY,
         }
     }
 }
@@ -66,18 +81,36 @@ impl SimOptions {
             ..SimOptions::default()
         }
     }
+
+    /// The link-timing subset of the options, for lowering.
+    pub(crate) fn link_timing(&self) -> LinkTiming {
+        LinkTiming {
+            bandwidth_scale: self.bandwidth_scale,
+            forwarding_latency: self.forwarding_latency,
+        }
+    }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum State {
-    /// Waiting on dependencies.
-    Blocked,
-    /// Dependencies met, waiting for channels.
-    Ready,
-    /// Occupying its channels.
-    Running,
-    /// Finished.
-    Done,
+/// Shared start bookkeeping: stamps timings, schedules the completion
+/// event (tie-break key = transfer id, the historical order), and
+/// records the trace entry.
+fn begin_transfer(
+    tid: u32,
+    now: Seconds,
+    specs: &[TransferSpec],
+    timings: &mut [TransferTiming],
+    kernel: &mut Kernel<u32>,
+    trace: &mut SimTrace,
+) {
+    let t = tid as usize;
+    timings[t].start = now;
+    let finish = now + specs[t].duration;
+    timings[t].complete = finish;
+    kernel.schedule(finish, u64::from(tid), tid);
+    trace.push(TraceRecord::TransferStart {
+        id: specs[t].id,
+        at: now,
+    });
 }
 
 /// Simulates `schedule` over `topo` using the routes in `embedding`.
@@ -125,45 +158,10 @@ pub fn simulate(
     let n = transfers.len();
     let num_channels = topo.channels().len();
 
-    // Resolve each transfer's physical path and duration.
-    let mut paths: Vec<&[ccube_topology::ChannelId]> = Vec::with_capacity(n);
-    let mut durations: Vec<Seconds> = Vec::with_capacity(n);
-    let mut via_gpu: Vec<Option<ccube_topology::GpuId>> = Vec::with_capacity(n);
-    let mut route_cache: HashMap<EdgeKey, usize> = HashMap::new();
-    for t in transfers {
-        let key = EdgeKey {
-            src: t.src,
-            dst: t.dst,
-            tree: t.tree,
-        };
-        let route = embedding.route(&key).ok_or(SimError::MissingRoute(key))?;
-        for &c in route.channels() {
-            if c.index() >= num_channels {
-                return Err(SimError::UnknownChannel {
-                    edge: key,
-                    channel_index: c.index(),
-                });
-            }
-        }
-        route_cache.entry(key).or_insert_with(|| route.channels().len());
-        let mut alpha = Seconds::ZERO;
-        let mut bottleneck = f64::INFINITY;
-        for &c in route.channels() {
-            let ch = topo.channel(c);
-            alpha += ch.latency();
-            bottleneck = bottleneck.min(ch.bandwidth().as_bytes_per_sec());
-        }
-        if route.is_detour() {
-            alpha += opts.forwarding_latency;
-        }
-        let serialization =
-            Seconds::new(t.bytes.as_f64() / (bottleneck * opts.bandwidth_scale));
-        paths.push(route.channels());
-        durations.push(alpha + serialization);
-        via_gpu.push(route.via());
-    }
+    let specs = lower_schedule(schedule, embedding, topo, &opts.link_timing())?;
 
-    // Dependency bookkeeping.
+    // Dependency bookkeeping stays with the scheduler; resources and
+    // arbitration live in the pool.
     let mut deps_remaining: Vec<u32> = transfers.iter().map(|t| t.deps.len() as u32).collect();
     let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); n];
     for t in transfers {
@@ -172,9 +170,12 @@ pub fn simulate(
         }
     }
 
-    let mut state = vec![State::Blocked; n];
-    let mut channel_free = vec![true; num_channels];
-    let mut pending: Vec<VecDeque<u32>> = vec![VecDeque::new(); num_channels];
+    let mut pool = ChannelPool::new(num_channels, opts.arbitration);
+    for s in &specs {
+        pool.add_task(s.path.clone(), (s.chunk.0, s.id.0));
+    }
+    let mut kernel: Kernel<u32> = Kernel::new();
+    let mut trace = SimTrace::bounded(opts.trace_capacity);
     let mut timings = vec![
         TransferTiming {
             start: Seconds::ZERO,
@@ -182,216 +183,71 @@ pub fn simulate(
         };
         n
     ];
-    let mut channel_busy = vec![Seconds::ZERO; num_channels];
     let mut forwarding_busy: HashMap<ccube_topology::GpuId, Seconds> = HashMap::new();
 
-    // Event queue of completions, ordered by time then transfer id.
-    let mut events: BinaryHeap<Reverse<(Seconds, u32)>> = BinaryHeap::new();
-    let mut remaining = n;
-
-    // Priority key: lowest chunk id first, ties broken by transfer id.
-    let key = |t: usize| (transfers[t].chunk, t as u32);
-
-    // Attempts to start a ready transfer; returns true if started. With
-    // chunk-priority arbitration a transfer also yields to any waiting
-    // transfer of an older chunk on any channel of its path (the freed
-    // channel is implicitly *reserved* for the older chunk).
-    let try_start = |tid: usize,
-                     now: Seconds,
-                     force: bool,
-                     state: &mut Vec<State>,
-                     channel_free: &mut Vec<bool>,
-                     pending: &mut Vec<VecDeque<u32>>,
-                     timings: &mut Vec<TransferTiming>,
-                     events: &mut BinaryHeap<Reverse<(Seconds, u32)>>|
-     -> bool {
-        if state[tid] != State::Ready {
-            return false;
-        }
-        let path = paths[tid];
-        let channels_free = path.iter().all(|c| channel_free[c.index()]);
-        let priority_ok = force
-            || match opts.arbitration {
-                Arbitration::FifoHol => true,
-                Arbitration::ChunkPriority => path.iter().all(|c| {
-                    pending[c.index()].iter().all(|&w| {
-                        let w = w as usize;
-                        w == tid || state[w] != State::Ready || key(w) >= key(tid)
-                    })
-                }),
-            };
-        if !(channels_free && priority_ok) {
-            // Queue on every channel of the path so any future release
-            // re-attempts the start.
-            for c in path {
-                if !pending[c.index()].contains(&(tid as u32)) {
-                    pending[c.index()].push_back(tid as u32);
-                }
-            }
-            return false;
-        }
-        for c in path {
-            channel_free[c.index()] = false;
-            if let Some(pos) = pending[c.index()].iter().position(|&x| x == tid as u32) {
-                pending[c.index()].remove(pos);
-            }
-        }
-        state[tid] = State::Running;
-        timings[tid].start = now;
-        let finish = now + durations[tid];
-        timings[tid].complete = finish;
-        events.push(Reverse((finish, tid as u32)));
-        true
-    };
-
     // Seed: transfers with no dependencies are ready at t=0.
-    for tid in 0..n {
-        if deps_remaining[tid] == 0 {
-            state[tid] = State::Ready;
-        }
-    }
-    for tid in 0..n {
-        if state[tid] == State::Ready {
-            try_start(
+    for tid in 0..n as u32 {
+        if deps_remaining[tid as usize] == 0 && pool.mark_ready(tid, Seconds::ZERO, &mut trace) {
+            begin_transfer(
                 tid,
                 Seconds::ZERO,
-                false,
-                &mut state,
-                &mut channel_free,
-                &mut pending,
+                &specs,
                 &mut timings,
-                &mut events,
+                &mut kernel,
+                &mut trace,
             );
         }
     }
 
-    let mut sim_now = Seconds::ZERO;
+    let mut remaining = n;
+    let mut started = Vec::new();
     while remaining > 0 {
-        let Some(Reverse((now, tid32))) = events.pop() else {
+        let Some((now, tid)) = kernel.pop() else {
             // Nothing in flight but transfers remain: priority
             // reservations can starve each other in a cycle; break the
             // stall by force-starting the best startable ready transfer.
-            let mut ready: Vec<usize> = (0..n).filter(|&t| state[t] == State::Ready).collect();
-            ready.sort_by_key(|&t| key(t));
-            let started = ready.into_iter().any(|t| {
-                try_start(
-                    t,
-                    sim_now,
-                    true,
-                    &mut state,
-                    &mut channel_free,
-                    &mut pending,
-                    &mut timings,
-                    &mut events,
-                )
-            });
-            if !started {
-                return Err(SimError::Deadlock { remaining });
+            let now = kernel.now();
+            match pool.force_start(now, &mut trace) {
+                Some(t) => {
+                    begin_transfer(t, now, &specs, &mut timings, &mut kernel, &mut trace);
+                    continue;
+                }
+                None => return Err(SimError::Deadlock { remaining }),
             }
-            continue;
         };
-        let tid = tid32 as usize;
-        sim_now = now;
-        debug_assert_eq!(state[tid], State::Running);
-        state[tid] = State::Done;
+        let t = tid as usize;
         remaining -= 1;
-
-        // Release channels and account busy time.
-        for c in paths[tid] {
-            channel_free[c.index()] = true;
-            channel_busy[c.index()] += durations[tid];
+        pool.complete(tid, now);
+        trace.push(TraceRecord::TransferEnd {
+            id: specs[t].id,
+            at: now,
+        });
+        if let Some(via) = specs[t].via {
+            *forwarding_busy.entry(via).or_insert(Seconds::ZERO) += specs[t].duration;
+            trace.push(TraceRecord::DetourHop {
+                id: specs[t].id,
+                via,
+                at: now,
+            });
         }
-        if let Some(via) = via_gpu[tid] {
-            let entry = forwarding_busy.entry(via).or_insert(Seconds::ZERO);
-            *entry += durations[tid];
-        }
 
-        // Unblock dependents.
-        let deps = std::mem::take(&mut dependents[tid]);
+        // Unblock dependents before serving the freed channels — the
+        // historical order, which lets a dependent claim a channel its
+        // own completion just released ahead of the waiter queue.
+        let deps = std::mem::take(&mut dependents[t]);
         for &dep in &deps {
             let d = dep as usize;
             deps_remaining[d] -= 1;
-            if deps_remaining[d] == 0 {
-                state[d] = State::Ready;
-                try_start(
-                    d,
-                    now,
-                    false,
-                    &mut state,
-                    &mut channel_free,
-                    &mut pending,
-                    &mut timings,
-                    &mut events,
-                );
+            if deps_remaining[d] == 0 && pool.mark_ready(dep, now, &mut trace) {
+                begin_transfer(dep, now, &specs, &mut timings, &mut kernel, &mut trace);
             }
         }
 
-        // Serve the queues of the released channels.
-        for c in paths[tid] {
-            let ci = c.index();
-            match opts.arbitration {
-                Arbitration::FifoHol => {
-                    // Strict head-of-line FIFO in readiness order.
-                    while let Some(&head) = pending[ci].front() {
-                        let h = head as usize;
-                        match state[h] {
-                            State::Ready => {
-                                if try_start(
-                                    h,
-                                    now,
-                                    false,
-                                    &mut state,
-                                    &mut channel_free,
-                                    &mut pending,
-                                    &mut timings,
-                                    &mut events,
-                                ) {
-                                    continue;
-                                }
-                                // Head is ready but another channel of its
-                                // path is busy; it stays queued here and
-                                // there.
-                                break;
-                            }
-                            State::Running | State::Done => {
-                                // Started via another channel's queue.
-                                pending[ci].pop_front();
-                            }
-                            State::Blocked => break,
-                        }
-                    }
-                }
-                Arbitration::ChunkPriority => {
-                    // Oldest waiting chunk first; if it cannot start yet
-                    // (another channel of its path is busy), the channel
-                    // idles, reserved for it.
-                    loop {
-                        pending[ci].retain(|&t| state[t as usize] == State::Ready);
-                        let best = pending[ci]
-                            .iter()
-                            .copied()
-                            .min_by_key(|&t| key(t as usize));
-                        let Some(t) = best else { break };
-                        if !try_start(
-                            t as usize,
-                            now,
-                            false,
-                            &mut state,
-                            &mut channel_free,
-                            &mut pending,
-                            &mut timings,
-                            &mut events,
-                        ) {
-                            break;
-                        }
-                    }
-                }
-            }
+        started.clear();
+        pool.serve(tid, now, &mut trace, &mut started);
+        for &s in &started {
+            begin_transfer(s, now, &specs, &mut timings, &mut kernel, &mut trace);
         }
-    }
-
-    if remaining > 0 {
-        return Err(SimError::Deadlock { remaining });
     }
 
     // Derive per-(rank, chunk) completion and per-chunk completion.
@@ -409,6 +265,17 @@ pub fn simulate(
         makespan = makespan.max(finish);
     }
 
+    let kstats = kernel.stats();
+    let stats = SimStats {
+        events_scheduled: kstats.events_scheduled,
+        events_processed: kstats.events_processed,
+        max_event_queue_depth: kstats.max_queue_depth,
+        max_channel_queue_depth: pool.max_waiting(),
+        queue_wait: pool.queue_wait().to_vec(),
+        force_starts: pool.force_starts(),
+    };
+    let channel_busy = pool.busy().to_vec();
+
     Ok(SimReport {
         num_ranks: p,
         num_chunks: k,
@@ -417,7 +284,10 @@ pub fn simulate(
         chunk_complete,
         makespan,
         channel_busy,
+        channel_intervals: pool.into_intervals(),
         forwarding_busy,
+        trace,
+        stats,
     })
 }
 
@@ -425,8 +295,8 @@ pub fn simulate(
 mod tests {
     use super::*;
     use ccube_collectives::{
-        ring_allreduce, tree_allreduce, BinaryTree, ChunkId, Chunking, DoubleBinaryTree,
-        Overlap, Rank,
+        ring_allreduce, tree_allreduce, BinaryTree, ChunkId, Chunking, DoubleBinaryTree, Overlap,
+        Rank,
     };
     use ccube_topology::{dgx1, ByteSize};
 
@@ -501,12 +371,7 @@ mod tests {
         }
         assert_eq!(
             report.makespan(),
-            report
-                .chunk_completions()
-                .iter()
-                .copied()
-                .max()
-                .unwrap()
+            report.chunk_completions().iter().copied().max().unwrap()
         );
     }
 
@@ -567,9 +432,11 @@ mod tests {
         );
         let e = Embedding::identity(&topo, &s).unwrap();
         let report = simulate(&topo, &s, &e, &SimOptions::default()).unwrap();
-        let steps =
-            ccube_collectives::verify::execute_steps(&s, ccube_collectives::verify::ChannelKeying::PerTree)
-                .unwrap();
+        let steps = ccube_collectives::verify::execute_steps(
+            &s,
+            ccube_collectives::verify::ChannelKeying::PerTree,
+        )
+        .unwrap();
         // first chunk completes first in both
         let des_first = report
             .chunk_completions()
@@ -586,5 +453,35 @@ mod tests {
             .unwrap()
             .0;
         assert_eq!(des_first, step_first);
+    }
+
+    #[test]
+    fn trace_and_stats_are_populated() {
+        let report = dgx1_ring_report(ByteSize::mib(8));
+        let starts = report
+            .trace()
+            .records()
+            .filter(|r| matches!(r, TraceRecord::TransferStart { .. }))
+            .count();
+        let ends = report
+            .trace()
+            .records()
+            .filter(|r| matches!(r, TraceRecord::TransferEnd { .. }))
+            .count();
+        assert_eq!(starts, ends);
+        assert!(starts > 0);
+        let stats = report.stats();
+        assert_eq!(stats.events_processed, starts as u64);
+        assert!(stats.max_event_queue_depth > 0);
+        // The ring on DGX-1 contends, so someone waited somewhere.
+        assert!(report.stats().total_queue_wait() > Seconds::ZERO);
+        // Busy intervals sum to the busy counters.
+        for (ci, ivs) in report.channel_intervals().iter().enumerate() {
+            let total = ivs
+                .iter()
+                .fold(Seconds::ZERO, |acc, iv| acc + iv.duration());
+            let diff = (total.as_secs_f64() - report.channel_busy()[ci].as_secs_f64()).abs();
+            assert!(diff < 1e-12, "channel {ci}: {total} vs busy");
+        }
     }
 }

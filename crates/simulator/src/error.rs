@@ -40,13 +40,32 @@ impl fmt::Display for SimError {
                 "route for {edge} references unknown channel index {channel_index}"
             ),
             SimError::Deadlock { remaining } => {
-                write!(f, "simulation deadlocked with {remaining} transfers outstanding")
+                write!(
+                    f,
+                    "simulation deadlocked with {remaining} transfers outstanding"
+                )
             }
         }
     }
 }
 
 impl Error for SimError {}
+
+impl From<ccube_collectives::LowerError> for SimError {
+    fn from(e: ccube_collectives::LowerError) -> Self {
+        use ccube_collectives::LowerError;
+        match e {
+            LowerError::MissingRoute(edge) => SimError::MissingRoute(edge),
+            LowerError::UnknownChannel {
+                edge,
+                channel_index,
+            } => SimError::UnknownChannel {
+                edge,
+                channel_index,
+            },
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

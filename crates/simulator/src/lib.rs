@@ -43,17 +43,26 @@
 
 mod engine;
 mod error;
+pub mod kernel;
 mod report;
+pub mod resource;
 pub mod system;
 mod timeline;
+pub mod trace;
 
 pub use engine::{simulate, Arbitration, SimOptions};
 pub use error::SimError;
-pub use report::SimReport;
-pub use system::{simulate_system, ComputeTask, ComputeTaskId, SystemJob, SystemReport};
-pub use timeline::{render_timeline, TimelineOptions};
+pub use kernel::{Component, ComponentId, Ctx, Kernel, KernelStats, SimRng, Simulation};
+pub use report::{SimReport, SimStats, TransferTiming};
+pub use resource::{ChannelPool, ComputeStream};
+pub use system::{
+    simulate_system, simulate_system_with_slowdowns, ComputeTask, ComputeTaskId, SystemJob,
+    SystemReport,
+};
+pub use timeline::{render_channel_timeline, render_timeline, TimelineOptions};
+pub use trace::{utilization_bins, BusyInterval, SimTrace, TraceRecord};
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
-    pub use crate::{simulate, Arbitration, SimError, SimOptions, SimReport};
+    pub use crate::{simulate, Arbitration, SimError, SimOptions, SimReport, SimStats};
 }

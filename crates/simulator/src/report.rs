@@ -1,7 +1,8 @@
 //! Simulation results.
 
+use crate::trace::{utilization_bins, BusyInterval, SimTrace};
 use ccube_collectives::{ChunkId, Rank};
-use ccube_topology::{GpuId, Seconds};
+use ccube_topology::{ChannelId, GpuId, Seconds};
 use std::collections::HashMap;
 
 /// Timing of a single simulated transfer.
@@ -13,10 +14,40 @@ pub struct TransferTiming {
     pub complete: Seconds,
 }
 
+/// Counters an engine collects while running — the quantitative side of
+/// the observability story (the qualitative side is the [`SimTrace`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimStats {
+    /// Events pushed into the kernel's queue.
+    pub events_scheduled: u64,
+    /// Events popped and processed.
+    pub events_processed: u64,
+    /// High-water mark of the kernel's future-event queue.
+    pub max_event_queue_depth: usize,
+    /// High-water mark across the per-channel waiter queues.
+    pub max_channel_queue_depth: usize,
+    /// Total queue wait charged to each channel, indexed by channel id:
+    /// every started transfer that had to wait contributes its full wait
+    /// to each channel of its path.
+    pub queue_wait: Vec<Seconds>,
+    /// Times the chunk-priority arbiter force-started a transfer to
+    /// break a reservation stall.
+    pub force_starts: u64,
+}
+
+impl SimStats {
+    /// Sum of the per-channel queue waits.
+    pub fn total_queue_wait(&self) -> Seconds {
+        self.queue_wait
+            .iter()
+            .fold(Seconds::ZERO, |acc, &w| acc + w)
+    }
+}
+
 /// The full result of one simulation run.
 ///
 /// All per-chunk quantities use the schedule's global chunk ids.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     pub(crate) num_ranks: usize,
     pub(crate) num_chunks: usize,
@@ -28,7 +59,10 @@ pub struct SimReport {
     pub(crate) chunk_complete: Vec<Seconds>,
     pub(crate) makespan: Seconds,
     pub(crate) channel_busy: Vec<Seconds>,
+    pub(crate) channel_intervals: Vec<Vec<BusyInterval>>,
     pub(crate) forwarding_busy: HashMap<GpuId, Seconds>,
+    pub(crate) trace: SimTrace,
+    pub(crate) stats: SimStats,
 }
 
 impl SimReport {
@@ -91,16 +125,55 @@ impl SimReport {
         &self.channel_busy
     }
 
-    /// Utilization of a channel over the makespan (0.0–1.0).
+    /// Busy intervals of each channel over the run, indexed by channel
+    /// id, in completion order — the raw material for Gantt rendering
+    /// and utilization-over-time analysis.
+    pub fn channel_intervals(&self) -> &[Vec<BusyInterval>] {
+        &self.channel_intervals
+    }
+
+    /// Utilization of `channel` over the simulated horizon (0.0–1.0).
     ///
     /// # Panics
     ///
-    /// Panics if `channel_index` is out of range.
-    pub fn channel_utilization(&self, channel_index: usize) -> f64 {
+    /// Panics if `channel` is out of range.
+    pub fn channel_utilization(&self, channel: ChannelId) -> f64 {
         if self.makespan.is_zero() {
             return 0.0;
         }
-        self.channel_busy[channel_index] / self.makespan
+        self.channel_busy[channel.index()] / self.makespan
+    }
+
+    /// Deprecated index-based alias of
+    /// [`channel_utilization`](SimReport::channel_utilization).
+    #[deprecated(note = "use channel_utilization(ChannelId) instead")]
+    pub fn channel_utilization_index(&self, channel_index: usize) -> f64 {
+        self.channel_utilization(ChannelId(channel_index as u32))
+    }
+
+    /// Utilization of `channel` over time: the makespan divided into
+    /// `bins` equal slices, each reporting the fraction of the slice the
+    /// channel was busy (0.0–1.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range or `bins` is zero.
+    pub fn channel_utilization_timeline(&self, channel: ChannelId, bins: usize) -> Vec<f64> {
+        utilization_bins(
+            &self.channel_intervals[channel.index()],
+            self.makespan,
+            bins,
+        )
+    }
+
+    /// The structured trace recorded during the run.
+    pub fn trace(&self) -> &SimTrace {
+        &self.trace
+    }
+
+    /// The run's counters: events processed, queue depths, queue waits.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
     }
 
     /// Forwarding busy time accumulated by each detour-intermediate GPU.
@@ -135,8 +208,7 @@ impl SimReport {
     /// offline analysis or plotting.
     pub fn trace_csv(&self, schedule: &ccube_collectives::Schedule) -> String {
         use std::fmt::Write as _;
-        let mut out =
-            String::from("transfer_id,phase,src,dst,chunk,bytes,start_us,complete_us\n");
+        let mut out = String::from("transfer_id,phase,src,dst,chunk,bytes,start_us,complete_us\n");
         for t in schedule.transfers() {
             let timing = self.timings[t.id.index()];
             let _ = writeln!(
@@ -153,5 +225,36 @@ impl SimReport {
             );
         }
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccube_collectives::{ring_allreduce, Embedding};
+    use ccube_topology::{dgx1, ByteSize};
+
+    #[test]
+    fn channel_utilization_takes_channel_ids() {
+        let topo = dgx1();
+        let s = ring_allreduce(8, ByteSize::mib(8));
+        let e = Embedding::identity(&topo, &s).unwrap();
+        let report = crate::simulate(&topo, &s, &e, &crate::SimOptions::default()).unwrap();
+        let num_channels = topo.channels().len();
+        let mut any_busy = false;
+        for c in 0..num_channels as u32 {
+            let u = report.channel_utilization(ChannelId(c));
+            assert!((0.0..=1.0).contains(&u));
+            any_busy |= u > 0.0;
+            // The deprecated index-based shim must agree.
+            #[allow(deprecated)]
+            let legacy = report.channel_utilization_index(c as usize);
+            assert_eq!(u, legacy);
+            // The timeline integrates to the same utilization.
+            let bins = report.channel_utilization_timeline(ChannelId(c), 16);
+            let mean = bins.iter().sum::<f64>() / bins.len() as f64;
+            assert!((mean - u).abs() < 1e-9, "channel {c}: {mean} vs {u}");
+        }
+        assert!(any_busy);
     }
 }

@@ -1,0 +1,471 @@
+//! Shared simulated resources: channels and compute streams.
+//!
+//! Both engines used to carry private copies of the channel-arbitration
+//! logic (with subtly divergent bug-fix histories). [`ChannelPool`] is
+//! now the only implementation: it owns the free/busy state of every
+//! channel, the per-channel waiter queues, and the arbitration policy
+//! ([`Arbitration::FifoHol`] strict head-of-line service, or
+//! [`Arbitration::ChunkPriority`] oldest-chunk-first with reservation
+//! semantics and a force-start escape hatch for reservation cycles).
+//! Engines only tell the pool when a task becomes *ready* and when a
+//! running task *completes*; the pool decides who starts, and records
+//! grants, queue waits, busy time, and busy intervals as it does so.
+//!
+//! [`ComputeStream`] is the compute-side resource: one exclusive,
+//! FIFO-ordered stream per GPU, with a slowdown factor that models the
+//! forwarding-occupancy tax detour GPUs pay (Fig. 15) by stretching
+//! every task duration.
+
+use crate::engine::Arbitration;
+use crate::trace::{BusyInterval, SimTrace, TraceRecord};
+use ccube_collectives::TransferId;
+use ccube_topology::{ChannelId, Seconds};
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskState {
+    /// Dependencies not yet satisfied (unknown to the pool's queues).
+    Pending,
+    /// Ready to run, waiting in the queues of its path's channels.
+    Ready,
+    /// Occupying its channels.
+    Running,
+    /// Finished.
+    Done,
+}
+
+/// The exclusive-channel resource manager shared by every engine.
+///
+/// Tasks are registered up front with their channel path and their
+/// arbitration key `(chunk, id)` — lowest key first under
+/// [`Arbitration::ChunkPriority`]. A task occupies **all** channels of
+/// its path at once (wormhole switching) or none.
+#[derive(Debug, Clone)]
+pub struct ChannelPool {
+    arbitration: Arbitration,
+    paths: Vec<Vec<ChannelId>>,
+    keys: Vec<(u32, u32)>,
+    state: Vec<TaskState>,
+    enqueued_at: Vec<Option<Seconds>>,
+    started_at: Vec<Seconds>,
+    free: Vec<bool>,
+    waiters: Vec<VecDeque<u32>>,
+    busy: Vec<Seconds>,
+    intervals: Vec<Vec<BusyInterval>>,
+    queue_wait: Vec<Seconds>,
+    max_waiting: usize,
+    force_starts: u64,
+}
+
+impl ChannelPool {
+    /// A pool over `num_channels` channels with the given policy.
+    pub fn new(num_channels: usize, arbitration: Arbitration) -> Self {
+        ChannelPool {
+            arbitration,
+            paths: Vec::new(),
+            keys: Vec::new(),
+            state: Vec::new(),
+            enqueued_at: Vec::new(),
+            started_at: Vec::new(),
+            free: vec![true; num_channels],
+            waiters: vec![VecDeque::new(); num_channels],
+            busy: vec![Seconds::ZERO; num_channels],
+            intervals: vec![Vec::new(); num_channels],
+            queue_wait: vec![Seconds::ZERO; num_channels],
+            max_waiting: 0,
+            force_starts: 0,
+        }
+    }
+
+    /// Registers a task; ids are dense and assigned in call order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path is empty or references an unknown channel.
+    pub fn add_task(&mut self, path: Vec<ChannelId>, key: (u32, u32)) -> u32 {
+        assert!(!path.is_empty(), "a task needs at least one channel");
+        assert!(
+            path.iter().all(|c| c.index() < self.free.len()),
+            "path references an unknown channel"
+        );
+        let id = self.paths.len() as u32;
+        self.paths.push(path);
+        self.keys.push(key);
+        self.state.push(TaskState::Pending);
+        self.enqueued_at.push(None);
+        self.started_at.push(Seconds::ZERO);
+        id
+    }
+
+    /// Number of registered tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// The channel path of `task`.
+    pub fn path(&self, task: u32) -> &[ChannelId] {
+        &self.paths[task as usize]
+    }
+
+    /// Declares `task`'s dependencies satisfied. Returns `true` if the
+    /// task started immediately (the caller must then schedule its
+    /// completion event at `now + duration`); otherwise it waits in its
+    /// channels' queues.
+    pub fn mark_ready(&mut self, task: u32, now: Seconds, trace: &mut SimTrace) -> bool {
+        debug_assert_eq!(self.state[task as usize], TaskState::Pending);
+        self.state[task as usize] = TaskState::Ready;
+        self.try_start(task, now, false, trace)
+    }
+
+    /// Releases the channels of a completed `task`, charging busy time
+    /// and recording the busy interval. Does **not** serve the freed
+    /// queues — call [`ChannelPool::serve`] after the caller has
+    /// processed the completion's dependency fallout, preserving the
+    /// historical unblock-then-serve order.
+    pub fn complete(&mut self, task: u32, now: Seconds) {
+        let t = task as usize;
+        debug_assert_eq!(self.state[t], TaskState::Running);
+        self.state[t] = TaskState::Done;
+        let started = self.started_at[t];
+        let occupancy = now - started;
+        for ci in self.paths[t].iter().map(|c| c.index()) {
+            self.free[ci] = true;
+            self.busy[ci] += occupancy;
+            self.intervals[ci].push(BusyInterval {
+                start: started,
+                end: now,
+            });
+        }
+    }
+
+    /// Serves the waiter queues of the channels a completed `task` just
+    /// released, starting every waiter the policy admits. Started task
+    /// ids are appended to `started` in start order.
+    pub fn serve(&mut self, task: u32, now: Seconds, trace: &mut SimTrace, started: &mut Vec<u32>) {
+        for i in 0..self.paths[task as usize].len() {
+            let ci = self.paths[task as usize][i].index();
+            match self.arbitration {
+                Arbitration::FifoHol => {
+                    // Strict head-of-line: the queue advances only while
+                    // its head can start.
+                    while let Some(&head) = self.waiters[ci].front() {
+                        if self.try_start(head, now, false, trace) {
+                            started.push(head);
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                Arbitration::ChunkPriority => {
+                    // Oldest waiting chunk first; if it cannot start yet
+                    // (another channel of its path is busy) the channel
+                    // idles, reserved for it.
+                    loop {
+                        let best = self.waiters[ci]
+                            .iter()
+                            .copied()
+                            .min_by_key(|&t| self.keys[t as usize]);
+                        let Some(t) = best else { break };
+                        if self.try_start(t, now, false, trace) {
+                            started.push(t);
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Breaks a reservation stall: force-starts the best (lowest-key)
+    /// ready task whose channels are free, bypassing chunk priority.
+    /// Returns the started task, or `None` if nothing can run (a true
+    /// deadlock).
+    pub fn force_start(&mut self, now: Seconds, trace: &mut SimTrace) -> Option<u32> {
+        let mut ready: Vec<u32> = (0..self.state.len() as u32)
+            .filter(|&t| self.state[t as usize] == TaskState::Ready)
+            .collect();
+        ready.sort_by_key(|&t| self.keys[t as usize]);
+        for t in ready {
+            if self.try_start(t, now, true, trace) {
+                self.force_starts += 1;
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn try_start(&mut self, task: u32, now: Seconds, force: bool, trace: &mut SimTrace) -> bool {
+        let t = task as usize;
+        if self.state[t] != TaskState::Ready {
+            return false;
+        }
+        let channels_free = self.paths[t].iter().all(|c| self.free[c.index()]);
+        let priority_ok = force
+            || match self.arbitration {
+                Arbitration::FifoHol => true,
+                // A freed channel is implicitly reserved for the oldest
+                // waiting chunk: a younger task yields to any ready
+                // waiter with a smaller key anywhere on its path.
+                Arbitration::ChunkPriority => self.paths[t].iter().all(|c| {
+                    self.waiters[c.index()]
+                        .iter()
+                        .all(|&w| w == task || self.keys[w as usize] >= self.keys[t])
+                }),
+            };
+        if !(channels_free && priority_ok) {
+            for ci in self.paths[t].iter().map(|c| c.index()) {
+                if !self.waiters[ci].contains(&task) {
+                    self.waiters[ci].push_back(task);
+                    self.max_waiting = self.max_waiting.max(self.waiters[ci].len());
+                }
+            }
+            if self.enqueued_at[t].is_none() {
+                self.enqueued_at[t] = Some(now);
+            }
+            return false;
+        }
+        for ci in self.paths[t].iter().map(|c| c.index()) {
+            self.free[ci] = false;
+            if let Some(pos) = self.waiters[ci].iter().position(|&x| x == task) {
+                self.waiters[ci].remove(pos);
+            }
+            trace.push(TraceRecord::ChannelGrant {
+                channel: ChannelId(ci as u32),
+                id: TransferId(task),
+                at: now,
+            });
+        }
+        if let Some(enqueued) = self.enqueued_at[t].take() {
+            let wait = now - enqueued;
+            for ci in self.paths[t].iter().map(|c| c.index()) {
+                self.queue_wait[ci] += wait;
+            }
+            trace.push(TraceRecord::QueueWait {
+                id: TransferId(task),
+                enqueued,
+                granted: now,
+            });
+        }
+        self.state[t] = TaskState::Running;
+        self.started_at[t] = now;
+        true
+    }
+
+    /// When `task` last acquired its channels.
+    pub fn started_at(&self, task: u32) -> Seconds {
+        self.started_at[task as usize]
+    }
+
+    /// Total busy time per channel.
+    pub fn busy(&self) -> &[Seconds] {
+        &self.busy
+    }
+
+    /// Busy intervals per channel, in completion order.
+    pub fn into_intervals(self) -> Vec<Vec<BusyInterval>> {
+        self.intervals
+    }
+
+    /// Total queue wait charged to each channel: every started task that
+    /// had to wait contributes its full wait to **each** channel of its
+    /// path.
+    pub fn queue_wait(&self) -> &[Seconds] {
+        &self.queue_wait
+    }
+
+    /// High-water mark across the per-channel waiter queues.
+    pub fn max_waiting(&self) -> usize {
+        self.max_waiting
+    }
+
+    /// Number of force-starts used to break reservation stalls.
+    pub fn force_starts(&self) -> u64 {
+        self.force_starts
+    }
+}
+
+/// One GPU's exclusive compute stream: at most one task at a time, in
+/// readiness order, with every duration stretched by a slowdown factor.
+///
+/// The slowdown models the forwarding-occupancy tax of detour routes:
+/// the store-and-forward kernel holds SMs, so co-resident compute runs
+/// at `1 / (1 - occupied_fraction)` of its nominal time (Fig. 15).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputeStream {
+    slowdown: f64,
+    free: bool,
+    waiters: VecDeque<u32>,
+    busy: Seconds,
+    max_waiting: usize,
+}
+
+impl Default for ComputeStream {
+    fn default() -> Self {
+        ComputeStream::new()
+    }
+}
+
+impl ComputeStream {
+    /// A stream at nominal speed.
+    pub fn new() -> Self {
+        ComputeStream::with_slowdown(1.0)
+    }
+
+    /// A stream whose tasks run `slowdown`× longer than nominal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slowdown < 1.0`.
+    pub fn with_slowdown(slowdown: f64) -> Self {
+        assert!(slowdown >= 1.0, "slowdown must be >= 1.0");
+        ComputeStream {
+            slowdown,
+            free: true,
+            waiters: VecDeque::new(),
+            busy: Seconds::ZERO,
+            max_waiting: 0,
+        }
+    }
+
+    /// The stream's slowdown factor.
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
+    }
+
+    /// A nominal duration stretched by the slowdown factor.
+    pub fn scale(&self, nominal: Seconds) -> Seconds {
+        nominal * self.slowdown
+    }
+
+    /// Tries to acquire the stream for `task`. Returns `true` if the
+    /// task starts now (the caller schedules its completion after
+    /// [`ComputeStream::scale`]d duration); otherwise it queues FIFO.
+    pub fn acquire(&mut self, task: u32) -> bool {
+        if self.free {
+            self.free = false;
+            true
+        } else {
+            self.waiters.push_back(task);
+            self.max_waiting = self.max_waiting.max(self.waiters.len());
+            false
+        }
+    }
+
+    /// Releases the stream after a task ran for `occupancy` (already
+    /// scaled). If a waiter exists it immediately takes the stream, and
+    /// its id is returned for the caller to start.
+    pub fn release(&mut self, occupancy: Seconds) -> Option<u32> {
+        self.busy += occupancy;
+        match self.waiters.pop_front() {
+            Some(next) => Some(next),
+            None => {
+                self.free = true;
+                None
+            }
+        }
+    }
+
+    /// Total busy time of the stream.
+    pub fn busy(&self) -> Seconds {
+        self.busy
+    }
+
+    /// High-water mark of the stream's waiter queue.
+    pub fn max_waiting(&self) -> usize {
+        self.max_waiting
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(channels: usize, arb: Arbitration) -> (ChannelPool, SimTrace) {
+        (ChannelPool::new(channels, arb), SimTrace::default())
+    }
+
+    fn us(t: f64) -> Seconds {
+        Seconds::from_micros(t)
+    }
+
+    #[test]
+    fn fifo_serves_in_readiness_order() {
+        let (mut p, mut tr) = pool(1, Arbitration::FifoHol);
+        let a = p.add_task(vec![ChannelId(0)], (0, 0));
+        let b = p.add_task(vec![ChannelId(0)], (1, 1));
+        assert!(p.mark_ready(a, us(0.0), &mut tr));
+        assert!(!p.mark_ready(b, us(0.0), &mut tr)); // queued behind a
+        p.complete(a, us(5.0));
+        let mut started = Vec::new();
+        p.serve(a, us(5.0), &mut tr, &mut started);
+        assert_eq!(started, vec![b]);
+        assert_eq!(p.started_at(b), us(5.0));
+        // b waited 5µs; the wait is charged to channel 0.
+        assert_eq!(p.queue_wait()[0], us(5.0));
+        assert!(tr
+            .records()
+            .any(|r| matches!(r, TraceRecord::QueueWait { .. })));
+    }
+
+    #[test]
+    fn chunk_priority_reserves_for_the_oldest_chunk() {
+        // Two channels; the old-chunk task needs both, the young-chunk
+        // task only one. When channel 0 frees, it must idle (reserved)
+        // rather than admit the young task.
+        let (mut p, mut tr) = pool(2, Arbitration::ChunkPriority);
+        let blocker = p.add_task(vec![ChannelId(1)], (0, 0));
+        let old = p.add_task(vec![ChannelId(0), ChannelId(1)], (1, 1));
+        let young = p.add_task(vec![ChannelId(0)], (2, 2));
+        assert!(p.mark_ready(blocker, us(0.0), &mut tr));
+        assert!(!p.mark_ready(old, us(0.0), &mut tr)); // ch1 busy
+        assert!(!p.mark_ready(young, us(0.0), &mut tr)); // yields to old on ch0
+        p.complete(blocker, us(3.0));
+        let mut started = Vec::new();
+        p.serve(blocker, us(3.0), &mut tr, &mut started);
+        assert_eq!(started, vec![old], "the reserved old chunk starts first");
+        p.complete(old, us(7.0));
+        started.clear();
+        p.serve(old, us(7.0), &mut tr, &mut started);
+        assert_eq!(started, vec![young]);
+    }
+
+    #[test]
+    fn force_start_breaks_reservation_stalls() {
+        let (mut p, mut tr) = pool(1, Arbitration::ChunkPriority);
+        // old's channel never frees by itself because nothing runs.
+        let runner = p.add_task(vec![ChannelId(0)], (5, 0));
+        let _idle = p.add_task(vec![ChannelId(0)], (9, 1));
+        // runner yields to nobody but pretend a stall: mark only via a
+        // scenario where priority blocks — here simply exercise the API.
+        assert!(p.mark_ready(runner, us(0.0), &mut tr));
+        p.complete(runner, us(1.0));
+        assert_eq!(p.force_starts(), 0);
+        assert!(p.force_start(us(1.0), &mut tr).is_none()); // nothing ready
+    }
+
+    #[test]
+    fn busy_intervals_cover_occupancy() {
+        let (mut p, mut tr) = pool(1, Arbitration::FifoHol);
+        let a = p.add_task(vec![ChannelId(0)], (0, 0));
+        assert!(p.mark_ready(a, us(2.0), &mut tr));
+        p.complete(a, us(6.0));
+        assert_eq!(p.busy()[0], us(6.0) - us(2.0));
+        let iv = p.into_intervals();
+        assert_eq!(iv[0].len(), 1);
+        assert_eq!(iv[0][0].start, us(2.0));
+        assert_eq!(iv[0][0].end, us(6.0));
+    }
+
+    #[test]
+    fn compute_stream_serializes_and_scales() {
+        let mut s = ComputeStream::with_slowdown(2.0);
+        assert_eq!(s.scale(us(3.0)), us(6.0));
+        assert!(s.acquire(0));
+        assert!(!s.acquire(1)); // queued
+        assert_eq!(s.release(us(6.0)), Some(1)); // 1 takes over immediately
+        assert_eq!(s.release(us(6.0)), None);
+        assert_eq!(s.busy(), us(12.0));
+        assert_eq!(s.max_waiting(), 1);
+    }
+}

@@ -8,20 +8,27 @@
 //! reproduction: a [`SystemJob`] carries both the collective's transfers
 //! and per-GPU **compute tasks**, with dependencies in *both* directions
 //! (communication gated on backward compute, forward layers gated on
-//! chunk deliveries), and [`simulate_system`] executes everything in one
-//! event loop:
+//! chunk deliveries), and [`simulate_system`] executes everything through
+//! the shared [`Kernel`](crate::kernel::Kernel):
 //!
-//! * channels behave exactly as in [`simulate`](crate::simulate)
-//!   (exclusive, FIFO, wormhole timing);
-//! * each GPU is one exclusive compute resource — at most one compute
-//!   task runs on it at a time, in readiness order (a single compute
-//!   stream, like the paper's implementation).
+//! * channels behave exactly as in [`simulate`](crate::simulate) — the
+//!   same [`ChannelPool`](crate::resource::ChannelPool) arbitration,
+//!   honoring [`SimOptions::arbitration`];
+//! * each GPU is one exclusive [`ComputeStream`](crate::resource::ComputeStream)
+//!   — at most one compute task runs on it at a time, in readiness order
+//!   (a single compute stream, like the paper's implementation).
+//!
+//! Event ordering matches the historical co-simulator: completions pop
+//! in `(time, node id, transfer-before-compute)` order.
 
 use crate::error::SimError;
-use ccube_collectives::{EdgeKey, Embedding, Schedule, TransferId};
+use crate::kernel::Kernel;
+use crate::report::SimStats;
+use crate::resource::{ChannelPool, ComputeStream};
+use crate::trace::{SimTrace, TraceRecord};
+use ccube_collectives::{lower_schedule, Embedding, Schedule, TransferId, TransferSpec};
 use ccube_topology::{GpuId, Seconds, Topology};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::HashMap;
 
 /// Identifier of a compute task within a [`SystemJob`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -67,7 +74,7 @@ pub struct SystemJob {
 }
 
 /// The result of a co-simulation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemReport {
     /// Completion time of every transfer, by transfer id.
     pub transfer_complete: Vec<Seconds>,
@@ -77,6 +84,12 @@ pub struct SystemReport {
     pub makespan: Seconds,
     /// Per-GPU compute busy time.
     pub gpu_busy: HashMap<GpuId, Seconds>,
+    /// Per-channel communication busy time, by channel id.
+    pub channel_busy: Vec<Seconds>,
+    /// The structured trace recorded during the run.
+    pub trace: SimTrace,
+    /// The run's counters.
+    pub stats: SimStats,
 }
 
 impl SystemReport {
@@ -98,9 +111,86 @@ enum Node {
     Compute(u32),
 }
 
-/// Runs a [`SystemJob`] over a topology/embedding: one event loop for
-/// both the transfers (channel-exclusive, FIFO) and the compute tasks
-/// (one exclusive compute stream per GPU).
+struct SystemState<'a> {
+    specs: &'a [TransferSpec],
+    compute: &'a [ComputeTask],
+    pool: ChannelPool,
+    streams: HashMap<GpuId, ComputeStream>,
+    kernel: Kernel<Node>,
+    trace: SimTrace,
+    ready: Vec<bool>,
+}
+
+impl SystemState<'_> {
+    /// Historical event tie-break: node id major, transfers before
+    /// compute at equal ids (the old `(time, id, is_compute)` tuple).
+    fn event_key(node: Node) -> u64 {
+        match node {
+            Node::Transfer(i) => u64::from(i) << 1,
+            Node::Compute(i) => (u64::from(i) << 1) | 1,
+        }
+    }
+
+    fn begin_transfer(&mut self, tid: u32, now: Seconds) {
+        let finish = now + self.specs[tid as usize].duration;
+        self.kernel.schedule(
+            finish,
+            Self::event_key(Node::Transfer(tid)),
+            Node::Transfer(tid),
+        );
+        self.trace.push(TraceRecord::TransferStart {
+            id: self.specs[tid as usize].id,
+            at: now,
+        });
+    }
+
+    fn begin_compute(&mut self, cid: u32, now: Seconds) {
+        let task = &self.compute[cid as usize];
+        let scaled = self.streams[&task.gpu].scale(task.duration);
+        let finish = now + scaled;
+        self.kernel.schedule(
+            finish,
+            Self::event_key(Node::Compute(cid)),
+            Node::Compute(cid),
+        );
+        self.trace.push(TraceRecord::ComputeStart {
+            id: cid,
+            gpu: task.gpu,
+            at: now,
+        });
+    }
+
+    fn mark_ready(&mut self, node: Node, now: Seconds, nt: usize) {
+        match node {
+            Node::Transfer(i) => {
+                self.ready[i as usize] = true;
+                if self.pool.mark_ready(i, now, &mut self.trace) {
+                    self.ready[i as usize] = false;
+                    self.begin_transfer(i, now);
+                }
+            }
+            Node::Compute(i) => {
+                let me = nt + i as usize;
+                self.ready[me] = true;
+                let gpu = self.compute[i as usize].gpu;
+                let started = self
+                    .streams
+                    .get_mut(&gpu)
+                    .expect("gpu stream exists")
+                    .acquire(i);
+                if started {
+                    self.ready[me] = false;
+                    self.begin_compute(i, now);
+                }
+            }
+        }
+    }
+}
+
+/// Runs a [`SystemJob`] over a topology/embedding: one shared kernel for
+/// both the transfers (channel-exclusive, arbitrated by
+/// [`SimOptions::arbitration`]) and the compute tasks (one exclusive
+/// compute stream per GPU).
 ///
 /// # Errors
 ///
@@ -112,43 +202,35 @@ pub fn simulate_system(
     embedding: &Embedding,
     opts: &crate::engine::SimOptions,
 ) -> Result<SystemReport, SimError> {
+    simulate_system_with_slowdowns(topo, job, embedding, opts, &HashMap::new())
+}
+
+/// [`simulate_system`] with per-GPU compute slowdown factors (≥ 1.0):
+/// every compute task on a listed GPU runs `factor`× longer. Models the
+/// forwarding-occupancy tax detour GPUs pay (Fig. 15).
+///
+/// # Errors
+///
+/// As [`simulate_system`].
+///
+/// # Panics
+///
+/// Panics if any factor is below 1.0.
+pub fn simulate_system_with_slowdowns(
+    topo: &Topology,
+    job: &SystemJob,
+    embedding: &Embedding,
+    opts: &crate::engine::SimOptions,
+    slowdowns: &HashMap<GpuId, f64>,
+) -> Result<SystemReport, SimError> {
     let transfers = job.schedule.transfers();
     let nt = transfers.len();
     let nc = job.compute.len();
     let num_channels = topo.channels().len();
 
-    // Resolve transfer paths/durations exactly as the network engine does.
-    let mut paths: Vec<&[ccube_topology::ChannelId]> = Vec::with_capacity(nt);
-    let mut t_durations: Vec<Seconds> = Vec::with_capacity(nt);
-    for t in transfers {
-        let key = EdgeKey {
-            src: t.src,
-            dst: t.dst,
-            tree: t.tree,
-        };
-        let route = embedding.route(&key).ok_or(SimError::MissingRoute(key))?;
-        let mut alpha = Seconds::ZERO;
-        let mut bottleneck = f64::INFINITY;
-        for &c in route.channels() {
-            if c.index() >= num_channels {
-                return Err(SimError::UnknownChannel {
-                    edge: key,
-                    channel_index: c.index(),
-                });
-            }
-            let ch = topo.channel(c);
-            alpha += ch.latency();
-            bottleneck = bottleneck.min(ch.bandwidth().as_bytes_per_sec());
-        }
-        if route.is_detour() {
-            alpha += opts.forwarding_latency;
-        }
-        paths.push(route.channels());
-        t_durations
-            .push(alpha + Seconds::new(t.bytes.as_f64() / (bottleneck * opts.bandwidth_scale)));
-    }
+    let specs = lower_schedule(&job.schedule, embedding, topo, &opts.link_timing())?;
 
-    // Unified dependency counts and reverse edges.
+    // Unified dependency counts and reverse edges over both node kinds.
     let node_count = nt + nc;
     let idx = |n: Node| -> usize {
         match n {
@@ -179,165 +261,115 @@ pub fn simulate_system(
         }
     }
 
-    // Resources.
-    let mut channel_free = vec![true; num_channels];
-    let mut channel_waiters: Vec<VecDeque<u32>> = vec![VecDeque::new(); num_channels];
-    let mut gpu_free: HashMap<GpuId, bool> = HashMap::new();
-    let mut gpu_waiters: HashMap<GpuId, VecDeque<u32>> = HashMap::new();
+    let mut pool = ChannelPool::new(num_channels, opts.arbitration);
+    for s in &specs {
+        pool.add_task(s.path.clone(), (s.chunk.0, s.id.0));
+    }
+    let mut streams: HashMap<GpuId, ComputeStream> = HashMap::new();
     for c in &job.compute {
-        gpu_free.entry(c.gpu).or_insert(true);
-        gpu_waiters.entry(c.gpu).or_default();
+        streams.entry(c.gpu).or_insert_with(|| {
+            ComputeStream::with_slowdown(slowdowns.get(&c.gpu).copied().unwrap_or(1.0))
+        });
     }
 
-    let mut ready = vec![false; node_count];
+    let mut st = SystemState {
+        specs: &specs,
+        compute: &job.compute,
+        pool,
+        streams,
+        kernel: Kernel::new(),
+        trace: SimTrace::bounded(opts.trace_capacity),
+        ready: vec![false; node_count],
+    };
+
     let mut done = vec![false; node_count];
     let mut transfer_complete = vec![Seconds::ZERO; nt];
     let mut compute_complete = vec![Seconds::ZERO; nc];
-    let mut gpu_busy: HashMap<GpuId, Seconds> = HashMap::new();
     let mut remaining = node_count;
 
-    // (finish_time, node) completions.
-    let mut events: BinaryHeap<Reverse<(Seconds, u32, bool)>> = BinaryHeap::new();
-    // encode: (time, id, is_compute)
-
-    // Try starting a ready node; enqueue as waiter otherwise.
-    macro_rules! try_start {
-        ($node:expr, $now:expr) => {{
-            match $node {
-                Node::Transfer(i) => {
-                    let ti = i as usize;
-                    if ready[ti] && paths[ti].iter().all(|c| channel_free[c.index()]) {
-                        for c in paths[ti] {
-                            channel_free[c.index()] = false;
-                        }
-                        ready[ti] = false;
-                        events.push(Reverse(($now + t_durations[ti], i, false)));
-                    } else if ready[ti] {
-                        for c in paths[ti] {
-                            if !channel_waiters[c.index()].contains(&i) {
-                                channel_waiters[c.index()].push_back(i);
-                            }
-                        }
-                    }
-                }
-                Node::Compute(i) => {
-                    let ci = i as usize;
-                    let me = nt + ci;
-                    let gpu = job.compute[ci].gpu;
-                    if ready[me] && gpu_free[&gpu] {
-                        *gpu_free.get_mut(&gpu).expect("gpu known") = false;
-                        ready[me] = false;
-                        events.push(Reverse(($now + job.compute[ci].duration, i, true)));
-                    } else if ready[me] {
-                        let q = gpu_waiters.get_mut(&gpu).expect("gpu known");
-                        if !q.contains(&i) {
-                            q.push_back(i);
-                        }
-                    }
-                }
-            }
-        }};
-    }
-
-    // Seed.
+    // Seed: nodes with no dependencies are ready at t=0, transfers first
+    // (the historical seeding order).
     for t in transfers {
         if deps_remaining[t.id.index()] == 0 {
-            ready[t.id.index()] = true;
-            try_start!(Node::Transfer(t.id.0), Seconds::ZERO);
+            st.mark_ready(Node::Transfer(t.id.0), Seconds::ZERO, nt);
         }
     }
     for c in &job.compute {
-        let me = nt + c.id.index();
-        if deps_remaining[me] == 0 {
-            ready[me] = true;
-            try_start!(Node::Compute(c.id.0), Seconds::ZERO);
+        if deps_remaining[nt + c.id.index()] == 0 {
+            st.mark_ready(Node::Compute(c.id.0), Seconds::ZERO, nt);
         }
     }
 
     let mut makespan = Seconds::ZERO;
-    while let Some(Reverse((now, id, is_compute))) = events.pop() {
+    let mut started = Vec::new();
+    while let Some((now, node)) = st.kernel.pop() {
         makespan = makespan.max(now);
-        let node = if is_compute {
-            Node::Compute(id)
-        } else {
-            Node::Transfer(id)
-        };
         let me = idx(node);
         done[me] = true;
         remaining -= 1;
 
-        // Release the resource and record.
+        // Release the resource and record the completion.
         match node {
             Node::Transfer(i) => {
                 let ti = i as usize;
                 transfer_complete[ti] = now;
-                for c in paths[ti] {
-                    channel_free[c.index()] = true;
+                st.pool.complete(i, now);
+                st.trace.push(TraceRecord::TransferEnd {
+                    id: specs[ti].id,
+                    at: now,
+                });
+                if let Some(via) = specs[ti].via {
+                    st.trace.push(TraceRecord::DetourHop {
+                        id: specs[ti].id,
+                        via,
+                        at: now,
+                    });
                 }
             }
             Node::Compute(i) => {
                 let ci = i as usize;
                 compute_complete[ci] = now;
-                let gpu = job.compute[ci].gpu;
-                *gpu_free.get_mut(&gpu).expect("gpu known") = true;
-                *gpu_busy.entry(gpu).or_insert(Seconds::ZERO) += job.compute[ci].duration;
+                let task = &job.compute[ci];
+                st.trace.push(TraceRecord::ComputeEnd {
+                    id: i,
+                    gpu: task.gpu,
+                    at: now,
+                });
             }
         }
 
-        // Unblock dependents.
+        // Unblock dependents before serving freed resources — the
+        // historical order.
         let deps = std::mem::take(&mut dependents[me]);
         for dep in deps {
             let di = idx(dep);
             deps_remaining[di] -= 1;
             if deps_remaining[di] == 0 {
-                ready[di] = true;
-                try_start!(dep, now);
+                st.mark_ready(dep, now, nt);
             }
         }
 
-        // Serve freed resources (FIFO, head-of-line).
+        // Serve the freed resource's waiters.
         match node {
             Node::Transfer(i) => {
-                for c in paths[i as usize] {
-                    let ci = c.index();
-                    while let Some(&head) = channel_waiters[ci].front() {
-                        let hi = head as usize;
-                        if done[hi] || (!ready[hi]) {
-                            channel_waiters[ci].pop_front();
-                            continue;
-                        }
-                        if paths[hi].iter().all(|cc| channel_free[cc.index()]) {
-                            channel_waiters[ci].pop_front();
-                            try_start!(Node::Transfer(head), now);
-                            continue;
-                        }
-                        break;
-                    }
+                started.clear();
+                st.pool.serve(i, now, &mut st.trace, &mut started);
+                for &s in &started {
+                    st.ready[s as usize] = false;
+                    st.begin_transfer(s, now);
                 }
             }
             Node::Compute(i) => {
-                let gpu = job.compute[i as usize].gpu;
-                loop {
-                    // Pop the next live waiter while holding the queue
-                    // borrow, then start it after releasing the borrow.
-                    let head = {
-                        let q = gpu_waiters.get_mut(&gpu).expect("gpu known");
-                        while let Some(&h) = q.front() {
-                            let me2 = nt + h as usize;
-                            if done[me2] || !ready[me2] {
-                                q.pop_front();
-                            } else {
-                                break;
-                            }
-                        }
-                        if gpu_free[&gpu] {
-                            q.pop_front()
-                        } else {
-                            None
-                        }
-                    };
-                    let Some(h) = head else { break };
-                    try_start!(Node::Compute(h), now);
+                let task = &job.compute[i as usize];
+                let scaled = st.streams[&task.gpu].scale(task.duration);
+                let next = st
+                    .streams
+                    .get_mut(&task.gpu)
+                    .expect("gpu stream exists")
+                    .release(scaled);
+                if let Some(h) = next {
+                    st.ready[nt + h as usize] = false;
+                    st.begin_compute(h, now);
                 }
             }
         }
@@ -347,11 +379,36 @@ pub fn simulate_system(
         return Err(SimError::Deadlock { remaining });
     }
 
+    let gpu_busy: HashMap<GpuId, Seconds> = st
+        .streams
+        .iter()
+        .filter(|(_, s)| s.busy() > Seconds::ZERO)
+        .map(|(&g, s)| (g, s.busy()))
+        .collect();
+    let kstats = st.kernel.stats();
+    let max_stream_waiting = st
+        .streams
+        .values()
+        .map(|s| s.max_waiting())
+        .max()
+        .unwrap_or(0);
+    let stats = SimStats {
+        events_scheduled: kstats.events_scheduled,
+        events_processed: kstats.events_processed,
+        max_event_queue_depth: kstats.max_queue_depth,
+        max_channel_queue_depth: st.pool.max_waiting().max(max_stream_waiting),
+        queue_wait: st.pool.queue_wait().to_vec(),
+        force_starts: st.pool.force_starts(),
+    };
+
     Ok(SystemReport {
         transfer_complete,
         compute_complete,
         makespan,
         gpu_busy,
+        channel_busy: st.pool.busy().to_vec(),
+        trace: st.trace,
+        stats,
     })
 }
 
@@ -385,7 +442,12 @@ mod tests {
         .unwrap();
         let rel = (sys.makespan.as_secs_f64() - net.makespan().as_secs_f64()).abs()
             / net.makespan().as_secs_f64();
-        assert!(rel < 1e-9, "system {} vs network {}", sys.makespan, net.makespan());
+        assert!(
+            rel < 1e-9,
+            "system {} vs network {}",
+            sys.makespan,
+            net.makespan()
+        );
     }
 
     #[test]
@@ -415,8 +477,16 @@ mod tests {
         };
         let r_same = simulate_system(&topo, &same, &e, &SimOptions::default()).unwrap();
         let r_diff = simulate_system(&topo, &diff, &e, &SimOptions::default()).unwrap();
-        let last_same = r_same.compute_complete.iter().cloned().fold(Seconds::ZERO, Seconds::max);
-        let last_diff = r_diff.compute_complete.iter().cloned().fold(Seconds::ZERO, Seconds::max);
+        let last_same = r_same
+            .compute_complete
+            .iter()
+            .cloned()
+            .fold(Seconds::ZERO, Seconds::max);
+        let last_diff = r_diff
+            .compute_complete
+            .iter()
+            .cloned()
+            .fold(Seconds::ZERO, Seconds::max);
         assert!((last_same.as_millis() - 2.0).abs() < 1e-9, "{last_same}");
         assert!((last_diff.as_millis() - 1.0).abs() < 1e-9, "{last_diff}");
     }
@@ -526,5 +596,38 @@ mod tests {
         let e = Embedding::dgx1_double_tree(&topo, &s).unwrap();
         let r = simulate_system(&topo, &compute_only_job(s), &e, &SimOptions::default()).unwrap();
         assert!(r.makespan > Seconds::ZERO);
+    }
+
+    #[test]
+    fn slowdowns_stretch_compute_on_listed_gpus_only() {
+        let topo = dgx1();
+        let s = ring_allreduce(8, ByteSize::kib(64));
+        let e = Embedding::identity(&topo, &s).unwrap();
+        let mk = |id: u32, gpu: u32| ComputeTask {
+            id: ComputeTaskId(id),
+            gpu: ccube_topology::GpuId(gpu),
+            duration: Seconds::from_millis(1.0),
+            deps_compute: vec![],
+            deps_transfers: vec![],
+            label: format!("t{id}"),
+        };
+        let job = SystemJob {
+            schedule: s,
+            compute: vec![mk(0, 0), mk(1, 1)],
+            transfer_gates: vec![],
+        };
+        let mut slow = HashMap::new();
+        slow.insert(ccube_topology::GpuId(1), 1.5);
+        let r =
+            simulate_system_with_slowdowns(&topo, &job, &e, &SimOptions::default(), &slow).unwrap();
+        assert!((r.compute_complete[0].as_millis() - 1.0).abs() < 1e-9);
+        assert!((r.compute_complete[1].as_millis() - 1.5).abs() < 1e-9);
+        // The trace saw both compute tasks.
+        let compute_events = r
+            .trace
+            .records()
+            .filter(|rec| matches!(rec, TraceRecord::ComputeStart { .. }))
+            .count();
+        assert_eq!(compute_events, 2);
     }
 }

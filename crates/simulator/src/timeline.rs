@@ -47,11 +47,7 @@ impl Default for TimelineOptions {
 /// let chart = render_timeline(&s, &report, &TimelineOptions::default());
 /// assert!(chart.lines().count() >= 8);
 /// ```
-pub fn render_timeline(
-    schedule: &Schedule,
-    report: &SimReport,
-    opts: &TimelineOptions,
-) -> String {
+pub fn render_timeline(schedule: &Schedule, report: &SimReport, opts: &TimelineOptions) -> String {
     let width = opts.width.max(8);
     let p = schedule.num_ranks();
     let makespan = report.makespan();
@@ -99,13 +95,67 @@ pub fn render_timeline(
     out
 }
 
+/// Renders a per-channel occupancy chart from the report's busy
+/// intervals: `#` where the channel carried a transfer, `.` where it sat
+/// idle, with the channel's overall utilization on the right.
+///
+/// Unlike [`render_timeline`], which is rank-centric, this view shows
+/// where the *physical* contention is — which channels saturate and
+/// which idle, the quantity the paper's congestion arguments are about.
+///
+/// # Examples
+///
+/// ```
+/// use ccube_collectives::{ring_allreduce, Embedding};
+/// use ccube_sim::{render_channel_timeline, simulate, SimOptions, TimelineOptions};
+/// use ccube_topology::{dgx1, ByteSize};
+///
+/// let topo = dgx1();
+/// let s = ring_allreduce(8, ByteSize::mib(8));
+/// let e = Embedding::identity(&topo, &s).unwrap();
+/// let report = simulate(&topo, &s, &e, &SimOptions::default()).unwrap();
+/// let chart = render_channel_timeline(&report, &TimelineOptions::default());
+/// assert!(chart.contains('#'));
+/// ```
+pub fn render_channel_timeline(report: &SimReport, opts: &TimelineOptions) -> String {
+    let width = opts.width.max(8);
+    let makespan = report.makespan();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "channels over {} ({} per column)",
+        makespan,
+        Seconds::new(makespan.as_secs_f64() / width as f64),
+    );
+    for (c, intervals) in report.channel_intervals().iter().enumerate() {
+        let channel = ccube_topology::ChannelId(c as u32);
+        let bins = crate::trace::utilization_bins(intervals, makespan, width);
+        let row: String = bins
+            .iter()
+            .map(|&u| {
+                if u >= 0.5 {
+                    '#'
+                } else if u > 0.0 {
+                    '-'
+                } else {
+                    '.'
+                }
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "ch{c:<3}|{row}| {:5.1}%",
+            report.channel_utilization(channel) * 100.0
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ccube_collectives::{
-        tree_allreduce, Chunking, DoubleBinaryTree, Embedding, Overlap,
-    };
     use crate::engine::{simulate, SimOptions};
+    use ccube_collectives::{tree_allreduce, Chunking, DoubleBinaryTree, Embedding, Overlap};
     use ccube_topology::{dgx1, ByteSize};
 
     #[test]
@@ -140,5 +190,17 @@ mod tests {
             },
         );
         assert_eq!(chart.lines().count(), 9); // header + 8 ranks
+    }
+
+    #[test]
+    fn channel_timeline_has_one_row_per_channel() {
+        let topo = dgx1();
+        let s = ccube_collectives::ring_allreduce(8, ByteSize::mib(4));
+        let e = Embedding::identity(&topo, &s).unwrap();
+        let report = simulate(&topo, &s, &e, &SimOptions::default()).unwrap();
+        let chart = render_channel_timeline(&report, &TimelineOptions::default());
+        assert_eq!(chart.lines().count(), topo.channels().len() + 1);
+        // The ring keeps its channels saturated: some row must be mostly #.
+        assert!(chart.contains("####"), "no busy spans in:\n{chart}");
     }
 }

@@ -1,0 +1,346 @@
+//! Structured simulation traces.
+//!
+//! Every engine built on the [`kernel`](crate::kernel) records what
+//! happened as typed [`TraceRecord`]s in a [`SimTrace`] — transfer and
+//! compute start/end, channel grants, queue waits, and detour hops — so
+//! runs can be inspected, diffed, and replayed without parsing log text.
+//! The trace is a bounded ring buffer: pushing past the capacity drops
+//! the **oldest** records (counted in [`SimTrace::dropped`]) so that long
+//! simulations keep the recent past at a fixed memory cost.
+//!
+//! [`BusyInterval`]s are the per-channel occupancy spans the engines
+//! collect alongside the trace; they feed the timeline renderers and the
+//! utilization-over-time export on the reports.
+
+use ccube_collectives::TransferId;
+use ccube_topology::{ChannelId, GpuId, Seconds};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// One closed span during which a resource was occupied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusyInterval {
+    /// When the occupancy began.
+    pub start: Seconds,
+    /// When the occupancy ended.
+    pub end: Seconds,
+}
+
+impl BusyInterval {
+    /// The span's length.
+    pub fn duration(&self) -> Seconds {
+        self.end - self.start
+    }
+
+    /// The overlap of this interval with `[lo, hi)`, as a duration.
+    pub fn overlap(&self, lo: Seconds, hi: Seconds) -> Seconds {
+        let s = self.start.max(lo);
+        let e = self.end.min(hi);
+        if e > s {
+            e - s
+        } else {
+            Seconds::ZERO
+        }
+    }
+}
+
+/// One structured event of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum TraceRecord {
+    /// A transfer acquired all channels of its path and began moving
+    /// bytes.
+    TransferStart {
+        /// The transfer.
+        id: TransferId,
+        /// When it started.
+        at: Seconds,
+    },
+    /// A transfer completed and released its channels.
+    TransferEnd {
+        /// The transfer.
+        id: TransferId,
+        /// When it completed.
+        at: Seconds,
+    },
+    /// A channel was granted to a transfer (one record per channel of
+    /// the path).
+    ChannelGrant {
+        /// The granted channel.
+        channel: ChannelId,
+        /// The transfer it was granted to.
+        id: TransferId,
+        /// When the grant happened.
+        at: Seconds,
+    },
+    /// A transfer that had to wait for channels was finally granted
+    /// them.
+    QueueWait {
+        /// The transfer that waited.
+        id: TransferId,
+        /// When it became ready and queued.
+        enqueued: Seconds,
+        /// When its channels were granted.
+        granted: Seconds,
+    },
+    /// A compute task began occupying its GPU's stream.
+    ComputeStart {
+        /// The compute task id.
+        id: u32,
+        /// The GPU whose stream it occupies.
+        gpu: GpuId,
+        /// When it started.
+        at: Seconds,
+    },
+    /// A compute task finished.
+    ComputeEnd {
+        /// The compute task id.
+        id: u32,
+        /// The GPU it ran on.
+        gpu: GpuId,
+        /// When it finished.
+        at: Seconds,
+    },
+    /// A completed transfer was routed through an intermediate GPU,
+    /// charging forwarding time to it.
+    DetourHop {
+        /// The forwarded transfer.
+        id: TransferId,
+        /// The intermediate GPU that forwarded it.
+        via: GpuId,
+        /// When the forwarded transfer completed.
+        at: Seconds,
+    },
+}
+
+impl TraceRecord {
+    /// The record's timestamp.
+    pub fn at(&self) -> Seconds {
+        match *self {
+            TraceRecord::TransferStart { at, .. }
+            | TraceRecord::TransferEnd { at, .. }
+            | TraceRecord::ChannelGrant { at, .. }
+            | TraceRecord::ComputeStart { at, .. }
+            | TraceRecord::ComputeEnd { at, .. }
+            | TraceRecord::DetourHop { at, .. } => at,
+            TraceRecord::QueueWait { granted, .. } => granted,
+        }
+    }
+}
+
+/// A bounded ring buffer of [`TraceRecord`]s.
+///
+/// # Examples
+///
+/// ```
+/// use ccube_sim::trace::{SimTrace, TraceRecord};
+/// use ccube_collectives::TransferId;
+/// use ccube_topology::Seconds;
+///
+/// let mut trace = SimTrace::bounded(2);
+/// for i in 0..3 {
+///     trace.push(TraceRecord::TransferStart {
+///         id: TransferId(i),
+///         at: Seconds::from_micros(i as f64),
+///     });
+/// }
+/// assert_eq!(trace.len(), 2); // oldest record evicted
+/// assert_eq!(trace.dropped(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimTrace {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for SimTrace {
+    fn default() -> Self {
+        SimTrace::bounded(SimTrace::DEFAULT_CAPACITY)
+    }
+}
+
+impl SimTrace {
+    /// The default ring capacity used by the engines.
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// A trace holding at most `capacity` records (at least 1).
+    pub fn bounded(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SimTrace {
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest if the ring is full.
+    pub fn push(&mut self, record: TraceRecord) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(record);
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing was recorded (or everything was dropped).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of records evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Exports the retained records as CSV
+    /// (`kind,id,channel_or_gpu,t_us,extra_us`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,id,channel_or_gpu,t_us,extra_us\n");
+        for r in &self.records {
+            let _ = match *r {
+                TraceRecord::TransferStart { id, at } => {
+                    writeln!(out, "transfer_start,{},,{:.3},", id.0, at.as_micros())
+                }
+                TraceRecord::TransferEnd { id, at } => {
+                    writeln!(out, "transfer_end,{},,{:.3},", id.0, at.as_micros())
+                }
+                TraceRecord::ChannelGrant { channel, id, at } => writeln!(
+                    out,
+                    "channel_grant,{},{},{:.3},",
+                    id.0,
+                    channel.0,
+                    at.as_micros()
+                ),
+                TraceRecord::QueueWait {
+                    id,
+                    enqueued,
+                    granted,
+                } => writeln!(
+                    out,
+                    "queue_wait,{},,{:.3},{:.3}",
+                    id.0,
+                    granted.as_micros(),
+                    (granted - enqueued).as_micros()
+                ),
+                TraceRecord::ComputeStart { id, gpu, at } => {
+                    writeln!(out, "compute_start,{},{},{:.3},", id, gpu.0, at.as_micros())
+                }
+                TraceRecord::ComputeEnd { id, gpu, at } => {
+                    writeln!(out, "compute_end,{},{},{:.3},", id, gpu.0, at.as_micros())
+                }
+                TraceRecord::DetourHop { id, via, at } => {
+                    writeln!(out, "detour_hop,{},{},{:.3},", id.0, via.0, at.as_micros())
+                }
+            };
+        }
+        out
+    }
+}
+
+/// Bins `intervals` over `[0, horizon)` and returns per-bin utilization
+/// in `0.0..=1.0`. Used by the reports' utilization-over-time exports.
+pub fn utilization_bins(intervals: &[BusyInterval], horizon: Seconds, bins: usize) -> Vec<f64> {
+    assert!(bins > 0, "need at least one bin");
+    if horizon.is_zero() {
+        return vec![0.0; bins];
+    }
+    let bin_width = Seconds::new(horizon.as_secs_f64() / bins as f64);
+    let mut out = vec![0.0; bins];
+    for (b, slot) in out.iter_mut().enumerate() {
+        let lo = Seconds::new(bin_width.as_secs_f64() * b as f64);
+        let hi = if b + 1 == bins {
+            horizon
+        } else {
+            Seconds::new(bin_width.as_secs_f64() * (b + 1) as f64)
+        };
+        let width = hi - lo;
+        if width.is_zero() {
+            continue;
+        }
+        let busy: f64 = intervals
+            .iter()
+            .map(|iv| iv.overlap(lo, hi).as_secs_f64())
+            .sum();
+        *slot = (busy / width.as_secs_f64()).min(1.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: f64, b: f64) -> BusyInterval {
+        BusyInterval {
+            start: Seconds::from_micros(a),
+            end: Seconds::from_micros(b),
+        }
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let mut t = SimTrace::bounded(3);
+        for i in 0..5u32 {
+            t.push(TraceRecord::ComputeStart {
+                id: i,
+                gpu: GpuId(0),
+                at: Seconds::from_micros(i as f64),
+            });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let first = t.records().next().unwrap();
+        assert_eq!(first.at(), Seconds::from_micros(2.0));
+    }
+
+    #[test]
+    fn utilization_bins_integrate_intervals() {
+        // Busy for the first half of a 10µs horizon.
+        let bins = utilization_bins(&[iv(0.0, 5.0)], Seconds::from_micros(10.0), 10);
+        assert_eq!(bins.len(), 10);
+        for b in &bins[0..5] {
+            assert!((b - 1.0).abs() < 1e-9);
+        }
+        for b in &bins[5..] {
+            assert!(b.abs() < 1e-9);
+        }
+        // Two disjoint intervals in one bin accumulate.
+        let one = utilization_bins(&[iv(0.0, 2.0), iv(4.0, 6.0)], Seconds::from_micros(10.0), 1);
+        assert!((one[0] - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_has_one_line_per_record_plus_header() {
+        let mut t = SimTrace::default();
+        t.push(TraceRecord::QueueWait {
+            id: ccube_collectives::TransferId(3),
+            enqueued: Seconds::ZERO,
+            granted: Seconds::from_micros(2.0),
+        });
+        t.push(TraceRecord::DetourHop {
+            id: ccube_collectives::TransferId(3),
+            via: GpuId(5),
+            at: Seconds::from_micros(4.0),
+        });
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("queue_wait,3,,2.000,2.000"));
+        assert!(csv.contains("detour_hop,3,5,4.000,"));
+    }
+}

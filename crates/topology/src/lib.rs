@@ -73,7 +73,7 @@ pub use units::{Bandwidth, ByteSize, Seconds};
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::{
-        dgx1, disjoint_rings, hierarchical, nvswitch, torus2d, Bandwidth, ByteSize, Channel, ChannelClass, ChannelId, GpuId, Route,
-        Router, Seconds, Topology, TopologyBuilder,
+        dgx1, disjoint_rings, hierarchical, nvswitch, torus2d, Bandwidth, ByteSize, Channel,
+        ChannelClass, ChannelId, GpuId, Route, Router, Seconds, Topology, TopologyBuilder,
     };
 }

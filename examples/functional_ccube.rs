@@ -41,11 +41,8 @@ fn main() {
     }
 
     let dt = DoubleBinaryTree::new(p).expect("8 ranks");
-    let rt = TreeAllReduceRuntime::new(
-        dt.trees().to_vec(),
-        Overlap::ReductionBroadcast,
-        num_chunks,
-    );
+    let rt =
+        TreeAllReduceRuntime::new(dt.trees().to_vec(), Overlap::ReductionBroadcast, num_chunks);
     let chained = ChainedRun::new(rt, table.clone()).expect("valid table");
 
     let (outputs, events) = chained

@@ -36,10 +36,7 @@ fn main() {
     }
 
     println!("\n== Fig. 13: normalized overall performance (batch 64) ==");
-    for row in experiments::fig13::run()
-        .iter()
-        .filter(|r| r.batch == 64)
-    {
+    for row in experiments::fig13::run().iter().filter(|r| r.batch == 64) {
         println!("  {row}");
     }
 

@@ -13,10 +13,7 @@ use ccube_topology::ByteSize;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let max_nodes: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(128);
+    let max_nodes: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(128);
     let sizes: Vec<ByteSize> = {
         let explicit: Vec<u64> = args.filter_map(|s| s.parse().ok()).collect();
         if explicit.is_empty() {

@@ -1,7 +1,8 @@
 //! Visualize the difference between the baseline and the overlapped tree
 //! on the DGX-1 as ASCII timelines (the textual version of the paper's
 //! Fig. 7 timing diagrams). `R` marks reduction sends, `B` broadcast
-//! sends.
+//! sends. Below each rank chart, the per-channel occupancy view and the
+//! run's queue-wait counters show where the physical contention went.
 //!
 //! ```text
 //! cargo run --release --example timeline_view [mib]
@@ -9,8 +10,8 @@
 
 use ccube_collectives::cost::{k_opt, CostParams};
 use ccube_collectives::{tree_allreduce, Chunking, DoubleBinaryTree, Embedding, Overlap};
-use ccube_sim::{render_timeline, simulate, SimOptions, TimelineOptions};
-use ccube_topology::{dgx1, ByteSize};
+use ccube_sim::{render_channel_timeline, render_timeline, simulate, SimOptions, TimelineOptions};
+use ccube_topology::{dgx1, ByteSize, ChannelId};
 
 fn main() {
     let mib: u64 = std::env::args()
@@ -38,9 +39,53 @@ fn main() {
             render_timeline(&s, &report, &TimelineOptions::default())
         );
         println!(
-            "makespan {}   turnaround {}\n",
+            "makespan {}   turnaround {}",
             report.makespan(),
             report.turnaround()
         );
+
+        // The physical side of the same run: per-channel occupancy over
+        // time, then the kernel/pool counters.
+        println!(
+            "{}",
+            render_channel_timeline(&report, &TimelineOptions::default())
+        );
+        let stats = report.stats();
+        println!(
+            "events {} scheduled / {} processed, event-queue depth ≤ {}, \
+             channel-queue depth ≤ {}",
+            stats.events_scheduled,
+            stats.events_processed,
+            stats.max_event_queue_depth,
+            stats.max_channel_queue_depth,
+        );
+        println!("total queue wait {}", stats.total_queue_wait());
+        let mut waits: Vec<(usize, ccube_topology::Seconds)> = stats
+            .queue_wait
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(_, w)| !w.is_zero())
+            .collect();
+        waits.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        for (c, w) in waits.iter().take(5) {
+            let ch = topo.channel(ChannelId(*c as u32));
+            println!(
+                "  ch{c} ({}->{}): waited {w}, utilization {:.1}%",
+                ch.src().0,
+                ch.dst().0,
+                report.channel_utilization(ChannelId(*c as u32)) * 100.0
+            );
+        }
+        // Utilization over time of the busiest channel, in 12 bins.
+        if let Some((busiest, _)) = (0..topo.channels().len())
+            .map(|c| (c, report.channel_utilization(ChannelId(c as u32))))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        {
+            let bins = report.channel_utilization_timeline(ChannelId(busiest as u32), 12);
+            let curve: Vec<String> = bins.iter().map(|u| format!("{:3.0}", u * 100.0)).collect();
+            println!("  ch{busiest} utilization/time [%]: {}", curve.join(" "));
+        }
+        println!();
     }
 }

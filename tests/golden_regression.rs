@@ -1,0 +1,86 @@
+//! Bit-level regression fixtures for the paper-figure experiments.
+//!
+//! `tests/data/*_golden.csv` hold the fig12/14/15 rows at full `f64`
+//! precision, captured from the engines before they were rebuilt on the
+//! shared DES kernel. Every row must stay within 1e-9 relative of the
+//! fixture — in practice the kernel reproduces the historical event
+//! order exactly and the rows are bit-identical. Regenerate the fixtures
+//! with `cargo run --release --example golden_dump` only after an
+//! *intentional* model change.
+
+use ccube::experiments::{fig12, fig14, fig15};
+use ccube_topology::ByteSize;
+
+const REL_TOL: f64 = 1e-9;
+
+fn close(actual: f64, golden: f64, what: &str) {
+    let scale = golden.abs().max(1e-300);
+    let rel = (actual - golden).abs() / scale;
+    assert!(
+        rel <= REL_TOL,
+        "{what}: {actual:e} drifted from golden {golden:e} (rel {rel:e})"
+    );
+}
+
+fn load(name: &str) -> Vec<Vec<f64>> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/data/");
+    let text = std::fs::read_to_string(format!("{path}{name}"))
+        .unwrap_or_else(|e| panic!("missing fixture {name}: {e}"));
+    text.lines()
+        .skip(1)
+        .map(|l| {
+            l.split(',')
+                .map(|f| f.parse::<f64>().expect("numeric field"))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn fig12_rows_match_golden() {
+    let golden = load("fig12_golden.csv");
+    let rows = fig12::run();
+    assert_eq!(rows.len(), golden.len(), "fig12 row count changed");
+    for (r, g) in rows.iter().zip(&golden) {
+        let what = format!("fig12 n={}", r.n.as_u64());
+        assert_eq!(r.n.as_u64(), g[0] as u64, "{what}: size column");
+        assert_eq!(r.k, g[1] as usize, "{what}: k column");
+        close(r.t_baseline.as_secs_f64(), g[2], &what);
+        close(r.t_overlapped.as_secs_f64(), g[3], &what);
+        close(r.improvement_sim, g[4], &what);
+    }
+}
+
+#[test]
+fn fig14_rows_match_golden() {
+    let golden = load("fig14_golden.csv");
+    let rows = fig14::run_with(
+        &[4, 8, 16, 32, 64],
+        &[ByteSize::kib(16), ByteSize::mib(1), ByteSize::mib(64)],
+    );
+    assert_eq!(rows.len(), golden.len(), "fig14 row count changed");
+    for (r, g) in rows.iter().zip(&golden) {
+        let what = format!("fig14 p={} n={}", r.p, r.n.as_u64());
+        assert_eq!(r.p, g[0] as usize, "{what}: p column");
+        assert_eq!(r.n.as_u64(), g[1] as u64, "{what}: size column");
+        assert_eq!(r.k, g[2] as usize, "{what}: k column");
+        close(r.t_ring.as_secs_f64(), g[3], &what);
+        close(r.t_c1.as_secs_f64(), g[4], &what);
+        close(r.t_b.as_secs_f64(), g[5], &what);
+        close(r.turnaround_speedup, g[6], &what);
+    }
+}
+
+#[test]
+fn fig15_rows_match_golden() {
+    let golden = load("fig15_golden.csv");
+    let rows = fig15::run();
+    assert_eq!(rows.len(), golden.len(), "fig15 row count changed");
+    for (r, g) in rows.iter().zip(&golden) {
+        let what = format!("fig15 gpu={}", r.gpu);
+        assert_eq!(r.gpu, g[0] as u32, "{what}: gpu column");
+        assert_eq!(r.forward_kernels, g[1] as usize, "{what}: kernels column");
+        close(r.forwarding_busy.as_secs_f64(), g[2], &what);
+        close(r.normalized_perf, g[3], &what);
+    }
+}

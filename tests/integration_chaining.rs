@@ -10,7 +10,11 @@ use ccube_runtime::{ChainedRun, TreeAllReduceRuntime};
 
 fn integer_inputs(p: usize, n: usize) -> Vec<Vec<f32>> {
     (0..p)
-        .map(|r| (0..n).map(|i| ((r * 13 + i * 5) % 9) as f32 - 4.0).collect())
+        .map(|r| {
+            (0..n)
+                .map(|i| ((r * 13 + i * 5) % 9) as f32 - 4.0)
+                .collect()
+        })
         .collect()
 }
 
@@ -35,11 +39,8 @@ fn chained_net_run(net: &ccube_dnn::NetworkModel) {
     let expect = reference(&inputs);
 
     let dt = DoubleBinaryTree::new(p).unwrap();
-    let rt = TreeAllReduceRuntime::new(
-        dt.trees().to_vec(),
-        Overlap::ReductionBroadcast,
-        num_chunks,
-    );
+    let rt =
+        TreeAllReduceRuntime::new(dt.trees().to_vec(), Overlap::ReductionBroadcast, num_chunks);
     let chained = ChainedRun::new(rt, table.clone()).unwrap();
     let (outputs, events) = chained.run(inputs, |_, _| {}).unwrap();
 
@@ -78,11 +79,8 @@ fn early_layers_start_before_the_collective_finishes() {
     let p = 8;
     let inputs = integer_inputs(p, 8 * num_chunks);
     let dt = DoubleBinaryTree::new(p).unwrap();
-    let rt = TreeAllReduceRuntime::new(
-        dt.trees().to_vec(),
-        Overlap::ReductionBroadcast,
-        num_chunks,
-    );
+    let rt =
+        TreeAllReduceRuntime::new(dt.trees().to_vec(), Overlap::ReductionBroadcast, num_chunks);
     let chained = ChainedRun::new(rt, table).unwrap();
     let (_, events) = chained.run(inputs, |_, _| {}).unwrap();
 

@@ -50,11 +50,7 @@ fn dgx1_embedding_never_touches_the_host_bridge() {
     let topo = dgx1();
     let dt = DoubleBinaryTree::new(8).unwrap();
     for overlap in [Overlap::None, Overlap::ReductionBroadcast] {
-        let s = tree_allreduce(
-            dt.trees(),
-            &Chunking::even(ByteSize::mib(16), 8),
-            overlap,
-        );
+        let s = tree_allreduce(dt.trees(), &Chunking::even(ByteSize::mib(16), 8), overlap);
         let e = Embedding::dgx1_double_tree(&topo, &s).unwrap();
         for route in e.routes().values() {
             assert_ne!(route.class(), ChannelClass::HostBridge);

@@ -13,10 +13,7 @@ use ccube_topology::{Bandwidth, ByteSize, Seconds};
 use proptest::prelude::*;
 
 fn overlap_strategy() -> impl Strategy<Value = Overlap> {
-    prop_oneof![
-        Just(Overlap::None),
-        Just(Overlap::ReductionBroadcast)
-    ]
+    prop_oneof![Just(Overlap::None), Just(Overlap::ReductionBroadcast)]
 }
 
 proptest! {
