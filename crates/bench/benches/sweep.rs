@@ -1,0 +1,128 @@
+//! Sweep-executor and DES hot-path benchmark.
+//!
+//! Not a criterion harness: this bench measures wall-clock scaling of
+//! the parallel sweep executor against its serial output (which the
+//! golden tests prove bit-identical) plus the single-run kernel rates
+//! with tracing on and off, and writes the numbers to
+//! `BENCH_sweep.json` at the repository root so the results are
+//! machine-readable.
+//!
+//! ```text
+//! cargo bench -p ccube-bench --bench sweep
+//! ```
+
+use ccube::experiments::fig14;
+use ccube_collectives::{ring_allreduce, Embedding};
+use ccube_sim::{simulate, SimOptions};
+use ccube_topology::{hierarchical, ByteSize};
+use std::time::Instant;
+
+/// Median wall-clock seconds of `reps` runs of `f`.
+fn median_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn json_f(x: f64) -> String {
+    format!("{x:.6}")
+}
+
+fn main() {
+    // `cargo bench` passes --bench; an explicit --quick shrinks the reps
+    // for smoke runs.
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 3 } else { 5 };
+
+    // --- Sweep scaling: the Fig. 14 grid, serial vs parallel. ---------
+    let ps = [4usize, 8, 16, 32, 64];
+    let ns = [ByteSize::kib(16), ByteSize::mib(1), ByteSize::mib(16)];
+    let points = ps.len() * ns.len();
+    let serial_rows = fig14::run_with_threads(&ps, &ns, 1);
+
+    let t_serial = median_secs(reps, || {
+        assert_eq!(fig14::run_with_threads(&ps, &ns, 1).len(), points);
+    });
+    println!(
+        "sweep fig14 grid  {points} points  serial          {:>8.1} ms  {:>8.1} points/s",
+        t_serial * 1e3,
+        points as f64 / t_serial
+    );
+
+    let mut parallel_json = Vec::new();
+    for threads in [2usize, 4, 8] {
+        let t = median_secs(reps, || {
+            let rows = fig14::run_with_threads(&ps, &ns, threads);
+            assert_eq!(rows, serial_rows, "parallel sweep diverged from serial");
+        });
+        let speedup = t_serial / t;
+        println!(
+            "sweep fig14 grid  {points} points  {threads} workers  {:>8.1} ms  {:>8.1} points/s  x{speedup:.2}",
+            t * 1e3,
+            points as f64 / t
+        );
+        parallel_json.push(format!(
+            "{{\"threads\":{threads},\"secs\":{},\"points_per_sec\":{},\"speedup_vs_serial\":{}}}",
+            json_f(t),
+            json_f(points as f64 / t),
+            json_f(speedup)
+        ));
+    }
+
+    // --- Kernel rate: one large scale-out run, trace on vs off. -------
+    let p = 64;
+    let topo = hierarchical(p);
+    let s = ring_allreduce(p, ByteSize::mib(16));
+    let e = Embedding::nic(&topo, &s).unwrap();
+    let traced = SimOptions::scale_out();
+    let untraced = SimOptions::scale_out().without_trace();
+    let events = simulate(&topo, &s, &e, &traced)
+        .unwrap()
+        .stats()
+        .events_processed;
+
+    let t_on = median_secs(reps, || {
+        std::hint::black_box(simulate(&topo, &s, &e, &traced).unwrap());
+    });
+    let t_off = median_secs(reps, || {
+        std::hint::black_box(simulate(&topo, &s, &e, &untraced).unwrap());
+    });
+    println!(
+        "kernel hier64 ring  {events} events  trace on   {:>8.1} ms  {:>10.0} events/s",
+        t_on * 1e3,
+        events as f64 / t_on
+    );
+    println!(
+        "kernel hier64 ring  {events} events  trace off  {:>8.1} ms  {:>10.0} events/s  x{:.2}",
+        t_off * 1e3,
+        events as f64 / t_off,
+        t_on / t_off
+    );
+
+    // --- Machine-readable record at the repository root. --------------
+    let json = format!(
+        "{{\n  \"host_cores\": {},\n  \"sweep\": {{\n    \"grid\": \"fig14 {}x{}\",\n    \"points\": {},\n    \"serial_secs\": {},\n    \"serial_points_per_sec\": {},\n    \"parallel\": [{}]\n  }},\n  \"kernel\": {{\n    \"workload\": \"hier64 ring 16MiB\",\n    \"events\": {},\n    \"trace_on_secs\": {},\n    \"trace_on_events_per_sec\": {},\n    \"trace_off_secs\": {},\n    \"trace_off_events_per_sec\": {},\n    \"speedup_trace_off\": {}\n  }}\n}}\n",
+        ccube_sim::available_threads(),
+        ps.len(),
+        ns.len(),
+        points,
+        json_f(t_serial),
+        json_f(points as f64 / t_serial),
+        parallel_json.join(","),
+        events,
+        json_f(t_on),
+        json_f(events as f64 / t_on),
+        json_f(t_off),
+        json_f(events as f64 / t_off),
+        json_f(t_on / t_off)
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    std::fs::write(path, json).expect("write BENCH_sweep.json");
+    println!("wrote {path}");
+}

@@ -6,10 +6,15 @@
 //! ccube compare <network> [batch] [--low]
 //!                                  mode table (B/C1/C2/R/CC) for a network
 //! ccube scaleout [max_p] [mib...]  Fig. 14 sweep on the switch fabric
+//! ccube search                     best schedule per topology (policy search)
 //! ccube timeline [mib]             ASCII Fig. 7 timelines on the DGX-1
 //! ccube train [iterations]         threaded C-Cube training loop
 //! ccube rings                      DGX-1 Hamiltonian ring decomposition
 //! ```
+//!
+//! Sweep-backed commands (`figures`, `scaleout`, `search`) accept
+//! `--threads N` (default: the machine's available parallelism); the
+//! output is bit-identical at any worker count.
 
 use ccube::experiments;
 use ccube::pipeline::{Mode, TrainingPipeline};
@@ -26,9 +31,13 @@ fn usage() -> ExitCode {
          \x20 figures [out_dir]                regenerate every paper figure (CSV)\n\
          \x20 compare <network> [batch] [--low] mode table for zfnet|vgg16|resnet50\n\
          \x20 scaleout [max_p] [mib...]        Fig. 14 sweep on the switch fabric\n\
+         \x20 search                           best schedule per topology (policy search)\n\
          \x20 timeline [mib]                   ASCII Fig. 7 timelines on the DGX-1\n\
          \x20 train [iterations]               threaded C-Cube training loop\n\
-         \x20 rings                            DGX-1 Hamiltonian ring decomposition"
+         \x20 rings                            DGX-1 Hamiltonian ring decomposition\n\
+         \n\
+         figures/scaleout/search take --threads N (default: all cores);\n\
+         results are bit-identical at any worker count."
     );
     ExitCode::from(2)
 }
@@ -42,12 +51,12 @@ fn network_by_name(name: &str) -> Option<NetworkModel> {
     }
 }
 
-fn cmd_figures(args: &[String]) -> ExitCode {
+fn cmd_figures(args: &[String], threads: usize) -> ExitCode {
     let dir = args
         .first()
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("target/figures"));
-    match experiments::run_all(&dir) {
+    match experiments::run_all_with(&dir, threads) {
         Ok(paths) => {
             println!("wrote {} CSV files to {}", paths.len(), dir.display());
             for p in paths {
@@ -103,7 +112,7 @@ fn cmd_compare(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_scaleout(args: &[String]) -> ExitCode {
+fn cmd_scaleout(args: &[String], threads: usize) -> ExitCode {
     let max_p: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(128);
     let sizes: Vec<ByteSize> = {
         let explicit: Vec<u64> = args.iter().skip(1).filter_map(|s| s.parse().ok()).collect();
@@ -119,8 +128,28 @@ fn cmd_scaleout(args: &[String]) -> ExitCode {
         ps.push(p);
         p *= 2;
     }
-    for row in experiments::fig14::run_with(&ps, &sizes) {
+    for row in experiments::fig14::run_with_threads(&ps, &sizes, threads) {
         println!("{row}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_search(threads: usize) -> ExitCode {
+    let rows = experiments::policy_search::run_with_threads(threads);
+    println!("schedule policy search: topology x tree shape x arbitration x chunks");
+    for row in &rows {
+        println!("{row}");
+    }
+    for topo in ["dgx1", "hier16"] {
+        let best = experiments::policy_search::best_for(&rows, topo);
+        println!(
+            "{topo}: best schedule is {} / {} / K={} (makespan {}, queue wait {})",
+            best.shape,
+            experiments::policy_search::arbitration_name(best.arbitration),
+            best.k,
+            best.makespan,
+            best.queue_wait
+        );
     }
     ExitCode::SUCCESS
 }
@@ -216,15 +245,23 @@ fn cmd_rings() -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (args, threads) = match ccube_sim::threads_from_args(&raw) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
     let Some(command) = args.first() else {
         return usage();
     };
     let rest = &args[1..];
     match command.as_str() {
-        "figures" => cmd_figures(rest),
+        "figures" => cmd_figures(rest, threads),
         "compare" => cmd_compare(rest),
-        "scaleout" => cmd_scaleout(rest),
+        "scaleout" => cmd_scaleout(rest, threads),
+        "search" => cmd_search(threads),
         "timeline" => cmd_timeline(rest),
         "train" => cmd_train(rest),
         "rings" => cmd_rings(),

@@ -52,41 +52,46 @@ pub fn run() -> Vec<Row> {
     run_with(&ns)
 }
 
-/// Runs the comparison for explicit message sizes.
+/// Runs the comparison for explicit message sizes (serially).
 ///
 /// # Panics
 ///
 /// Panics if the DGX-1 embedding or simulation fails — both are
 /// deterministic and covered by tests.
 pub fn run_with(ns: &[ByteSize]) -> Vec<Row> {
+    run_with_threads(ns, 1)
+}
+
+/// [`run_with`] fanned out over `threads` workers via
+/// [`ccube_sim::sweep`]: each message size is one independent sweep
+/// point, and the result is bit-identical to the serial run.
+pub fn run_with_threads(ns: &[ByteSize], threads: usize) -> Vec<Row> {
     let topo = dgx1();
     let dt = DoubleBinaryTree::new(8).expect("8 ranks");
     let params = cost::CostParams::nvlink();
-    ns.iter()
-        .map(|&n| {
-            let k = k_opt(&params, 8, n).div_ceil(2).max(1) * 2;
-            let chunking = Chunking::even(n, k);
-            let run_one = |overlap| {
-                let s = tree_allreduce(dt.trees(), &chunking, overlap);
-                let e = Embedding::dgx1_double_tree(&topo, &s).expect("embeddable");
-                simulate(&topo, &s, &e, &SimOptions::default())
-                    .expect("simulates")
-                    .makespan()
-            };
-            let t_baseline = run_one(Overlap::None);
-            let t_overlapped = run_one(Overlap::ReductionBroadcast);
-            let model_b = t_double_tree_chunked(&params, 8, n, k);
-            let model_o = t_overlapped_double_chunked(&params, 8, n, k);
-            Row {
-                n,
-                k,
-                t_baseline,
-                t_overlapped,
-                improvement_sim: t_baseline / t_overlapped - 1.0,
-                improvement_model: model_b / model_o - 1.0,
-            }
-        })
-        .collect()
+    ccube_sim::sweep(ns, threads, |_, &n| {
+        let k = k_opt(&params, 8, n).div_ceil(2).max(1) * 2;
+        let chunking = Chunking::even(n, k);
+        let run_one = |overlap| {
+            let s = tree_allreduce(dt.trees(), &chunking, overlap);
+            let e = Embedding::dgx1_double_tree(&topo, &s).expect("embeddable");
+            simulate(&topo, &s, &e, &SimOptions::default())
+                .expect("simulates")
+                .makespan()
+        };
+        let t_baseline = run_one(Overlap::None);
+        let t_overlapped = run_one(Overlap::ReductionBroadcast);
+        let model_b = t_double_tree_chunked(&params, 8, n, k);
+        let model_o = t_overlapped_double_chunked(&params, 8, n, k);
+        Row {
+            n,
+            k,
+            t_baseline,
+            t_overlapped,
+            improvement_sim: t_baseline / t_overlapped - 1.0,
+            improvement_model: model_b / model_o - 1.0,
+        }
+    })
 }
 
 /// Renders rows as CSV.

@@ -37,32 +37,49 @@ pub fn run() -> Vec<Row> {
     run_with(&[16, 32, 64, 128])
 }
 
-/// Runs the grid for explicit batch sizes.
+/// Runs the grid for explicit batch sizes (serially).
 pub fn run_with(batches: &[usize]) -> Vec<Row> {
+    run_with_threads(batches, 1)
+}
+
+/// [`run_with`] fanned out over `threads` workers via
+/// [`ccube_sim::sweep`]: each `(network, batch, bandwidth)` cell is one
+/// sweep point; flattening the index-ordered results reproduces the
+/// serial row order exactly.
+pub fn run_with_threads(batches: &[usize], threads: usize) -> Vec<Row> {
     let compute = ComputeModel::v100();
     let nets: [(&'static str, NetworkModel); 3] = [
         ("zfnet", zfnet()),
         ("vgg16", vgg16()),
         ("resnet50", resnet50()),
     ];
-    let mut rows = Vec::new();
-    for (name, net) in &nets {
-        for &batch in batches {
-            for (bw_name, scale) in [("low", 0.25), ("high", 1.0)] {
-                let pipeline = TrainingPipeline::dgx1_with(net, batch, &compute, scale);
-                for report in pipeline.all_modes() {
-                    rows.push(Row {
-                        network: name,
-                        batch,
-                        bandwidth: bw_name,
-                        mode: report.mode,
-                        normalized_perf: report.normalized_perf,
-                    });
-                }
-            }
-        }
-    }
-    rows
+    let points: Vec<(usize, usize, &'static str, f64)> = (0..nets.len())
+        .flat_map(|ni| {
+            batches.iter().flat_map(move |&batch| {
+                [("low", 0.25), ("high", 1.0)]
+                    .into_iter()
+                    .map(move |(bw_name, scale)| (ni, batch, bw_name, scale))
+            })
+        })
+        .collect();
+    ccube_sim::sweep(&points, threads, |_, &(ni, batch, bw_name, scale)| {
+        let (name, net) = &nets[ni];
+        let pipeline = TrainingPipeline::dgx1_with(net, batch, &compute, scale);
+        pipeline
+            .all_modes()
+            .into_iter()
+            .map(|report| Row {
+                network: name,
+                batch,
+                bandwidth: bw_name,
+                mode: report.mode,
+                normalized_perf: report.normalized_perf,
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// The DES-grounded variant of the grid: instead of the analytic staged
@@ -72,6 +89,13 @@ pub fn run_with(batches: &[usize]) -> Vec<Row> {
 /// from a simulated NCCL-style 6-ring run over the machine's Hamiltonian
 /// decomposition. Cross-validated against [`run_with`] in tests.
 pub fn run_simulated(batches: &[usize]) -> Vec<Row> {
+    run_simulated_threads(batches, 1)
+}
+
+/// [`run_simulated`] fanned out over `threads` workers: each
+/// `(network, bandwidth)` pair — the unit that owns one set of
+/// discrete-event simulations — is one sweep point.
+pub fn run_simulated_threads(batches: &[usize], threads: usize) -> Vec<Row> {
     use crate::arrivals::ChunkArrivals;
     use ccube_collectives::{
         ring_allreduce_multi, tree_allreduce, Chunking, DoubleBinaryTree, Embedding, Overlap, Rank,
@@ -97,53 +121,62 @@ pub fn run_simulated(batches: &[usize]) -> Vec<Row> {
         ("vgg16", vgg16()),
         ("resnet50", resnet50()),
     ];
-    let mut rows = Vec::new();
-    for (name, net) in &nets {
+    let points: Vec<(usize, &'static str, f64)> = (0..nets.len())
+        .flat_map(|ni| {
+            [("low", 0.25f64), ("high", 1.0)]
+                .into_iter()
+                .map(move |(bw_name, scale)| (ni, bw_name, scale))
+        })
+        .collect();
+    ccube_sim::sweep(&points, threads, |_, &(ni, bw_name, scale)| {
+        let (name, net) = &nets[ni];
         let n = net.total_param_bytes();
-        for (bw_name, scale) in [("low", 0.25f64), ("high", 1.0)] {
-            // One reference pipeline per (net, bw) to fix the chunking.
-            let reference = TrainingPipeline::dgx1_with(net, 64, &compute, scale);
-            let k = reference.num_chunks();
-            let chunking = Chunking::even(n, k);
-            let opts = SimOptions {
-                bandwidth_scale: scale,
-                ..SimOptions::default()
-            };
-            let tree_arrivals = |overlap: Overlap| {
-                let s = tree_allreduce(dt.trees(), &chunking, overlap);
-                let e = Embedding::dgx1_double_tree(&topo, &s).expect("embeddable");
-                ChunkArrivals::from_sim(&simulate(&topo, &s, &e, &opts).expect("simulates"))
-            };
-            let base = tree_arrivals(Overlap::None);
-            let over = tree_arrivals(Overlap::ReductionBroadcast);
-            let ring_schedule = ring_allreduce_multi(n, &ring_orders);
-            let ring_emb = Embedding::identity(&topo, &ring_schedule).expect("embeddable");
-            let ring_time = simulate(&topo, &ring_schedule, &ring_emb, &opts)
-                .expect("simulates")
-                .makespan();
-            let ring = ChunkArrivals::ring_uniform(ring_time, k);
+        // One reference pipeline per (net, bw) to fix the chunking.
+        let reference = TrainingPipeline::dgx1_with(net, 64, &compute, scale);
+        let k = reference.num_chunks();
+        let chunking = Chunking::even(n, k);
+        let opts = SimOptions {
+            bandwidth_scale: scale,
+            ..SimOptions::default()
+        };
+        let tree_arrivals = |overlap: Overlap| {
+            let s = tree_allreduce(dt.trees(), &chunking, overlap);
+            let e = Embedding::dgx1_double_tree(&topo, &s).expect("embeddable");
+            ChunkArrivals::from_sim(&simulate(&topo, &s, &e, &opts).expect("simulates"))
+        };
+        let base = tree_arrivals(Overlap::None);
+        let over = tree_arrivals(Overlap::ReductionBroadcast);
+        let ring_schedule = ring_allreduce_multi(n, &ring_orders);
+        let ring_emb = Embedding::identity(&topo, &ring_schedule).expect("embeddable");
+        let ring_time = simulate(&topo, &ring_schedule, &ring_emb, &opts)
+            .expect("simulates")
+            .makespan();
+        let ring = ChunkArrivals::ring_uniform(ring_time, k);
 
-            for &batch in batches {
-                let pipeline = TrainingPipeline::dgx1_with(net, batch, &compute, scale);
-                for mode in Mode::ALL {
-                    let arrivals = match mode {
-                        Mode::Baseline | Mode::Chained => &base,
-                        Mode::OverlappedTree | Mode::CCube => &over,
-                        Mode::Ring | Mode::BackwardOverlap => &ring,
-                    };
-                    let report = pipeline.iteration_with_arrivals(mode, arrivals);
-                    rows.push(Row {
-                        network: name,
-                        batch,
-                        bandwidth: bw_name,
-                        mode,
-                        normalized_perf: report.normalized_perf,
-                    });
-                }
+        let mut rows = Vec::new();
+        for &batch in batches {
+            let pipeline = TrainingPipeline::dgx1_with(net, batch, &compute, scale);
+            for mode in Mode::ALL {
+                let arrivals = match mode {
+                    Mode::Baseline | Mode::Chained => &base,
+                    Mode::OverlappedTree | Mode::CCube => &over,
+                    Mode::Ring | Mode::BackwardOverlap => &ring,
+                };
+                let report = pipeline.iteration_with_arrivals(mode, arrivals);
+                rows.push(Row {
+                    network: name,
+                    batch,
+                    bandwidth: bw_name,
+                    mode,
+                    normalized_perf: report.normalized_perf,
+                });
             }
         }
-    }
-    rows
+        rows
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Renders rows as CSV.

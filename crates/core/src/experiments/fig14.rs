@@ -69,33 +69,40 @@ pub fn chunk_count(n: ByteSize) -> usize {
     k.div_ceil(2).max(1) * 2
 }
 
-/// Runs the sweep for explicit node counts and message sizes.
+/// Runs the sweep for explicit node counts and message sizes (serially).
 pub fn run_with(ps: &[usize], ns: &[ByteSize]) -> Vec<Row> {
-    let mut rows = Vec::new();
-    for &p in ps {
+    run_with_threads(ps, ns, 1)
+}
+
+/// [`run_with`] fanned out over `threads` workers via
+/// [`ccube_sim::sweep`]: each `(P, N)` grid point (three simulations) is
+/// one sweep point, reassembled in grid order.
+pub fn run_with_threads(ps: &[usize], ns: &[ByteSize], threads: usize) -> Vec<Row> {
+    let points: Vec<(usize, ByteSize)> = ps
+        .iter()
+        .flat_map(|&p| ns.iter().map(move |&n| (p, n)))
+        .collect();
+    ccube_sim::sweep(&points, threads, |_, &(p, n)| {
         let dt = DoubleBinaryTree::new(p).expect("p >= 2");
-        for &n in ns {
-            let k = chunk_count(n);
-            let chunking = Chunking::even(n, k);
-            let ring = ring_allreduce(p, n);
-            let c1 = tree_allreduce(dt.trees(), &chunking, Overlap::ReductionBroadcast);
-            let b = tree_allreduce(dt.trees(), &chunking, Overlap::None);
-            let ring_report = sim_on(p, &ring);
-            let c1_report = sim_on(p, &c1);
-            let b_report = sim_on(p, &b);
-            rows.push(Row {
-                p,
-                n,
-                k,
-                t_ring: ring_report.makespan(),
-                t_c1: c1_report.makespan(),
-                t_b: b_report.makespan(),
-                c1_over_ring: ring_report.makespan() / c1_report.makespan(),
-                turnaround_speedup: b_report.turnaround() / c1_report.turnaround(),
-            });
+        let k = chunk_count(n);
+        let chunking = Chunking::even(n, k);
+        let ring = ring_allreduce(p, n);
+        let c1 = tree_allreduce(dt.trees(), &chunking, Overlap::ReductionBroadcast);
+        let b = tree_allreduce(dt.trees(), &chunking, Overlap::None);
+        let ring_report = sim_on(p, &ring);
+        let c1_report = sim_on(p, &c1);
+        let b_report = sim_on(p, &b);
+        Row {
+            p,
+            n,
+            k,
+            t_ring: ring_report.makespan(),
+            t_c1: c1_report.makespan(),
+            t_b: b_report.makespan(),
+            c1_over_ring: ring_report.makespan() / c1_report.makespan(),
+            turnaround_speedup: b_report.turnaround() / c1_report.turnaround(),
         }
-    }
-    rows
+    })
 }
 
 /// Renders rows as CSV.

@@ -23,10 +23,14 @@
 //! Beyond the paper, [`extensions`] adds three follow-up studies the
 //! paper motivates: an NVSwitch-class alternative-topology comparison,
 //! a detour-vs-PCIe quantification, and a chunk-count sensitivity sweep
-//! validating Eq. 4 against the simulator.
+//! validating Eq. 4 against the simulator — and [`policy_search`]
+//! brute-forces the best (chunk count, tree shape, arbitration)
+//! schedule per topology over the sweep executor.
 //!
 //! The `paper_figures` example runs every driver and writes one CSV per
-//! figure.
+//! figure. [`run_all`] fans the figures out across
+//! [`ccube_sim::sweep`] workers; because every driver is a pure
+//! function, the CSVs are bit-identical at any worker count.
 
 pub mod extensions;
 pub mod fig01;
@@ -38,49 +42,66 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig16;
 pub mod fig17;
+pub mod policy_search;
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
+/// A figure entry: output file name plus the driver rendering its CSV.
+type Figure = (&'static str, fn() -> String);
+
+/// The full figure table. Each driver runs serially inside one sweep
+/// point; [`run_all`] parallelizes across the table.
+const FIGURES: &[Figure] = &[
+    ("fig01_allreduce_ratio.csv", || fig01::to_csv(&fig01::run())),
+    ("fig03_granularity.csv", || fig03::to_csv(&fig03::run())),
+    ("fig04_ring_vs_tree.csv", || fig04::to_csv(&fig04::run())),
+    ("fig12_comm_overlap.csv", || fig12::to_csv(&fig12::run())),
+    ("fig13_overall.csv", || fig13::to_csv(&fig13::run())),
+    ("fig14_scaleout.csv", || fig14::to_csv(&fig14::run())),
+    ("fig15_detour.csv", || fig15::to_csv(&fig15::run())),
+    ("fig16_patterns.csv", || fig16::to_csv(&fig16::run())),
+    ("fig17_resnet_layers.csv", || fig17::to_csv(&fig17::run(64))),
+    ("ext_topology_study.csv", || {
+        extensions::topology_to_csv(&extensions::topology_study())
+    }),
+    ("ext_detour_vs_host.csv", || {
+        extensions::detour_to_csv(&extensions::detour_vs_host())
+    }),
+    ("ext_chunk_sensitivity.csv", || {
+        extensions::chunk_to_csv(&extensions::chunk_sensitivity())
+    }),
+    ("ext_cosim_validation.csv", || {
+        extensions::cosim_to_csv(&extensions::cosim_validation())
+    }),
+    ("ext_overlap_strategies.csv", || {
+        extensions::strategy_to_csv(&extensions::overlap_strategy_study())
+    }),
+    ("ext_policy_search.csv", || {
+        policy_search::to_csv(&policy_search::run())
+    }),
+];
+
 /// Runs every experiment at its default configuration and writes one CSV
-/// per figure into `dir` (created if missing). Returns the written paths.
+/// per figure into `dir` (created if missing), using every available
+/// core. Returns the written paths.
 ///
 /// # Errors
 ///
 /// Returns any I/O error from creating the directory or writing files.
 pub fn run_all(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    run_all_with(dir, ccube_sim::available_threads())
+}
+
+/// [`run_all`] on an explicit worker count: the figure drivers are the
+/// sweep points, so the CSVs come out bit-identical at any `threads`.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing files.
+pub fn run_all_with(dir: &Path, threads: usize) -> std::io::Result<Vec<PathBuf>> {
     std::fs::create_dir_all(dir)?;
-    let outputs: Vec<(&str, String)> = vec![
-        ("fig01_allreduce_ratio.csv", fig01::to_csv(&fig01::run())),
-        ("fig03_granularity.csv", fig03::to_csv(&fig03::run())),
-        ("fig04_ring_vs_tree.csv", fig04::to_csv(&fig04::run())),
-        ("fig12_comm_overlap.csv", fig12::to_csv(&fig12::run())),
-        ("fig13_overall.csv", fig13::to_csv(&fig13::run())),
-        ("fig14_scaleout.csv", fig14::to_csv(&fig14::run())),
-        ("fig15_detour.csv", fig15::to_csv(&fig15::run())),
-        ("fig16_patterns.csv", fig16::to_csv(&fig16::run())),
-        ("fig17_resnet_layers.csv", fig17::to_csv(&fig17::run(64))),
-        (
-            "ext_topology_study.csv",
-            extensions::topology_to_csv(&extensions::topology_study()),
-        ),
-        (
-            "ext_detour_vs_host.csv",
-            extensions::detour_to_csv(&extensions::detour_vs_host()),
-        ),
-        (
-            "ext_chunk_sensitivity.csv",
-            extensions::chunk_to_csv(&extensions::chunk_sensitivity()),
-        ),
-        (
-            "ext_cosim_validation.csv",
-            extensions::cosim_to_csv(&extensions::cosim_validation()),
-        ),
-        (
-            "ext_overlap_strategies.csv",
-            extensions::strategy_to_csv(&extensions::overlap_strategy_study()),
-        ),
-    ];
+    let outputs = ccube_sim::sweep(FIGURES, threads, |_, &(name, driver)| (name, driver()));
     let mut paths = Vec::new();
     for (name, csv) in outputs {
         let path = dir.join(name);
@@ -97,10 +118,12 @@ mod tests {
 
     #[test]
     fn run_all_writes_every_figure() {
-        let dir = std::env::temp_dir().join("ccube_run_all_test");
+        // Unique per process so concurrently running test binaries (unit
+        // + integration suites) never race on the same directory.
+        let dir = std::env::temp_dir().join(format!("ccube_run_all_test_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let paths = run_all(&dir).unwrap();
-        assert_eq!(paths.len(), 14);
+        assert_eq!(paths.len(), 15);
         for p in &paths {
             let content = std::fs::read_to_string(p).unwrap();
             assert!(content.lines().count() >= 2, "{p:?} has no data rows");

@@ -1,0 +1,241 @@
+//! Schedule-policy search over the sweep executor.
+//!
+//! The ROADMAP's "what schedule should this machine run?" question,
+//! answered by brute force: for each physical topology, sweep the
+//! schedule knobs the runtime controls — chunk count, tree shape, and
+//! channel arbitration policy — through the discrete-event simulator,
+//! and report the configuration with the lowest AllReduce makespan.
+//! Ties break on total queue wait (the [`ccube_sim::SimStats`]
+//! congestion signal: a schedule that wins without queueing generalizes
+//! better than one that wins by saturating a contended channel), then on
+//! grid order, so the winner is deterministic.
+//!
+//! Every grid point is independent, so the search runs on
+//! [`ccube_sim::sweep`] and is bit-identical at any worker count.
+
+use ccube_collectives::{
+    tree_allreduce, BinaryTree, Chunking, DoubleBinaryTree, Embedding, Overlap,
+};
+use ccube_sim::{simulate, Arbitration, SimOptions};
+use ccube_topology::{dgx1, hierarchical, ByteSize, Seconds, Topology};
+use std::fmt;
+
+/// Tree shapes the search considers.
+const SHAPES: [&str; 2] = ["single-tree", "double-tree"];
+
+/// Chunk counts the search considers (even, so double trees split the
+/// chunks evenly between the tree pair).
+const CHUNKS: [usize; 5] = [4, 8, 16, 32, 64];
+
+/// One evaluated point of the policy search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchRow {
+    /// Topology name (`dgx1` or `hier16`).
+    pub topology: &'static str,
+    /// `single-tree` or `double-tree`.
+    pub shape: &'static str,
+    /// Channel arbitration policy.
+    pub arbitration: Arbitration,
+    /// Chunk count.
+    pub k: usize,
+    /// Simulated AllReduce makespan.
+    pub makespan: Seconds,
+    /// Total queue wait across channels — the congestion signal.
+    pub queue_wait: Seconds,
+    /// Whether this is the best schedule for its topology.
+    pub best: bool,
+}
+
+impl fmt::Display for SearchRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<6} {:<11} {:<13} K={:<4} makespan={} wait={}{}",
+            self.topology,
+            self.shape,
+            arbitration_name(self.arbitration),
+            self.k,
+            self.makespan,
+            self.queue_wait,
+            if self.best { "  <- best" } else { "" }
+        )
+    }
+}
+
+/// Stable CSV label for an arbitration policy.
+pub fn arbitration_name(a: Arbitration) -> &'static str {
+    match a {
+        Arbitration::FifoHol => "fifo-hol",
+        Arbitration::ChunkPriority => "chunk-priority",
+    }
+}
+
+/// One grid point: which topology, which knob settings.
+#[derive(Debug, Clone, Copy)]
+struct Point {
+    topology: &'static str,
+    shape: &'static str,
+    arbitration: Arbitration,
+    k: usize,
+}
+
+fn evaluate(topo: &Topology, ranks: usize, point: &Point, n: ByteSize) -> (Seconds, Seconds) {
+    let chunking = Chunking::even(n, point.k);
+    let schedule = if point.shape == "single-tree" {
+        let tree = BinaryTree::inorder(ranks).expect("valid rank count");
+        tree_allreduce(
+            std::slice::from_ref(&tree),
+            &chunking,
+            Overlap::ReductionBroadcast,
+        )
+    } else {
+        let dt = DoubleBinaryTree::new(ranks).expect("valid rank count");
+        tree_allreduce(dt.trees(), &chunking, Overlap::ReductionBroadcast)
+    };
+    let emb = match (point.topology, point.shape) {
+        ("dgx1", "double-tree") => Embedding::dgx1_double_tree(topo, &schedule),
+        ("dgx1", _) => Embedding::identity(topo, &schedule),
+        _ => Embedding::nic(topo, &schedule),
+    }
+    .expect("embeddable");
+    // The search only reads timings and counters, so it takes the
+    // trace-off fast path.
+    let opts = SimOptions {
+        arbitration: point.arbitration,
+        ..SimOptions::default()
+    }
+    .without_trace();
+    let report = simulate(topo, &schedule, &emb, &opts).expect("simulates");
+    (report.makespan(), report.stats().total_queue_wait())
+}
+
+/// Runs the search serially (64 MiB message).
+pub fn run() -> Vec<SearchRow> {
+    run_with_threads(1)
+}
+
+/// Runs the full search grid — topology × tree shape × arbitration ×
+/// chunk count — on `threads` sweep workers and marks the best schedule
+/// per topology. Deterministic at any worker count.
+pub fn run_with_threads(threads: usize) -> Vec<SearchRow> {
+    let n = ByteSize::mib(64);
+    let machines: [(&'static str, usize, Topology); 2] =
+        [("dgx1", 8, dgx1()), ("hier16", 16, hierarchical(16))];
+
+    let mut points = Vec::new();
+    for (name, _, _) in &machines {
+        for shape in SHAPES {
+            for arbitration in [Arbitration::FifoHol, Arbitration::ChunkPriority] {
+                for k in CHUNKS {
+                    points.push(Point {
+                        topology: name,
+                        shape,
+                        arbitration,
+                        k,
+                    });
+                }
+            }
+        }
+    }
+
+    let mut rows = ccube_sim::sweep(&points, threads, |_, point| {
+        let (_, ranks, topo) = machines
+            .iter()
+            .find(|(name, _, _)| *name == point.topology)
+            .expect("known topology");
+        let (makespan, queue_wait) = evaluate(topo, *ranks, point, n);
+        SearchRow {
+            topology: point.topology,
+            shape: point.shape,
+            arbitration: point.arbitration,
+            k: point.k,
+            makespan,
+            queue_wait,
+            best: false,
+        }
+    });
+
+    // Winner per topology: lowest makespan, ties by congestion, then by
+    // grid order (the index the sweep already preserves).
+    for (name, _, _) in &machines {
+        let best = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.topology == *name)
+            .min_by(|(_, a), (_, b)| (a.makespan, a.queue_wait).cmp(&(b.makespan, b.queue_wait)))
+            .map(|(i, _)| i)
+            .expect("topology has rows");
+        rows[best].best = true;
+    }
+    rows
+}
+
+/// The winning row for a topology.
+pub fn best_for<'a>(rows: &'a [SearchRow], topology: &str) -> &'a SearchRow {
+    rows.iter()
+        .find(|r| r.best && r.topology == topology)
+        .expect("topology searched")
+}
+
+/// Renders search rows as CSV.
+pub fn to_csv(rows: &[SearchRow]) -> String {
+    let mut out = String::from("topology,shape,arbitration,k,makespan_us,queue_wait_us,best\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{:.2},{:.2},{}\n",
+            r.topology,
+            r.shape,
+            arbitration_name(r.arbitration),
+            r.k,
+            r.makespan.as_micros(),
+            r.queue_wait.as_micros(),
+            r.best
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_covers_the_grid_and_crowns_one_winner_per_topology() {
+        let rows = run();
+        // 2 topologies x 2 shapes x 2 arbitrations x 5 chunk counts.
+        assert_eq!(rows.len(), 2 * 2 * 2 * CHUNKS.len());
+        for topo in ["dgx1", "hier16"] {
+            let winners: Vec<_> = rows
+                .iter()
+                .filter(|r| r.topology == topo && r.best)
+                .collect();
+            assert_eq!(winners.len(), 1, "{topo}: {} winners", winners.len());
+            // The winner really is the makespan minimum.
+            let min = rows
+                .iter()
+                .filter(|r| r.topology == topo)
+                .map(|r| r.makespan)
+                .min()
+                .unwrap();
+            assert_eq!(winners[0].makespan, min);
+        }
+    }
+
+    #[test]
+    fn search_is_deterministic_across_worker_counts() {
+        let serial = run_with_threads(1);
+        for threads in [2, 8] {
+            assert_eq!(run_with_threads(threads), serial);
+        }
+    }
+
+    #[test]
+    fn double_tree_beats_single_tree_on_dgx1() {
+        // The paper's core claim, recovered by the search: on the DGX-1
+        // the conflict-free double-tree embedding outperforms a single
+        // tree at the same chunk count.
+        let rows = run();
+        let best = best_for(&rows, "dgx1");
+        assert_eq!(best.shape, "double-tree");
+    }
+}

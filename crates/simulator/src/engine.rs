@@ -50,7 +50,11 @@ pub struct SimOptions {
     pub forwarding_latency: Seconds,
     /// Channel arbitration policy.
     pub arbitration: Arbitration,
-    /// Ring capacity of the structured trace each run records.
+    /// Ring capacity of the structured trace each run records. `0`
+    /// disables tracing entirely ([`SimTrace::disabled`]): the engines
+    /// skip all per-event ring-buffer bookkeeping, which is the fast
+    /// path for sweeps and searches that only read timings and
+    /// counters. Tracing never affects simulated timings either way.
     pub trace_capacity: usize,
 }
 
@@ -79,6 +83,26 @@ impl SimOptions {
         SimOptions {
             arbitration: Arbitration::ChunkPriority,
             ..SimOptions::default()
+        }
+    }
+
+    /// The same options with tracing disabled — the fast path for
+    /// sweeps and searches that only read the report's timings and
+    /// counters. Results are bit-identical to a traced run; only the
+    /// report's [`SimTrace`] comes back empty.
+    #[must_use]
+    pub fn without_trace(mut self) -> Self {
+        self.trace_capacity = 0;
+        self
+    }
+
+    /// The run's trace sink: a bounded ring, or the disabled no-op
+    /// trace when `trace_capacity` is 0.
+    pub(crate) fn make_trace(&self) -> SimTrace {
+        if self.trace_capacity == 0 {
+            SimTrace::disabled()
+        } else {
+            SimTrace::bounded(self.trace_capacity)
         }
     }
 
@@ -171,11 +195,14 @@ pub fn simulate(
     }
 
     let mut pool = ChannelPool::new(num_channels, opts.arbitration);
+    pool.reserve_tasks(n);
     for s in &specs {
         pool.add_task(s.path.clone(), (s.chunk.0, s.id.0));
     }
-    let mut kernel: Kernel<u32> = Kernel::new();
-    let mut trace = SimTrace::bounded(opts.trace_capacity);
+    // Channels are exclusive, so at most one completion event per
+    // channel is ever in flight.
+    let mut kernel: Kernel<u32> = Kernel::with_capacity(num_channels.min(n));
+    let mut trace = opts.make_trace();
     let mut timings = vec![
         TransferTiming {
             start: Seconds::ZERO,

@@ -164,6 +164,21 @@ impl<E> Kernel<E> {
         }
     }
 
+    /// A seed-0 kernel whose event heap is pre-allocated for `capacity`
+    /// pending events, so an engine that knows its event population up
+    /// front (one completion per transfer, say) never regrows the heap
+    /// mid-run.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut k = Kernel::new();
+        k.heap.reserve(capacity);
+        k
+    }
+
+    /// Pre-allocates room for `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// The current simulation time (the timestamp of the last popped
     /// event).
     pub fn now(&self) -> Seconds {

@@ -46,6 +46,7 @@ mod error;
 pub mod kernel;
 mod report;
 pub mod resource;
+pub mod sweep;
 pub mod system;
 mod timeline;
 pub mod trace;
@@ -55,6 +56,7 @@ pub use error::SimError;
 pub use kernel::{Component, ComponentId, Ctx, Kernel, KernelStats, SimRng, Simulation};
 pub use report::{SimReport, SimStats, TransferTiming};
 pub use resource::{ChannelPool, ComputeStream};
+pub use sweep::{available_threads, sweep, sweep_seeded, threads_from_args};
 pub use system::{
     simulate_system, simulate_system_with_slowdowns, ComputeTask, ComputeTaskId, SystemJob,
     SystemReport,

@@ -144,13 +144,6 @@ impl SimReport {
         self.channel_busy[channel.index()] / self.makespan
     }
 
-    /// Deprecated index-based alias of
-    /// [`channel_utilization`](SimReport::channel_utilization).
-    #[deprecated(note = "use channel_utilization(ChannelId) instead")]
-    pub fn channel_utilization_index(&self, channel_index: usize) -> f64 {
-        self.channel_utilization(ChannelId(channel_index as u32))
-    }
-
     /// Utilization of `channel` over time: the makespan divided into
     /// `bins` equal slices, each reporting the fraction of the slice the
     /// channel was busy (0.0–1.0).
@@ -246,10 +239,6 @@ mod tests {
             let u = report.channel_utilization(ChannelId(c));
             assert!((0.0..=1.0).contains(&u));
             any_busy |= u > 0.0;
-            // The deprecated index-based shim must agree.
-            #[allow(deprecated)]
-            let legacy = report.channel_utilization_index(c as usize);
-            assert_eq!(u, legacy);
             // The timeline integrates to the same utilization.
             let bins = report.channel_utilization_timeline(ChannelId(c), 16);
             let mean = bins.iter().sum::<f64>() / bins.len() as f64;

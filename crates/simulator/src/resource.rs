@@ -49,7 +49,16 @@ pub struct ChannelPool {
     enqueued_at: Vec<Option<Seconds>>,
     started_at: Vec<Seconds>,
     free: Vec<bool>,
-    waiters: Vec<VecDeque<u32>>,
+    /// Per-channel waiter queues. Under [`Arbitration::FifoHol`] each
+    /// queue is in readiness (FIFO) order; under
+    /// [`Arbitration::ChunkPriority`] it is kept sorted ascending by
+    /// arbitration key, so the best waiter is always the front — no
+    /// per-round scan.
+    waiters: Vec<Vec<u32>>,
+    /// Every task currently in [`TaskState::Ready`], sorted ascending by
+    /// arbitration key. Replaces the collect-and-sort
+    /// [`ChannelPool::force_start`] historically paid per stall round.
+    ready_by_key: Vec<u32>,
     busy: Vec<Seconds>,
     intervals: Vec<Vec<BusyInterval>>,
     queue_wait: Vec<Seconds>,
@@ -68,13 +77,24 @@ impl ChannelPool {
             enqueued_at: Vec::new(),
             started_at: Vec::new(),
             free: vec![true; num_channels],
-            waiters: vec![VecDeque::new(); num_channels],
+            waiters: vec![Vec::new(); num_channels],
+            ready_by_key: Vec::new(),
             busy: vec![Seconds::ZERO; num_channels],
             intervals: vec![Vec::new(); num_channels],
             queue_wait: vec![Seconds::ZERO; num_channels],
             max_waiting: 0,
             force_starts: 0,
         }
+    }
+
+    /// Pre-allocates the per-task bookkeeping for `num_tasks` upcoming
+    /// [`ChannelPool::add_task`] calls.
+    pub fn reserve_tasks(&mut self, num_tasks: usize) {
+        self.paths.reserve(num_tasks);
+        self.keys.reserve(num_tasks);
+        self.state.reserve(num_tasks);
+        self.enqueued_at.reserve(num_tasks);
+        self.started_at.reserve(num_tasks);
     }
 
     /// Registers a task; ids are dense and assigned in call order.
@@ -114,7 +134,16 @@ impl ChannelPool {
     pub fn mark_ready(&mut self, task: u32, now: Seconds, trace: &mut SimTrace) -> bool {
         debug_assert_eq!(self.state[task as usize], TaskState::Pending);
         self.state[task as usize] = TaskState::Ready;
+        let pos = self.key_position(&self.ready_by_key, task);
+        self.ready_by_key.insert(pos, task);
         self.try_start(task, now, false, trace)
+    }
+
+    /// Where `task` sits (or belongs) in a key-sorted task list. Keys
+    /// `(chunk, id)` are unique per task, so this is exact.
+    fn key_position(&self, sorted: &[u32], task: u32) -> usize {
+        let key = self.keys[task as usize];
+        sorted.partition_point(|&t| self.keys[t as usize] < key)
     }
 
     /// Releases the channels of a completed `task`, charging busy time
@@ -144,34 +173,17 @@ impl ChannelPool {
     pub fn serve(&mut self, task: u32, now: Seconds, trace: &mut SimTrace, started: &mut Vec<u32>) {
         for i in 0..self.paths[task as usize].len() {
             let ci = self.paths[task as usize][i].index();
-            match self.arbitration {
-                Arbitration::FifoHol => {
-                    // Strict head-of-line: the queue advances only while
-                    // its head can start.
-                    while let Some(&head) = self.waiters[ci].front() {
-                        if self.try_start(head, now, false, trace) {
-                            started.push(head);
-                        } else {
-                            break;
-                        }
-                    }
-                }
-                Arbitration::ChunkPriority => {
-                    // Oldest waiting chunk first; if it cannot start yet
-                    // (another channel of its path is busy) the channel
-                    // idles, reserved for it.
-                    loop {
-                        let best = self.waiters[ci]
-                            .iter()
-                            .copied()
-                            .min_by_key(|&t| self.keys[t as usize]);
-                        let Some(t) = best else { break };
-                        if self.try_start(t, now, false, trace) {
-                            started.push(t);
-                        } else {
-                            break;
-                        }
-                    }
+            // Under FifoHol the front is the oldest waiter (strict
+            // head-of-line); under ChunkPriority the queue is key-sorted
+            // so the front is the oldest waiting chunk — either way the
+            // queue advances only while its front can start, and a
+            // blocked front leaves the channel idle (reserved for it
+            // under ChunkPriority).
+            while let Some(&head) = self.waiters[ci].first() {
+                if self.try_start(head, now, false, trace) {
+                    started.push(head);
+                } else {
+                    break;
                 }
             }
         }
@@ -182,15 +194,17 @@ impl ChannelPool {
     /// Returns the started task, or `None` if nothing can run (a true
     /// deadlock).
     pub fn force_start(&mut self, now: Seconds, trace: &mut SimTrace) -> Option<u32> {
-        let mut ready: Vec<u32> = (0..self.state.len() as u32)
-            .filter(|&t| self.state[t as usize] == TaskState::Ready)
-            .collect();
-        ready.sort_by_key(|&t| self.keys[t as usize]);
-        for t in ready {
+        // `ready_by_key` is maintained in ascending key order, so this
+        // replaces the historical collect-and-sort over every task with
+        // a single in-order scan of the ready set.
+        let mut i = 0;
+        while i < self.ready_by_key.len() {
+            let t = self.ready_by_key[i];
             if self.try_start(t, now, true, trace) {
                 self.force_starts += 1;
                 return Some(t);
             }
+            i += 1;
         }
         None
     }
@@ -206,36 +220,44 @@ impl ChannelPool {
                 Arbitration::FifoHol => true,
                 // A freed channel is implicitly reserved for the oldest
                 // waiting chunk: a younger task yields to any ready
-                // waiter with a smaller key anywhere on its path.
-                Arbitration::ChunkPriority => self.paths[t].iter().all(|c| {
-                    self.waiters[c.index()]
+                // waiter with a smaller key anywhere on its path. The
+                // queues are key-sorted, so checking the front (the
+                // minimum key) decides for the whole queue.
+                Arbitration::ChunkPriority => {
+                    self.paths[t]
                         .iter()
-                        .all(|&w| w == task || self.keys[w as usize] >= self.keys[t])
-                }),
+                        .all(|c| match self.waiters[c.index()].first() {
+                            None => true,
+                            Some(&w) => w == task || self.keys[w as usize] >= self.keys[t],
+                        })
+                }
             };
         if !(channels_free && priority_ok) {
-            for ci in self.paths[t].iter().map(|c| c.index()) {
-                if !self.waiters[ci].contains(&task) {
-                    self.waiters[ci].push_back(task);
+            // A task waits in either all of its path's queues or none,
+            // so `enqueued_at` doubles as the membership flag.
+            if self.enqueued_at[t].is_none() {
+                self.enqueued_at[t] = Some(now);
+                for i in 0..self.paths[t].len() {
+                    let ci = self.paths[t][i].index();
+                    self.enqueue_waiter(ci, task);
                     self.max_waiting = self.max_waiting.max(self.waiters[ci].len());
                 }
             }
-            if self.enqueued_at[t].is_none() {
-                self.enqueued_at[t] = Some(now);
-            }
             return false;
         }
-        for ci in self.paths[t].iter().map(|c| c.index()) {
+        for i in 0..self.paths[t].len() {
+            let ci = self.paths[t][i].index();
             self.free[ci] = false;
-            if let Some(pos) = self.waiters[ci].iter().position(|&x| x == task) {
-                self.waiters[ci].remove(pos);
-            }
+            self.remove_waiter(ci, task);
             trace.push(TraceRecord::ChannelGrant {
                 channel: ChannelId(ci as u32),
                 id: TransferId(task),
                 at: now,
             });
         }
+        let pos = self.key_position(&self.ready_by_key, task);
+        debug_assert_eq!(self.ready_by_key.get(pos), Some(&task));
+        self.ready_by_key.remove(pos);
         if let Some(enqueued) = self.enqueued_at[t].take() {
             let wait = now - enqueued;
             for ci in self.paths[t].iter().map(|c| c.index()) {
@@ -250,6 +272,33 @@ impl ChannelPool {
         self.state[t] = TaskState::Running;
         self.started_at[t] = now;
         true
+    }
+
+    /// Adds `task` to channel `ci`'s waiter queue: FIFO order under
+    /// [`Arbitration::FifoHol`], key-sorted under
+    /// [`Arbitration::ChunkPriority`].
+    fn enqueue_waiter(&mut self, ci: usize, task: u32) {
+        match self.arbitration {
+            Arbitration::FifoHol => self.waiters[ci].push(task),
+            Arbitration::ChunkPriority => {
+                let pos = self.key_position(&self.waiters[ci], task);
+                self.waiters[ci].insert(pos, task);
+            }
+        }
+    }
+
+    /// Removes `task` from channel `ci`'s waiter queue if present.
+    fn remove_waiter(&mut self, ci: usize, task: u32) {
+        let pos = match self.arbitration {
+            Arbitration::FifoHol => self.waiters[ci].iter().position(|&x| x == task),
+            Arbitration::ChunkPriority => {
+                let pos = self.key_position(&self.waiters[ci], task);
+                (self.waiters[ci].get(pos) == Some(&task)).then_some(pos)
+            }
+        };
+        if let Some(pos) = pos {
+            self.waiters[ci].remove(pos);
+        }
     }
 
     /// When `task` last acquired its channels.

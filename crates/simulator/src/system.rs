@@ -262,6 +262,7 @@ pub fn simulate_system_with_slowdowns(
     }
 
     let mut pool = ChannelPool::new(num_channels, opts.arbitration);
+    pool.reserve_tasks(nt);
     for s in &specs {
         pool.add_task(s.path.clone(), (s.chunk.0, s.id.0));
     }
@@ -272,13 +273,16 @@ pub fn simulate_system_with_slowdowns(
         });
     }
 
+    // Exclusive channels plus one running compute kernel per stream
+    // bound the number of in-flight completion events.
+    let in_flight = (num_channels + streams.len()).min(node_count);
     let mut st = SystemState {
         specs: &specs,
         compute: &job.compute,
         pool,
         streams,
-        kernel: Kernel::new(),
-        trace: SimTrace::bounded(opts.trace_capacity),
+        kernel: Kernel::with_capacity(in_flight),
+        trace: opts.make_trace(),
         ready: vec![false; node_count],
     };
 

@@ -174,8 +174,35 @@ impl SimTrace {
         }
     }
 
+    /// A disabled trace: [`SimTrace::push`] is a no-op and nothing is
+    /// ever retained or counted as dropped.
+    ///
+    /// This is the engines' `trace: off` fast path — sweep and search
+    /// drivers that only read a report's timings and counters skip the
+    /// per-event ring-buffer bookkeeping entirely (request it with
+    /// [`SimOptions::without_trace`](crate::SimOptions::without_trace)).
+    /// Tracing is pure observation, so a disabled trace never changes
+    /// simulated timings.
+    pub fn disabled() -> Self {
+        SimTrace {
+            records: VecDeque::new(),
+            capacity: 0,
+            dropped: 0,
+        }
+    }
+
+    /// True unless this trace was created with [`SimTrace::disabled`].
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
     /// Appends a record, evicting the oldest if the ring is full.
+    /// No-op on a [`SimTrace::disabled`] trace.
+    #[inline]
     pub fn push(&mut self, record: TraceRecord) {
+        if self.capacity == 0 {
+            return;
+        }
         if self.records.len() == self.capacity {
             self.records.pop_front();
             self.dropped += 1;
@@ -307,6 +334,23 @@ mod tests {
         assert_eq!(t.dropped(), 2);
         let first = t.records().next().unwrap();
         assert_eq!(first.at(), Seconds::from_micros(2.0));
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = SimTrace::disabled();
+        assert!(!t.is_enabled());
+        for i in 0..10u32 {
+            t.push(TraceRecord::ComputeStart {
+                id: i,
+                gpu: GpuId(0),
+                at: Seconds::from_micros(i as f64),
+            });
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.capacity(), 0);
+        assert!(SimTrace::default().is_enabled());
     }
 
     #[test]

@@ -3,15 +3,26 @@
 //! argument).
 //!
 //! ```text
-//! cargo run --release --example paper_figures [out_dir]
+//! cargo run --release --example paper_figures [out_dir] [--threads N]
 //! ```
+//!
+//! `--threads` defaults to the machine's available parallelism; the
+//! CSVs are bit-identical at any worker count (see `ccube_sim::sweep`).
 
 use ccube::experiments;
 use std::path::PathBuf;
 
 fn main() {
-    let dir = std::env::args()
-        .nth(1)
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (args, threads) = match ccube_sim::threads_from_args(&raw) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let dir = args
+        .first()
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("target/figures"));
 
@@ -75,7 +86,12 @@ fn main() {
         println!("  {row}");
     }
 
-    match experiments::run_all(&dir) {
+    println!("\n== Extensions: schedule policy search ==");
+    for row in experiments::policy_search::run_with_threads(threads) {
+        println!("  {row}");
+    }
+
+    match experiments::run_all_with(&dir, threads) {
         Ok(paths) => {
             println!("\nwrote {} CSV files to {}:", paths.len(), dir.display());
             for p in paths {

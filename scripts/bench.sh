@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Performance record: criterion microbenchmarks plus the sweep/DES
+# scaling bench, which writes machine-readable BENCH_sweep.json at the
+# repository root. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo bench: micro (criterion)"
+cargo bench -p ccube-bench --bench micro
+
+echo "==> cargo bench: sweep (writes BENCH_sweep.json)"
+cargo bench -p ccube-bench --bench sweep
+
+echo "==> BENCH_sweep.json"
+cat BENCH_sweep.json

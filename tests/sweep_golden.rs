@@ -1,0 +1,82 @@
+//! Golden determinism of the parallel experiment drivers.
+//!
+//! The sweep executor's contract — output bit-identical to serial at any
+//! worker count — asserted end-to-end on the real drivers: `run_all`'s
+//! CSV files compared **byte for byte** across worker counts, and the
+//! row-producing sweeps compared as values.
+
+use ccube::experiments;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Reads every regular file under `dir` into (name -> bytes).
+fn dir_contents(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let entry = entry.unwrap();
+        let name = entry.file_name().into_string().unwrap();
+        out.insert(name, std::fs::read(entry.path()).unwrap());
+    }
+    out
+}
+
+#[test]
+fn run_all_is_byte_identical_across_worker_counts() {
+    let base = std::env::temp_dir().join(format!("ccube_sweep_golden_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    let mut reference = None;
+    for threads in [1usize, 2, 8] {
+        let dir = base.join(format!("t{threads}"));
+        let paths = experiments::run_all_with(&dir, threads).unwrap();
+        assert_eq!(paths.len(), 15);
+        let contents = dir_contents(&dir);
+        match &reference {
+            None => reference = Some(contents),
+            Some(serial) => {
+                assert_eq!(
+                    serial.keys().collect::<Vec<_>>(),
+                    contents.keys().collect::<Vec<_>>()
+                );
+                for (name, bytes) in &contents {
+                    assert_eq!(
+                        bytes, &serial[name],
+                        "{name} differs between 1 and {threads} workers"
+                    );
+                }
+            }
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn fig14_sweep_rows_are_identical_across_worker_counts() {
+    let ps = [8usize, 16, 32];
+    let ns = [
+        ccube_topology::ByteSize::kib(16),
+        ccube_topology::ByteSize::mib(1),
+    ];
+    let serial = experiments::fig14::run_with_threads(&ps, &ns, 1);
+    for threads in [2, 8] {
+        let parallel = experiments::fig14::run_with_threads(&ps, &ns, threads);
+        assert_eq!(serial, parallel, "{threads} workers diverged");
+    }
+}
+
+#[test]
+fn policy_search_is_identical_across_worker_counts() {
+    let serial = experiments::policy_search::run_with_threads(1);
+    for threads in [2, 8] {
+        assert_eq!(
+            serial,
+            experiments::policy_search::run_with_threads(threads)
+        );
+    }
+    // Exactly one winner per topology, found end-to-end.
+    for topo in ["dgx1", "hier16"] {
+        let best = experiments::policy_search::best_for(&serial, topo);
+        assert!(best.makespan > ccube_topology::Seconds::ZERO);
+    }
+}
