@@ -106,8 +106,12 @@ fn main() {
     );
 
     // --- Machine-readable record at the repository root. --------------
+    // The host block makes the "no speedup on a 1-core box" caveat
+    // self-documenting: speedups are meaningless without the
+    // parallelism the run actually had available.
     let json = format!(
-        "{{\n  \"host_cores\": {},\n  \"sweep\": {{\n    \"grid\": \"fig14 {}x{}\",\n    \"points\": {},\n    \"serial_secs\": {},\n    \"serial_points_per_sec\": {},\n    \"parallel\": [{}]\n  }},\n  \"kernel\": {{\n    \"workload\": \"hier64 ring 16MiB\",\n    \"events\": {},\n    \"trace_on_secs\": {},\n    \"trace_on_events_per_sec\": {},\n    \"trace_off_secs\": {},\n    \"trace_off_events_per_sec\": {},\n    \"speedup_trace_off\": {}\n  }}\n}}\n",
+        "{{\n  \"host\": {{\n    \"available_parallelism\": {},\n    \"sweep_workers\": {},\n    \"threads_benchmarked\": [1,2,4,8]\n  }},\n  \"sweep\": {{\n    \"grid\": \"fig14 {}x{}\",\n    \"points\": {},\n    \"serial_secs\": {},\n    \"serial_points_per_sec\": {},\n    \"parallel\": [{}]\n  }},\n  \"kernel\": {{\n    \"workload\": \"hier64 ring 16MiB\",\n    \"events\": {},\n    \"trace_on_secs\": {},\n    \"trace_on_events_per_sec\": {},\n    \"trace_off_secs\": {},\n    \"trace_off_events_per_sec\": {},\n    \"speedup_trace_off\": {}\n  }}\n}}\n",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         ccube_sim::available_threads(),
         ps.len(),
         ns.len(),

@@ -10,11 +10,15 @@
 //! ccube timeline [mib]             ASCII Fig. 7 timelines on the DGX-1
 //! ccube train [iterations]         threaded C-Cube training loop
 //! ccube rings                      DGX-1 Hamiltonian ring decomposition
+//! ccube faults [out] [--seed N] [--smoke]
+//!                                  resilience sweep under sampled fault plans
+//! ccube trace [out] [--json] [--seed N]
+//!                                  faulted C1 trace (CSV or Chrome trace_event)
 //! ```
 //!
-//! Sweep-backed commands (`figures`, `scaleout`, `search`) accept
-//! `--threads N` (default: the machine's available parallelism); the
-//! output is bit-identical at any worker count.
+//! Sweep-backed commands (`figures`, `scaleout`, `search`, `faults`)
+//! accept `--threads N` (default: the machine's available parallelism);
+//! the output is bit-identical at any worker count.
 
 use ccube::experiments;
 use ccube::pipeline::{Mode, TrainingPipeline};
@@ -35,8 +39,10 @@ fn usage() -> ExitCode {
          \x20 timeline [mib]                   ASCII Fig. 7 timelines on the DGX-1\n\
          \x20 train [iterations]               threaded C-Cube training loop\n\
          \x20 rings                            DGX-1 Hamiltonian ring decomposition\n\
+         \x20 faults [out] [--seed N] [--smoke] resilience sweep under sampled fault plans\n\
+         \x20 trace [out] [--json] [--seed N]  faulted C1 trace (CSV or Chrome JSON)\n\
          \n\
-         figures/scaleout/search take --threads N (default: all cores);\n\
+         figures/scaleout/search/faults take --threads N (default: all cores);\n\
          results are bit-identical at any worker count."
     );
     ExitCode::from(2)
@@ -230,6 +236,123 @@ fn cmd_train(args: &[String]) -> ExitCode {
     }
 }
 
+/// Splits a `--seed N` / `--seed=N` flag out of `args`, defaulting to
+/// `default`.
+fn seed_from_args(args: &[String], default: u64) -> Result<(Vec<String>, u64), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut seed = default;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let value = if arg == "--seed" {
+            Some(
+                iter.next()
+                    .ok_or_else(|| "--seed requires a value".to_string())?
+                    .as_str(),
+            )
+        } else {
+            arg.strip_prefix("--seed=")
+        };
+        match value {
+            Some(v) => {
+                seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed: {v:?} is not a valid u64"))?;
+            }
+            None => rest.push(arg.clone()),
+        }
+    }
+    Ok((rest, seed))
+}
+
+fn write_or_print(out: Option<&String>, content: &str) -> ExitCode {
+    match out {
+        Some(path) => match std::fs::write(path, content) {
+            Ok(()) => {
+                println!("wrote {path}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        None => {
+            print!("{content}");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn cmd_faults(args: &[String], threads: usize) -> ExitCode {
+    use ccube::experiments::resilience;
+    let (args, seed) = match seed_from_args(args, resilience::DEFAULT_SEED) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("faults: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args.iter().find(|a| !a.starts_with("--"));
+    let rows = if smoke {
+        resilience::run_smoke()
+    } else {
+        resilience::run_with(seed, threads)
+    };
+    if out.is_none() {
+        for row in &rows {
+            println!("{row}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    write_or_print(out, &resilience::to_csv(&rows))
+}
+
+fn cmd_trace(args: &[String]) -> ExitCode {
+    use ccube_collectives::{tree_allreduce, Chunking, DoubleBinaryTree, Embedding, Overlap};
+    use ccube_sim::{simulate_faulted, FaultModel, FaultPlan, SimOptions, SimRng};
+    use ccube_topology::dgx1;
+
+    let (args, seed) = match seed_from_args(args, ccube::experiments::resilience::DEFAULT_SEED) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("trace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let json = args.iter().any(|a| a == "--json");
+    let out = args.iter().find(|a| !a.starts_with("--"));
+
+    // The C1 configuration under a severity-2 fault plan: the trace shows
+    // transfers, queue waits, detours, re-routes and fault intervals.
+    let topo = dgx1();
+    let dt = DoubleBinaryTree::new(8).expect("8 ranks");
+    let s = tree_allreduce(
+        dt.trees(),
+        &Chunking::even(ByteSize::mib(16), 16),
+        Overlap::ReductionBroadcast,
+    );
+    let e = Embedding::dgx1_double_tree(&topo, &s).expect("embeddable");
+    let opts = SimOptions::default();
+    let healthy =
+        simulate_faulted(&topo, &s, &e, &opts, &FaultPlan::empty()).expect("healthy run simulates");
+    let model = FaultModel::severity(2, healthy.makespan);
+    let plan = FaultPlan::sample(&model, &topo, &SimRng::new(seed));
+    let report = match simulate_faulted(&topo, &s, &e, &opts, &plan) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace: faulted run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let content = if json {
+        report.trace.to_chrome_json()
+    } else {
+        report.trace.to_csv()
+    };
+    write_or_print(out, &content)
+}
+
 fn cmd_rings() -> ExitCode {
     let topo = ccube_topology::dgx1();
     let rings = ccube_topology::disjoint_rings(&topo, 3);
@@ -265,6 +388,8 @@ fn main() -> ExitCode {
         "timeline" => cmd_timeline(rest),
         "train" => cmd_train(rest),
         "rings" => cmd_rings(),
+        "faults" => cmd_faults(rest, threads),
+        "trace" => cmd_trace(rest),
         "help" | "--help" | "-h" => {
             usage();
             ExitCode::SUCCESS

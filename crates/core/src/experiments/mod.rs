@@ -23,9 +23,11 @@
 //! Beyond the paper, [`extensions`] adds three follow-up studies the
 //! paper motivates: an NVSwitch-class alternative-topology comparison,
 //! a detour-vs-PCIe quantification, and a chunk-count sensitivity sweep
-//! validating Eq. 4 against the simulator — and [`policy_search`]
+//! validating Eq. 4 against the simulator — [`policy_search`]
 //! brute-forces the best (chunk count, tree shape, arbitration)
-//! schedule per topology over the sweep executor.
+//! schedule per topology over the sweep executor — and [`resilience`]
+//! stresses every mode under sampled fault plans (link flaps,
+//! degradation, stragglers) at escalating severity.
 //!
 //! The `paper_figures` example runs every driver and writes one CSV per
 //! figure. [`run_all`] fans the figures out across
@@ -43,6 +45,7 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod policy_search;
+pub mod resilience;
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -79,6 +82,9 @@ const FIGURES: &[Figure] = &[
     }),
     ("ext_policy_search.csv", || {
         policy_search::to_csv(&policy_search::run())
+    }),
+    ("ext_resilience.csv", || {
+        resilience::to_csv(&resilience::run())
     }),
 ];
 
@@ -123,7 +129,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("ccube_run_all_test_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let paths = run_all(&dir).unwrap();
-        assert_eq!(paths.len(), 15);
+        assert_eq!(paths.len(), 16);
         for p in &paths {
             let content = std::fs::read_to_string(p).unwrap();
             assert!(content.lines().count() >= 2, "{p:?} has no data rows");

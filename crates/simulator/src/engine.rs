@@ -300,6 +300,7 @@ pub fn simulate(
         max_channel_queue_depth: pool.max_waiting(),
         queue_wait: pool.queue_wait().to_vec(),
         force_starts: pool.force_starts(),
+        ..SimStats::default()
     };
     let channel_busy = pool.busy().to_vec();
 

@@ -1,6 +1,7 @@
 //! Simulator error types.
 
 use ccube_collectives::EdgeKey;
+use ccube_topology::GpuId;
 use std::error::Error;
 use std::fmt;
 
@@ -24,6 +25,18 @@ pub enum SimError {
         /// Number of transfers that never ran.
         remaining: usize,
     },
+    /// A transfer's channels went down permanently and no surviving
+    /// route — direct, detour, or host bridge — connects its endpoints.
+    Unroutable {
+        /// The sending GPU.
+        src: GpuId,
+        /// The receiving GPU.
+        dst: GpuId,
+    },
+    /// A fault plan failed validation (an event with a non-positive
+    /// window, a degrade rate outside (0, 1], a straggler slowdown below
+    /// 1, or a channel/GPU outside the topology).
+    FaultPlanInvalid(String),
 }
 
 impl fmt::Display for SimError {
@@ -45,6 +58,13 @@ impl fmt::Display for SimError {
                     "simulation deadlocked with {remaining} transfers outstanding"
                 )
             }
+            SimError::Unroutable { src, dst } => {
+                write!(
+                    f,
+                    "no surviving route from {src} to {dst} under the injected faults"
+                )
+            }
+            SimError::FaultPlanInvalid(why) => write!(f, "invalid fault plan: {why}"),
         }
     }
 }
@@ -82,5 +102,19 @@ mod tests {
         assert!(e.to_string().contains("r0->r1"));
         let d = SimError::Deadlock { remaining: 3 };
         assert!(d.to_string().contains('3'));
+    }
+
+    #[test]
+    fn fault_variant_displays_are_informative() {
+        let u = SimError::Unroutable {
+            src: GpuId(2),
+            dst: GpuId(4),
+        };
+        let text = u.to_string();
+        assert!(text.contains("gpu2") && text.contains("gpu4"), "{text}");
+        assert!(text.contains("route"));
+        let p = SimError::FaultPlanInvalid("until must exceed from".into());
+        assert!(p.to_string().contains("invalid fault plan"));
+        assert!(p.to_string().contains("until must exceed from"));
     }
 }

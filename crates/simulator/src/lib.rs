@@ -43,6 +43,7 @@
 
 mod engine;
 mod error;
+pub mod faults;
 pub mod kernel;
 mod report;
 pub mod resource;
@@ -53,6 +54,10 @@ pub mod trace;
 
 pub use engine::{simulate, Arbitration, SimOptions};
 pub use error::SimError;
+pub use faults::{
+    forever, simulate_faulted, simulate_system_faulted, FaultDriver, FaultEvent, FaultModel,
+    FaultPlan, FaultSignal,
+};
 pub use kernel::{Component, ComponentId, Ctx, Kernel, KernelStats, SimRng, Simulation};
 pub use report::{SimReport, SimStats, TransferTiming};
 pub use resource::{ChannelPool, ComputeStream};

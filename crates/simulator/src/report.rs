@@ -33,6 +33,18 @@ pub struct SimStats {
     /// Times the chunk-priority arbiter force-started a transfer to
     /// break a reservation stall.
     pub force_starts: u64,
+    /// Fault-plan events that activated during the run (events whose
+    /// start lies past the makespan never activate and are not counted).
+    pub faults_injected: u64,
+    /// Transfers moved onto a surviving route after a link-down severed
+    /// their planned path.
+    pub reroutes_taken: u64,
+    /// Total simulated time during which at least one channel ran at
+    /// degraded bandwidth, clipped to the run's makespan.
+    pub time_degraded: Seconds,
+    /// Downtime per channel (indexed by channel id), clipped to the
+    /// run's makespan. Empty when no fault plan was injected.
+    pub channel_downtime: Vec<Seconds>,
 }
 
 impl SimStats {

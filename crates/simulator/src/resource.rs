@@ -59,6 +59,10 @@ pub struct ChannelPool {
     /// arbitration key. Replaces the collect-and-sort
     /// [`ChannelPool::force_start`] historically paid per stall round.
     ready_by_key: Vec<u32>,
+    /// Count of active link-down faults per channel: a down channel
+    /// rejects every new grant (force-starts included) until every
+    /// overlapping fault has lifted.
+    link_down: Vec<u32>,
     busy: Vec<Seconds>,
     intervals: Vec<Vec<BusyInterval>>,
     queue_wait: Vec<Seconds>,
@@ -79,6 +83,7 @@ impl ChannelPool {
             free: vec![true; num_channels],
             waiters: vec![Vec::new(); num_channels],
             ready_by_key: Vec::new(),
+            link_down: vec![0; num_channels],
             busy: vec![Seconds::ZERO; num_channels],
             intervals: vec![Vec::new(); num_channels],
             queue_wait: vec![Seconds::ZERO; num_channels],
@@ -172,19 +177,34 @@ impl ChannelPool {
     /// ids are appended to `started` in start order.
     pub fn serve(&mut self, task: u32, now: Seconds, trace: &mut SimTrace, started: &mut Vec<u32>) {
         for i in 0..self.paths[task as usize].len() {
-            let ci = self.paths[task as usize][i].index();
-            // Under FifoHol the front is the oldest waiter (strict
-            // head-of-line); under ChunkPriority the queue is key-sorted
-            // so the front is the oldest waiting chunk — either way the
-            // queue advances only while its front can start, and a
-            // blocked front leaves the channel idle (reserved for it
-            // under ChunkPriority).
-            while let Some(&head) = self.waiters[ci].first() {
-                if self.try_start(head, now, false, trace) {
-                    started.push(head);
-                } else {
-                    break;
-                }
+            let c = self.paths[task as usize][i];
+            self.serve_channel(c, now, trace, started);
+        }
+    }
+
+    /// Serves one channel's waiter queue, starting every waiter the
+    /// policy admits (used by [`ChannelPool::serve`] and by fault
+    /// drivers when a downed link comes back up).
+    ///
+    /// Under [`Arbitration::FifoHol`] the front is the oldest waiter
+    /// (strict head-of-line); under [`Arbitration::ChunkPriority`] the
+    /// queue is key-sorted so the front is the oldest waiting chunk —
+    /// either way the queue advances only while its front can start,
+    /// and a blocked front leaves the channel idle (reserved for it
+    /// under ChunkPriority).
+    pub fn serve_channel(
+        &mut self,
+        channel: ChannelId,
+        now: Seconds,
+        trace: &mut SimTrace,
+        started: &mut Vec<u32>,
+    ) {
+        let ci = channel.index();
+        while let Some(&head) = self.waiters[ci].first() {
+            if self.try_start(head, now, false, trace) {
+                started.push(head);
+            } else {
+                break;
             }
         }
     }
@@ -214,7 +234,9 @@ impl ChannelPool {
         if self.state[t] != TaskState::Ready {
             return false;
         }
-        let channels_free = self.paths[t].iter().all(|c| self.free[c.index()]);
+        let channels_free = self.paths[t]
+            .iter()
+            .all(|c| self.free[c.index()] && self.link_down[c.index()] == 0);
         let priority_ok = force
             || match self.arbitration {
                 Arbitration::FifoHol => true,
@@ -301,6 +323,84 @@ impl ChannelPool {
         }
     }
 
+    /// Takes channel `channel` down for a fault. Down channels reject
+    /// every new grant — including force-starts — so tasks whose path
+    /// crosses the channel wait in its queue (or get re-routed by the
+    /// fault driver). In-flight occupants are unaffected: a flap is
+    /// detected at grant time, not mid-wormhole.
+    pub fn set_link_down(&mut self, channel: ChannelId) {
+        self.link_down[channel.index()] += 1;
+    }
+
+    /// Lifts one link-down fault from `channel`. The channel serves
+    /// again once **every** overlapping fault has lifted; the caller
+    /// should then [`ChannelPool::serve_channel`] it.
+    pub fn set_link_up(&mut self, channel: ChannelId) {
+        let ci = channel.index();
+        debug_assert!(self.link_down[ci] > 0, "link-up without a matching down");
+        self.link_down[ci] -= 1;
+    }
+
+    /// Whether `channel` is currently down.
+    pub fn is_link_down(&self, channel: ChannelId) -> bool {
+        self.link_down[channel.index()] > 0
+    }
+
+    /// Moves a waiting (not running, not done) task onto a new channel
+    /// path, preserving its enqueue timestamp so time spent waiting out
+    /// a fault still counts as queue wait. If the task was queued it is
+    /// re-queued on the new path's channels; the caller should
+    /// [`ChannelPool::poke`] it afterwards to start it if possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new path is empty or references an unknown
+    /// channel; debug-panics if the task is running or done.
+    pub fn reroute(&mut self, task: u32, new_path: Vec<ChannelId>) {
+        assert!(!new_path.is_empty(), "a task needs at least one channel");
+        assert!(
+            new_path.iter().all(|c| c.index() < self.free.len()),
+            "path references an unknown channel"
+        );
+        let t = task as usize;
+        debug_assert!(
+            matches!(self.state[t], TaskState::Pending | TaskState::Ready),
+            "only waiting tasks can be re-routed"
+        );
+        let was_enqueued = self.enqueued_at[t].is_some();
+        if was_enqueued {
+            for i in 0..self.paths[t].len() {
+                let ci = self.paths[t][i].index();
+                self.remove_waiter(ci, task);
+            }
+        }
+        self.paths[t] = new_path;
+        if was_enqueued {
+            for i in 0..self.paths[t].len() {
+                let ci = self.paths[t][i].index();
+                self.enqueue_waiter(ci, task);
+                self.max_waiting = self.max_waiting.max(self.waiters[ci].len());
+            }
+        }
+    }
+
+    /// Tries to start a [`TaskState::Ready`] task under the normal
+    /// (non-forced) policy — e.g. after a re-route moved it onto free
+    /// channels. Returns `true` if it started; `false` leaves it queued.
+    pub fn poke(&mut self, task: u32, now: Seconds, trace: &mut SimTrace) -> bool {
+        self.try_start(task, now, false, trace)
+    }
+
+    /// Whether `task` is currently occupying its channels.
+    pub fn is_running(&self, task: u32) -> bool {
+        self.state[task as usize] == TaskState::Running
+    }
+
+    /// Whether `task` has completed.
+    pub fn is_done(&self, task: u32) -> bool {
+        self.state[task as usize] == TaskState::Done
+    }
+
     /// When `task` last acquired its channels.
     pub fn started_at(&self, task: u32) -> Seconds {
         self.started_at[task as usize]
@@ -380,6 +480,18 @@ impl ComputeStream {
     /// The stream's slowdown factor.
     pub fn slowdown(&self) -> f64 {
         self.slowdown
+    }
+
+    /// Re-sets the slowdown factor (a straggler window opening or
+    /// closing). Affects tasks scaled after the call; the fault driver
+    /// rescales in-flight completions itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slowdown < 1.0`.
+    pub fn set_slowdown(&mut self, slowdown: f64) {
+        assert!(slowdown >= 1.0, "slowdown must be >= 1.0");
+        self.slowdown = slowdown;
     }
 
     /// A nominal duration stretched by the slowdown factor.
@@ -507,6 +619,62 @@ mod tests {
     }
 
     #[test]
+    fn down_links_reject_grants_until_up() {
+        let (mut p, mut tr) = pool(1, Arbitration::FifoHol);
+        let a = p.add_task(vec![ChannelId(0)], (0, 0));
+        p.set_link_down(ChannelId(0));
+        assert!(p.is_link_down(ChannelId(0)));
+        assert!(!p.mark_ready(a, us(0.0), &mut tr)); // queued: channel down
+        assert!(!p.poke(a, us(1.0), &mut tr));
+        assert!(
+            p.force_start(us(1.0), &mut tr).is_none(),
+            "force-starts must respect down links"
+        );
+        p.set_link_up(ChannelId(0));
+        let mut started = Vec::new();
+        p.serve_channel(ChannelId(0), us(4.0), &mut tr, &mut started);
+        assert_eq!(started, vec![a]);
+        // the wait across the downtime is charged as queue wait
+        assert_eq!(p.queue_wait()[0], us(4.0));
+    }
+
+    #[test]
+    fn overlapping_downs_need_every_up() {
+        let (mut p, mut tr) = pool(1, Arbitration::FifoHol);
+        let a = p.add_task(vec![ChannelId(0)], (0, 0));
+        p.set_link_down(ChannelId(0));
+        p.set_link_down(ChannelId(0));
+        p.set_link_up(ChannelId(0));
+        assert!(p.is_link_down(ChannelId(0)), "one fault still active");
+        assert!(!p.mark_ready(a, us(0.0), &mut tr));
+        p.set_link_up(ChannelId(0));
+        assert!(!p.is_link_down(ChannelId(0)));
+        assert!(p.poke(a, us(1.0), &mut tr));
+    }
+
+    #[test]
+    fn reroute_moves_a_waiting_task_to_its_new_queues() {
+        let (mut p, mut tr) = pool(2, Arbitration::FifoHol);
+        let blocker = p.add_task(vec![ChannelId(0)], (0, 0));
+        let b = p.add_task(vec![ChannelId(0)], (1, 1));
+        assert!(p.mark_ready(blocker, us(0.0), &mut tr));
+        assert!(!p.mark_ready(b, us(0.0), &mut tr)); // queued on ch0
+        p.reroute(b, vec![ChannelId(1)]);
+        assert_eq!(p.path(b), &[ChannelId(1)]);
+        // ch1 is free, so a poke starts b immediately, and the wait
+        // accumulated since the original enqueue survives the re-route.
+        assert!(p.poke(b, us(2.0), &mut tr));
+        assert!(p.is_running(b));
+        assert_eq!(p.queue_wait()[1], us(2.0));
+        // completing the blocker must not try to serve b on ch0 anymore
+        p.complete(blocker, us(3.0));
+        let mut started = Vec::new();
+        p.serve(blocker, us(3.0), &mut tr, &mut started);
+        assert!(started.is_empty());
+        assert!(!p.is_done(b));
+    }
+
+    #[test]
     fn compute_stream_serializes_and_scales() {
         let mut s = ComputeStream::with_slowdown(2.0);
         assert_eq!(s.scale(us(3.0)), us(6.0));
@@ -516,5 +684,13 @@ mod tests {
         assert_eq!(s.release(us(6.0)), None);
         assert_eq!(s.busy(), us(12.0));
         assert_eq!(s.max_waiting(), 1);
+    }
+
+    #[test]
+    fn set_slowdown_rescales_future_tasks() {
+        let mut s = ComputeStream::new();
+        assert_eq!(s.scale(us(3.0)), us(3.0));
+        s.set_slowdown(1.5);
+        assert_eq!(s.scale(us(4.0)), us(6.0));
     }
 }

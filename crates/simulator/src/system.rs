@@ -403,6 +403,7 @@ pub fn simulate_system_with_slowdowns(
         max_channel_queue_depth: st.pool.max_waiting().max(max_stream_waiting),
         queue_wait: st.pool.queue_wait().to_vec(),
         force_starts: st.pool.force_starts(),
+        ..SimStats::default()
     };
 
     Ok(SystemReport {

@@ -111,6 +111,28 @@ pub enum TraceRecord {
         /// When the forwarded transfer completed.
         at: Seconds,
     },
+    /// A fault-plan event became active.
+    FaultStart {
+        /// Index of the event in the [`FaultPlan`](crate::FaultPlan).
+        fault: u32,
+        /// When it activated.
+        at: Seconds,
+    },
+    /// A fault-plan event ended.
+    FaultEnd {
+        /// Index of the event in the [`FaultPlan`](crate::FaultPlan).
+        fault: u32,
+        /// When it lifted.
+        at: Seconds,
+    },
+    /// A waiting transfer was moved onto a surviving route after a
+    /// link-down fault severed its planned path.
+    Reroute {
+        /// The re-routed transfer.
+        id: TransferId,
+        /// When the new route was chosen.
+        at: Seconds,
+    },
 }
 
 impl TraceRecord {
@@ -122,7 +144,10 @@ impl TraceRecord {
             | TraceRecord::ChannelGrant { at, .. }
             | TraceRecord::ComputeStart { at, .. }
             | TraceRecord::ComputeEnd { at, .. }
-            | TraceRecord::DetourHop { at, .. } => at,
+            | TraceRecord::DetourHop { at, .. }
+            | TraceRecord::FaultStart { at, .. }
+            | TraceRecord::FaultEnd { at, .. }
+            | TraceRecord::Reroute { at, .. } => at,
             TraceRecord::QueueWait { granted, .. } => granted,
         }
     }
@@ -274,8 +299,111 @@ impl SimTrace {
                 TraceRecord::DetourHop { id, via, at } => {
                     writeln!(out, "detour_hop,{},{},{:.3},", id.0, via.0, at.as_micros())
                 }
+                TraceRecord::FaultStart { fault, at } => {
+                    writeln!(out, "fault_start,{},,{:.3},", fault, at.as_micros())
+                }
+                TraceRecord::FaultEnd { fault, at } => {
+                    writeln!(out, "fault_end,{},,{:.3},", fault, at.as_micros())
+                }
+                TraceRecord::Reroute { id, at } => {
+                    writeln!(out, "reroute,{},,{:.3},", id.0, at.as_micros())
+                }
             };
         }
+        out
+    }
+
+    /// Exports the retained records as Chrome `trace_event` JSON for
+    /// `chrome://tracing` / [Perfetto](https://ui.perfetto.dev).
+    ///
+    /// Three synthetic processes keep the lanes readable: pid 0
+    /// ("channels") holds one thread per channel with a complete (`"X"`)
+    /// slice per occupancy (channel grant → transfer end), pid 1
+    /// ("compute") one thread per GPU, and pid 2 ("faults") one thread
+    /// per fault-plan event — so downtime and degradation intervals
+    /// render as slices directly above the traffic they perturb.
+    /// Queue waits, detour hops, and re-routes become instant (`"i"`)
+    /// events. A fault still active at the end of the trace (a
+    /// permanent link-down) is closed at the last recorded timestamp.
+    /// Timestamps are microseconds, as the format requires.
+    pub fn to_chrome_json(&self) -> String {
+        use std::collections::BTreeMap;
+        let mut events: Vec<String> = Vec::with_capacity(self.records.len() + 4);
+        for (pid, name) in [(0, "channels"), (1, "compute"), (2, "faults")] {
+            events.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            ));
+        }
+        let horizon = self
+            .records
+            .iter()
+            .map(|r| r.at())
+            .fold(Seconds::ZERO, Seconds::max);
+        // Open slices awaiting their end record. BTreeMaps keep the
+        // leftover-fault close-out below deterministic.
+        let mut open_grants: BTreeMap<u32, Vec<(u32, Seconds)>> = BTreeMap::new();
+        let mut open_compute: BTreeMap<u32, (u32, Seconds)> = BTreeMap::new();
+        let mut open_faults: BTreeMap<u32, Seconds> = BTreeMap::new();
+        let slice = |name: &str, pid: u32, tid: u32, start: Seconds, end: Seconds| {
+            format!(
+                "{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\
+                 \"ts\":{:.3},\"dur\":{:.3}}}",
+                start.as_micros(),
+                (end - start).as_micros()
+            )
+        };
+        let instant = |name: &str, pid: u32, tid: u32, at: Seconds| {
+            format!(
+                "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\
+                 \"ts\":{:.3}}}",
+                at.as_micros()
+            )
+        };
+        for r in &self.records {
+            match *r {
+                TraceRecord::TransferStart { .. } => {}
+                TraceRecord::ChannelGrant { channel, id, at } => {
+                    open_grants.entry(id.0).or_default().push((channel.0, at));
+                }
+                TraceRecord::TransferEnd { id, at } => {
+                    for (ch, start) in open_grants.remove(&id.0).unwrap_or_default() {
+                        events.push(slice(&format!("t{}", id.0), 0, ch, start, at));
+                    }
+                }
+                TraceRecord::QueueWait { id, granted, .. } => {
+                    events.push(instant(&format!("wait t{}", id.0), 0, 0, granted));
+                }
+                TraceRecord::ComputeStart { id, gpu, at } => {
+                    open_compute.insert(id, (gpu.0, at));
+                }
+                TraceRecord::ComputeEnd { id, at, .. } => {
+                    if let Some((gpu, start)) = open_compute.remove(&id) {
+                        events.push(slice(&format!("c{id}"), 1, gpu, start, at));
+                    }
+                }
+                TraceRecord::DetourHop { id, via, at } => {
+                    events.push(instant(&format!("detour t{}", id.0), 1, via.0, at));
+                }
+                TraceRecord::FaultStart { fault, at } => {
+                    open_faults.insert(fault, at);
+                }
+                TraceRecord::FaultEnd { fault, at } => {
+                    if let Some(start) = open_faults.remove(&fault) {
+                        events.push(slice(&format!("fault{fault}"), 2, fault, start, at));
+                    }
+                }
+                TraceRecord::Reroute { id, at } => {
+                    events.push(instant(&format!("reroute t{}", id.0), 0, 0, at));
+                }
+            }
+        }
+        for (fault, start) in open_faults {
+            events.push(slice(&format!("fault{fault}"), 2, fault, start, horizon));
+        }
+        let mut out = String::from("{\"traceEvents\":[");
+        out.push_str(&events.join(","));
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
         out
     }
 }
@@ -386,5 +514,71 @@ mod tests {
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.contains("queue_wait,3,,2.000,2.000"));
         assert!(csv.contains("detour_hop,3,5,4.000,"));
+    }
+
+    #[test]
+    fn csv_covers_fault_records() {
+        let mut t = SimTrace::default();
+        t.push(TraceRecord::FaultStart {
+            fault: 1,
+            at: Seconds::from_micros(2.0),
+        });
+        t.push(TraceRecord::Reroute {
+            id: ccube_collectives::TransferId(7),
+            at: Seconds::from_micros(2.0),
+        });
+        t.push(TraceRecord::FaultEnd {
+            fault: 1,
+            at: Seconds::from_micros(9.0),
+        });
+        let csv = t.to_csv();
+        assert!(csv.contains("fault_start,1,,2.000,"));
+        assert!(csv.contains("reroute,7,,2.000,"));
+        assert!(csv.contains("fault_end,1,,9.000,"));
+    }
+
+    #[test]
+    fn chrome_json_pairs_slices_and_closes_permanent_faults() {
+        use ccube_collectives::TransferId;
+        let mut t = SimTrace::default();
+        t.push(TraceRecord::FaultStart {
+            fault: 0,
+            at: Seconds::from_micros(1.0),
+        });
+        t.push(TraceRecord::ChannelGrant {
+            channel: ChannelId(4),
+            id: TransferId(2),
+            at: Seconds::from_micros(2.0),
+        });
+        t.push(TraceRecord::ComputeStart {
+            id: 9,
+            gpu: GpuId(3),
+            at: Seconds::from_micros(2.0),
+        });
+        t.push(TraceRecord::TransferEnd {
+            id: TransferId(2),
+            at: Seconds::from_micros(5.0),
+        });
+        t.push(TraceRecord::ComputeEnd {
+            id: 9,
+            gpu: GpuId(3),
+            at: Seconds::from_micros(6.0),
+        });
+        let json = t.to_chrome_json();
+        // channel occupancy: grant at 2µs, end at 5µs → dur 3µs on tid 4
+        assert!(json.contains(
+            "{\"name\":\"t2\",\"ph\":\"X\",\"pid\":0,\"tid\":4,\"ts\":2.000,\"dur\":3.000}"
+        ));
+        // compute slice on pid 1, tid = gpu 3
+        assert!(json.contains(
+            "{\"name\":\"c9\",\"ph\":\"X\",\"pid\":1,\"tid\":3,\"ts\":2.000,\"dur\":4.000}"
+        ));
+        // the never-ended fault closes at the last timestamp (6µs)
+        assert!(json.contains(
+            "{\"name\":\"fault0\",\"ph\":\"X\",\"pid\":2,\"tid\":0,\"ts\":1.000,\"dur\":5.000}"
+        ));
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+        assert!(json.contains("\"process_name\""));
     }
 }

@@ -141,6 +141,7 @@ pub struct Router<'a> {
     channel_load: Vec<u32>,
     forward_load: HashMap<GpuId, u32>,
     allow_host: bool,
+    blocked: Vec<bool>,
 }
 
 impl<'a> Router<'a> {
@@ -151,7 +152,28 @@ impl<'a> Router<'a> {
             channel_load: vec![0; topo.channels().len()],
             forward_load: HashMap::new(),
             allow_host: true,
+            blocked: vec![false; topo.channels().len()],
         }
+    }
+
+    /// Marks `channel` unusable: no resolved route will traverse it.
+    ///
+    /// This is the re-routing entry point of the fault model — a link
+    /// that is down for a fault epoch is blocked, and the usual
+    /// direct → detour → host-bridge fallback picks the best surviving
+    /// path, exactly as the paper's static routing would have at
+    /// schedule-construction time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` does not belong to the topology.
+    pub fn block_channel(&mut self, channel: ChannelId) {
+        self.blocked[channel.index()] = true;
+    }
+
+    /// True if `channel` was blocked with [`Router::block_channel`].
+    pub fn is_blocked(&self, channel: ChannelId) -> bool {
+        self.blocked[channel.index()]
     }
 
     /// Creates a router that refuses host-bridge routes (errors instead) —
@@ -229,6 +251,7 @@ impl<'a> Router<'a> {
         self.topo
             .channels_between(src, dst)
             .into_iter()
+            .filter(|&c| !self.blocked[c.index()])
             .filter(|&c| self.topo.channel(c).class() != ChannelClass::HostBridge)
             .min_by_key(|&c| (self.channel_load[c.index()], c))
     }
@@ -237,6 +260,7 @@ impl<'a> Router<'a> {
         self.topo
             .channels_between(src, dst)
             .into_iter()
+            .filter(|&c| !self.blocked[c.index()])
             .filter(|&c| self.topo.channel(c).class() == ChannelClass::HostBridge)
             .min_by_key(|&c| (self.channel_load[c.index()], c))
     }
@@ -359,6 +383,45 @@ mod tests {
         // 0 -> 2 exists only via host bridge.
         let r = lax.route(GpuId(0), GpuId(2)).unwrap();
         assert_eq!(r.class(), ChannelClass::HostBridge);
+    }
+
+    #[test]
+    fn blocking_the_doubled_pair_forces_a_detour() {
+        let topo = dgx1();
+        let mut router = Router::new(&topo);
+        // GPU2-GPU3 is a doubled NVLink pair: blocking one channel falls
+        // back to its parallel twin, blocking both forces a detour.
+        let direct = router.route(GpuId(2), GpuId(3)).unwrap();
+        assert!(!direct.is_detour());
+        let twins = topo.channels_between(GpuId(2), GpuId(3));
+        let nv: Vec<ChannelId> = twins
+            .into_iter()
+            .filter(|&c| topo.channel(c).class() == ChannelClass::NvLink)
+            .collect();
+        assert_eq!(nv.len(), 2, "2-3 is a doubled pair");
+        router.block_channel(nv[0]);
+        assert!(router.is_blocked(nv[0]));
+        let second = router.route(GpuId(2), GpuId(3)).unwrap();
+        assert!(!second.is_detour());
+        assert_eq!(second.channels(), &[nv[1]]);
+        router.block_channel(nv[1]);
+        let rerouted = router.route(GpuId(2), GpuId(3)).unwrap();
+        assert!(rerouted.is_detour(), "both twins down must detour");
+        assert!(!rerouted.channels().contains(&nv[0]));
+        assert!(!rerouted.channels().contains(&nv[1]));
+    }
+
+    #[test]
+    fn blocking_everything_leaves_no_route() {
+        let topo = dgx1();
+        let mut router = Router::new(&topo);
+        for c in topo.channels() {
+            router.block_channel(c.id());
+        }
+        assert!(matches!(
+            router.route(GpuId(0), GpuId(1)),
+            Err(TopologyError::NoRoute { .. })
+        ));
     }
 
     #[test]

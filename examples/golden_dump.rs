@@ -6,7 +6,7 @@
 //! cargo run --release --example golden_dump
 //! ```
 
-use ccube::experiments::{fig12, fig14, fig15};
+use ccube::experiments::{fig12, fig14, fig15, resilience};
 use ccube_topology::ByteSize;
 use std::fmt::Write as _;
 
@@ -59,5 +59,14 @@ fn main() {
         .unwrap();
     }
     std::fs::write("tests/data/fig15_golden.csv", f15).unwrap();
+
+    // The resilience fixture is the rendered CSV itself: the rows carry
+    // string columns (topology/mode/status), and the sweep contract makes
+    // the bytes reproducible from the default seed at any worker count.
+    std::fs::write(
+        "tests/data/ext_resilience_golden.csv",
+        resilience::to_csv(&resilience::run()),
+    )
+    .unwrap();
     println!("golden fixtures written to tests/data/");
 }

@@ -13,6 +13,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> fault-injection property tests"
+cargo test -q -p ccube-sim --test faults
+
+echo "==> resilience smoke run (ccube faults --smoke)"
+cargo run -q --release -p ccube --bin ccube -- faults --smoke
+
 echo "==> cargo bench --no-run (benches stay buildable)"
 cargo bench --workspace --no-run
 

@@ -8,7 +8,7 @@
 //! with `cargo run --release --example golden_dump` only after an
 //! *intentional* model change.
 
-use ccube::experiments::{fig12, fig14, fig15};
+use ccube::experiments::{fig12, fig14, fig15, resilience};
 use ccube_topology::ByteSize;
 
 const REL_TOL: f64 = 1e-9;
@@ -34,6 +34,25 @@ fn load(name: &str) -> Vec<Vec<f64>> {
                 .collect()
         })
         .collect()
+}
+
+#[test]
+fn ext_resilience_csv_matches_golden_byte_for_byte() {
+    // Unlike the figure fixtures, the resilience rows carry string
+    // columns (topology/mode/status), so the fixture is compared as the
+    // rendered CSV: the sweep contract guarantees the default seed
+    // reproduces it byte-for-byte at any worker count.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/data/ext_resilience_golden.csv"
+    );
+    let golden = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("missing fixture ext_resilience_golden.csv: {e}"));
+    let actual = resilience::to_csv(&resilience::run());
+    assert_eq!(
+        actual, golden,
+        "ext_resilience.csv drifted from the golden fixture"
+    );
 }
 
 #[test]

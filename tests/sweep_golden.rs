@@ -29,7 +29,7 @@ fn run_all_is_byte_identical_across_worker_counts() {
     for threads in [1usize, 2, 8] {
         let dir = base.join(format!("t{threads}"));
         let paths = experiments::run_all_with(&dir, threads).unwrap();
-        assert_eq!(paths.len(), 15);
+        assert_eq!(paths.len(), 16);
         let contents = dir_contents(&dir);
         match &reference {
             None => reference = Some(contents),
@@ -63,6 +63,27 @@ fn fig14_sweep_rows_are_identical_across_worker_counts() {
         let parallel = experiments::fig14::run_with_threads(&ps, &ns, threads);
         assert_eq!(serial, parallel, "{threads} workers diverged");
     }
+}
+
+#[test]
+fn resilience_rows_are_identical_across_worker_counts_and_replays() {
+    use ccube::experiments::resilience;
+
+    // A fault plan replayed from the same seed must produce bit-identical
+    // reports whether the grid runs serially or fanned out: each point's
+    // RNG is forked from (seed, point index), never from worker state.
+    let serial = resilience::run_with(resilience::DEFAULT_SEED, 1);
+    for threads in [2usize, 8] {
+        let parallel = resilience::run_with(resilience::DEFAULT_SEED, threads);
+        assert_eq!(serial, parallel, "{threads} workers diverged");
+    }
+    // Replaying the seed reproduces the rows exactly (same CSV bytes).
+    let replay = resilience::run_with(resilience::DEFAULT_SEED, 8);
+    assert_eq!(
+        resilience::to_csv(&serial),
+        resilience::to_csv(&replay),
+        "seed replay is not byte-identical"
+    );
 }
 
 #[test]
