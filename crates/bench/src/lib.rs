@@ -15,6 +15,8 @@
 //!
 //! This library crate only hosts small shared helpers.
 
+#![forbid(unsafe_code)]
+
 use ccube_collectives::Rank;
 use ccube_topology::{disjoint_rings, Topology};
 

@@ -1,0 +1,1635 @@
+//! Static analysis (lints) over schedules and their physical embeddings.
+//!
+//! The DES and the symbolic replayer discover structural problems by
+//! *running* a schedule; this module finds them *statically*, before any
+//! simulation is spent — the pre-execution checking that GC3-style
+//! collective compilers argue for, applied to this repo's [`Schedule`]
+//! IR. Every finding is a [`Diagnostic`] with a stable lint code
+//! (`CC001`..), a severity, and a [`Span`] naming the offending
+//! transfers, ranks, chunks, channels, or logical edges.
+//!
+//! Four analysis families:
+//!
+//! * **Deadlock** — [`analyze`] builds the wait-for graph over transfer
+//!   dependencies, per-channel FIFO grant order, and the runtime's
+//!   bounded-mailbox protocol (a producer blocks when its `(tree, edge)`
+//!   mailbox is full, see `ccube-runtime`), and reports every cycle as a
+//!   minimal witness path (`CC002`).
+//! * **Dataflow conservation** — symbolic replay proves every chunk is
+//!   reduced exactly once per tree and broadcast to all ranks (`CC003`,
+//!   `CC004`), an ancestor-reachability pass flags conflicting buffer
+//!   accesses that no dependency path orders (`CC005`, the lint that
+//!   catches a dropped dependency edge), and per-tree in-order chunk
+//!   delivery — the property C2's gradient queue relies on — is checked
+//!   explicitly (`CC006`).
+//! * **Embedding conflicts** — [`analyze_embedded`] validates every
+//!   route against the topology (`CC007`, `CC008`) and reports logical
+//!   edges sharing a physical channel in overlapping steps — the paper's
+//!   doubled-NVLink double-tree hazard — as errors with step witnesses
+//!   (`CC009`), plus oversubscription and NIC fan-in notes (`CC010`,
+//!   `CC011`, `CC012`).
+//! * **Critical-path bounds** — the static step depth is compared with
+//!   the paper's class formulas, `2·log P + K` for the overlapped tree
+//!   and `2(log P + K)` for the baseline (`CC013`).
+//!
+//! [`gate`] is the cheap structural subset (DAG + routes) that the
+//! simulators debug-assert on every input.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccube_collectives::{analyze, tree_allreduce, Chunking, DoubleBinaryTree, Embedding, Overlap};
+//! use ccube_topology::{dgx1, ByteSize};
+//!
+//! let topo = dgx1();
+//! let dt = DoubleBinaryTree::new(8).unwrap();
+//! let s = tree_allreduce(dt.trees(), &Chunking::even(ByteSize::mib(64), 16),
+//!                        Overlap::ReductionBroadcast);
+//!
+//! // The topology-aware placement lints clean...
+//! let good = Embedding::dgx1_double_tree(&topo, &s).unwrap();
+//! assert!(analyze::analyze_embedded(&s, &good, &topo, &Default::default()).is_clean());
+//!
+//! // ...the naive identity placement collides on the doubled NVLinks.
+//! let naive = Embedding::identity(&topo, &s).unwrap();
+//! let report = analyze::analyze_embedded(&s, &naive, &topo, &Default::default());
+//! assert!(report.diagnostics().iter().any(|d| d.code == analyze::LintCode::ChannelConflict));
+//! ```
+
+use crate::chunk::ChunkId;
+use crate::embedding::{EdgeKey, Embedding};
+use crate::rank::Rank;
+use crate::schedule::{Phase, Schedule, TransferId, TreeIndex};
+use crate::verify::{self, ChannelKeying, DagViolation};
+use ccube_topology::{ChannelClass, ChannelId, Topology};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Expected or informational — no action needed.
+    Info,
+    /// Suspicious but not provably wrong; worth a look.
+    Warn,
+    /// The schedule/embedding is invalid; running it would deadlock,
+    /// corrupt data, or serialize on a conflicted channel.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warn => write!(f, "warn"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable lint codes. The numeric code (`CC001`..) and the kebab-case
+/// name are both part of the output contract and never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// `CC001` — a structural DAG invariant is broken.
+    MalformedDag,
+    /// `CC002` — the wait-for graph has a cycle (deadlock).
+    WaitCycle,
+    /// `CC003` — a buffer ends without all contributions (incomplete
+    /// reduction or broadcast).
+    IncompleteDataflow,
+    /// `CC004` — a reduction folds in contributions the destination
+    /// already has (a chunk reduced more than once).
+    DoubleReduction,
+    /// `CC005` — two conflicting accesses to the same buffer with no
+    /// dependency path ordering them (a data race; the signature of a
+    /// dropped dependency edge).
+    DataflowRace,
+    /// `CC006` — chunks complete out of order within a tree (breaks the
+    /// in-order delivery C2's gradient queue depends on).
+    OutOfOrderDelivery,
+    /// `CC007` — the embedding has no route for a logical edge.
+    MissingRoute,
+    /// `CC008` — a route is invalid on the topology (unknown channel,
+    /// broken hop chain, wrong endpoints, or via mismatch).
+    InvalidRoute,
+    /// `CC009` — two logical edges occupy the same physical channel in
+    /// the same step (the doubled-NVLink double-tree hazard).
+    ChannelConflict,
+    /// `CC010` — edges share a channel but never in the same step;
+    /// correct, yet the channel is oversubscribed and any slip
+    /// serializes.
+    Oversubscription,
+    /// `CC011` — NIC injection/ejection channels carry several edges
+    /// (expected in scale-out topologies; arbitrated at runtime).
+    NicFanIn,
+    /// `CC012` — a route crosses the PCIe host bridge.
+    HostBridgeRoute,
+    /// `CC013` — the static step count exceeds the algorithm's class
+    /// bound (`2·log P + K` overlapped, `2(log P + K)` baseline).
+    StepBoundExceeded,
+    /// `CC014` — an analysis was skipped (e.g. the race check on an
+    /// oversized schedule); absence of findings is not proof.
+    AnalysisTruncated,
+}
+
+impl LintCode {
+    /// The stable `CCnnn` code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintCode::MalformedDag => "CC001",
+            LintCode::WaitCycle => "CC002",
+            LintCode::IncompleteDataflow => "CC003",
+            LintCode::DoubleReduction => "CC004",
+            LintCode::DataflowRace => "CC005",
+            LintCode::OutOfOrderDelivery => "CC006",
+            LintCode::MissingRoute => "CC007",
+            LintCode::InvalidRoute => "CC008",
+            LintCode::ChannelConflict => "CC009",
+            LintCode::Oversubscription => "CC010",
+            LintCode::NicFanIn => "CC011",
+            LintCode::HostBridgeRoute => "CC012",
+            LintCode::StepBoundExceeded => "CC013",
+            LintCode::AnalysisTruncated => "CC014",
+        }
+    }
+
+    /// The kebab-case lint name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintCode::MalformedDag => "malformed-dag",
+            LintCode::WaitCycle => "wait-cycle",
+            LintCode::IncompleteDataflow => "incomplete-dataflow",
+            LintCode::DoubleReduction => "double-reduction",
+            LintCode::DataflowRace => "dataflow-race",
+            LintCode::OutOfOrderDelivery => "out-of-order-delivery",
+            LintCode::MissingRoute => "missing-route",
+            LintCode::InvalidRoute => "invalid-route",
+            LintCode::ChannelConflict => "channel-conflict",
+            LintCode::Oversubscription => "oversubscription",
+            LintCode::NicFanIn => "nic-fan-in",
+            LintCode::HostBridgeRoute => "host-bridge-route",
+            LintCode::StepBoundExceeded => "step-bound-exceeded",
+            LintCode::AnalysisTruncated => "analysis-truncated",
+        }
+    }
+
+    /// The fixed severity of this lint.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintCode::MalformedDag
+            | LintCode::WaitCycle
+            | LintCode::IncompleteDataflow
+            | LintCode::DoubleReduction
+            | LintCode::DataflowRace
+            | LintCode::MissingRoute
+            | LintCode::InvalidRoute
+            | LintCode::ChannelConflict => Severity::Error,
+            LintCode::OutOfOrderDelivery
+            | LintCode::Oversubscription
+            | LintCode::StepBoundExceeded => Severity::Warn,
+            LintCode::NicFanIn | LintCode::HostBridgeRoute | LintCode::AnalysisTruncated => {
+                Severity::Info
+            }
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// The program locations a diagnostic points at. Every field may be
+/// empty; together they name the offending transfers/ranks/chunks/
+/// channels/edges precisely enough to find them in a schedule dump.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Span {
+    /// Offending transfers.
+    pub transfers: Vec<TransferId>,
+    /// Offending ranks.
+    pub ranks: Vec<Rank>,
+    /// Offending chunks.
+    pub chunks: Vec<ChunkId>,
+    /// Offending physical channels.
+    pub channels: Vec<ChannelId>,
+    /// Offending logical edges.
+    pub edges: Vec<EdgeKey>,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable lint code.
+    pub code: LintCode,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// What the finding points at.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    fn new(code: LintCode, message: String, span: Span) -> Self {
+        Diagnostic {
+            code,
+            message,
+            span,
+        }
+    }
+
+    /// The severity (fixed per code).
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}",
+            self.severity(),
+            self.code.as_str(),
+            self.message
+        )
+    }
+}
+
+/// The result of a lint pass: diagnostics in stable (code, discovery)
+/// order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// All diagnostics.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// The error-severity diagnostics.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+    }
+
+    /// Count of diagnostics at a severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == severity)
+            .count()
+    }
+
+    /// True if no **error**-severity diagnostic was found (warnings and
+    /// infos do not make a schedule invalid).
+    pub fn is_clean(&self) -> bool {
+        self.errors().next().is_none()
+    }
+
+    fn push(&mut self, code: LintCode, message: String, span: Span) {
+        self.diagnostics.push(Diagnostic::new(code, message, span));
+    }
+
+    fn finish(mut self) -> Self {
+        // Stable sort: diagnostics group by code, discovery order within.
+        self.diagnostics.sort_by_key(|d| d.code);
+        self
+    }
+
+    /// Renders the report as deterministic JSON (stable key order, empty
+    /// span fields omitted) — the `ccube lint --json` payload.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"errors\":{},\"warnings\":{},\"infos\":{},\"diagnostics\":[",
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info)
+        ));
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"name\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"",
+                d.code.as_str(),
+                d.code.name(),
+                d.severity(),
+                json_escape(&d.message)
+            ));
+            push_json_list(&mut out, "transfers", &d.span.transfers, |t| {
+                t.0.to_string()
+            });
+            push_json_list(&mut out, "ranks", &d.span.ranks, |r| r.0.to_string());
+            push_json_list(&mut out, "chunks", &d.span.chunks, |c| c.0.to_string());
+            push_json_list(&mut out, "channels", &d.span.channels, |c| c.0.to_string());
+            push_json_list(&mut out, "edges", &d.span.edges, |e| format!("\"{e}\""));
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        write!(
+            f,
+            "{} errors, {} warnings, {} infos",
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info)
+        )
+    }
+}
+
+fn push_json_list<T>(out: &mut String, key: &str, items: &[T], render: impl Fn(&T) -> String) {
+    if items.is_empty() {
+        return;
+    }
+    out.push_str(&format!(",\"{key}\":["));
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&render(item));
+    }
+    out.push(']');
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Knobs of the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalyzeOptions {
+    /// Model the runtime's bounded per-`(tree, edge)` mailboxes in the
+    /// wait-for graph: a message blocks until the message `capacity`
+    /// positions ahead of it has been consumed. `None` models unbounded
+    /// mailboxes (no such wait edges).
+    pub mailbox_capacity: Option<usize>,
+    /// Compare the unit-step depth against the paper's class formulas
+    /// (`CC013`).
+    pub check_step_bounds: bool,
+    /// Skip the O(n²/64) race-reachability check above this many
+    /// transfers, reporting `CC014` instead.
+    pub max_race_transfers: usize,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions {
+            mailbox_capacity: None,
+            check_step_bounds: true,
+            max_race_transfers: 16_384,
+        }
+    }
+}
+
+/// Why one transfer waits for another in the wait-for graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WaitKind {
+    /// An explicit schedule dependency.
+    Dependency,
+    /// FIFO grant order on a shared logical channel.
+    ChannelFifo,
+    /// The runtime's bounded-mailbox back-pressure.
+    MailboxCapacity,
+}
+
+impl WaitKind {
+    fn label(self) -> &'static str {
+        match self {
+            WaitKind::Dependency => "dep",
+            WaitKind::ChannelFifo => "fifo",
+            WaitKind::MailboxCapacity => "mailbox",
+        }
+    }
+}
+
+/// Statically analyzes the **logical** schedule: DAG shape, deadlock,
+/// dataflow conservation, delivery order, and step bounds.
+///
+/// The dataflow family assumes the schedule intends to be an AllReduce
+/// (every buffer must end with all contributions); lint other collective
+/// kinds with [`gate`] and the `verify` checkers instead.
+pub fn analyze(schedule: &Schedule, opts: &AnalyzeOptions) -> LintReport {
+    let mut report = LintReport::default();
+
+    // CC001: structural violations, all of them.
+    let violations = verify::dag_violations(schedule);
+    for v in &violations {
+        report.push(
+            LintCode::MalformedDag,
+            format!("{v}"),
+            Span {
+                transfers: vec![v.transfer()],
+                ..Span::default()
+            },
+        );
+    }
+    let ids_topological = violations.iter().all(|v| {
+        !matches!(
+            v,
+            DagViolation::ForwardDep { .. } | DagViolation::NonDenseId { .. }
+        )
+    });
+
+    // CC002: wait-for cycles, with minimal witnesses.
+    wait_cycle_lints(schedule, opts.mailbox_capacity, &mut report);
+
+    if violations.is_empty() {
+        // The remaining analyses replay the schedule in id order, which is
+        // only meaningful on a structurally sound DAG.
+        dataflow_lints(schedule, &mut report);
+        race_lints(schedule, opts.max_race_transfers, &mut report);
+        if report.is_clean() {
+            ordering_and_bound_lints(schedule, opts, &mut report);
+        }
+    } else if !ids_topological {
+        report.push(
+            LintCode::AnalysisTruncated,
+            "dataflow analyses skipped: transfer ids are not a topological order".to_string(),
+            Span::default(),
+        );
+    }
+
+    report.finish()
+}
+
+/// [`analyze`] plus the embedding lints: route existence and validity,
+/// channel conflicts with step witnesses, oversubscription, NIC fan-in,
+/// and host-bridge usage.
+pub fn analyze_embedded(
+    schedule: &Schedule,
+    embedding: &Embedding,
+    topo: &Topology,
+    opts: &AnalyzeOptions,
+) -> LintReport {
+    let mut report = analyze(schedule, opts);
+    // Re-open the sorted report; finish() re-sorts at the end.
+    embedding_lints(schedule, embedding, topo, &mut report);
+    report.finish()
+}
+
+/// The fast structural gate the simulators debug-assert on: DAG
+/// violations (`CC001`) and missing/invalid routes (`CC007`, `CC008`)
+/// only — O(transfers + edges), no replay. Channel conflicts are *not*
+/// gated: deliberately conflicted embeddings (e.g. the topology-oblivious
+/// baselines of the extension studies) are legitimate simulator inputs.
+pub fn gate(schedule: &Schedule, embedding: &Embedding, topo: &Topology) -> LintReport {
+    let mut report = LintReport::default();
+    for v in verify::dag_violations(schedule) {
+        report.push(
+            LintCode::MalformedDag,
+            format!("{v}"),
+            Span {
+                transfers: vec![v.transfer()],
+                ..Span::default()
+            },
+        );
+    }
+    route_lints(schedule, embedding, topo, &mut report);
+    report.finish()
+}
+
+// ---------------------------------------------------------------------
+// CC002: wait-for graph and deadlock witnesses
+// ---------------------------------------------------------------------
+
+fn wait_cycle_lints(schedule: &Schedule, mailbox_capacity: Option<usize>, report: &mut LintReport) {
+    let transfers = schedule.transfers();
+    let n = transfers.len();
+    if n == 0 {
+        return;
+    }
+
+    // adj[u] = v: u waits for v.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut kinds: BTreeMap<(u32, u32), WaitKind> = BTreeMap::new();
+    let add = |adj: &mut Vec<Vec<u32>>,
+               kinds: &mut BTreeMap<(u32, u32), WaitKind>,
+               u: u32,
+               v: u32,
+               kind: WaitKind| {
+        adj[u as usize].push(v);
+        kinds.entry((u, v)).or_insert(kind);
+    };
+
+    // Dependencies: a transfer waits for each of its deps.
+    for (i, t) in transfers.iter().enumerate() {
+        for d in &t.deps {
+            if d.index() < n {
+                add(&mut adj, &mut kinds, i as u32, d.0, WaitKind::Dependency);
+            }
+        }
+    }
+
+    // Channel FIFO: each logical channel grants its transfers in id
+    // order, so every transfer waits for its predecessor on the channel.
+    // Mailboxes are keyed the same way ((tree, edge) queues in the
+    // runtime), so the same queues drive the capacity edges.
+    let mut queues: BTreeMap<(Rank, Rank, TreeIndex), Vec<u32>> = BTreeMap::new();
+    for t in transfers {
+        queues
+            .entry((t.src, t.dst, t.tree))
+            .or_default()
+            .push(t.id.0);
+    }
+    for queue in queues.values() {
+        for w in queue.windows(2) {
+            add(&mut adj, &mut kinds, w[1], w[0], WaitKind::ChannelFifo);
+        }
+    }
+
+    // Mailbox back-pressure: with capacity C, message m_i on an edge
+    // cannot be posted until m_{i-C} has been *consumed*. The runtime's
+    // workers are per-(rank, tree, direction), so a message is consumed
+    // by the receiver's first *same-class* (reduction vs broadcast),
+    // same-tree send that depends on it — the forward that the worker
+    // blocks on between receives. A message with no such send lands in a
+    // pure-sink worker (e.g. the root's reduction loop, which only posts
+    // semaphores) and never exerts back-pressure.
+    if let Some(cap) = mailbox_capacity {
+        if cap > 0 {
+            let mut consumer: Vec<Option<u32>> = vec![None; n];
+            for t in transfers {
+                for d in &t.deps {
+                    if d.index() < n {
+                        let dep = &transfers[d.index()];
+                        if dep.dst == t.src
+                            && dep.tree == t.tree
+                            && dep.phase.is_reduction() == t.phase.is_reduction()
+                        {
+                            let slot = &mut consumer[d.index()];
+                            if slot.is_none() {
+                                *slot = Some(t.id.0);
+                            }
+                        }
+                    }
+                }
+            }
+            for queue in queues.values() {
+                for i in cap..queue.len() {
+                    if let Some(c) = consumer[queue[i - cap] as usize] {
+                        add(&mut adj, &mut kinds, queue[i], c, WaitKind::MailboxCapacity);
+                    }
+                }
+            }
+        }
+    }
+
+    for cycle in find_cycles(&adj) {
+        let witness = minimal_witness(&adj, &cycle);
+        let mut msg = String::from("wait-for cycle: ");
+        for (i, &u) in witness.iter().enumerate() {
+            let v = witness[(i + 1) % witness.len()];
+            let kind = kinds.get(&(u, v)).map(|k| k.label()).unwrap_or("?");
+            msg.push_str(&format!("t{u} -{kind}-> "));
+        }
+        msg.push_str(&format!("t{}", witness[0]));
+        report.push(
+            LintCode::WaitCycle,
+            msg,
+            Span {
+                transfers: witness.iter().map(|&u| TransferId(u)).collect(),
+                ..Span::default()
+            },
+        );
+    }
+}
+
+/// Strongly connected components with a cycle (size > 1, or a self
+/// loop), as sorted node lists ordered by smallest member. Iterative
+/// Tarjan, so deep schedules cannot overflow the stack.
+fn find_cycles(adj: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    let n = adj.len();
+    let mut index = vec![u32::MAX; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut out = Vec::new();
+
+    // (node, next edge position) frames.
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+    for start in 0..n as u32 {
+        if index[start as usize] != u32::MAX {
+            continue;
+        }
+        frames.push((start, 0));
+        while let Some(&mut (v, ref mut ei)) = frames.last_mut() {
+            let vi = v as usize;
+            if *ei == 0 {
+                index[vi] = next_index;
+                low[vi] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[vi] = true;
+            }
+            if let Some(&w) = adj[vi].get(*ei) {
+                *ei += 1;
+                let wi = w as usize;
+                if index[wi] == u32::MAX {
+                    frames.push((w, 0));
+                } else if on_stack[wi] {
+                    low[vi] = low[vi].min(index[wi]);
+                }
+            } else {
+                if low[vi] == index[vi] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack");
+                        on_stack[w as usize] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc.sort_unstable();
+                    let cyclic = scc.len() > 1 || adj[scc[0] as usize].contains(&scc[0]);
+                    if cyclic {
+                        out.push(scc);
+                    }
+                }
+                frames.pop();
+                if let Some(&mut (p, _)) = frames.last_mut() {
+                    let pi = p as usize;
+                    low[pi] = low[pi].min(low[vi]);
+                }
+            }
+        }
+    }
+    out.sort_by_key(|scc| scc[0]);
+    out
+}
+
+/// The shortest cycle through the smallest node of a cyclic SCC — the
+/// minimal witness path reported to the user. BFS restricted to the SCC.
+fn minimal_witness(adj: &[Vec<u32>], scc: &[u32]) -> Vec<u32> {
+    let start = scc[0];
+    let in_scc: std::collections::HashSet<u32> = scc.iter().copied().collect();
+    let mut prev: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u as usize] {
+            if v == start {
+                // Reconstruct start -> ... -> u, closing back to start.
+                let mut path = vec![u];
+                let mut cur = u;
+                while cur != start {
+                    cur = prev[&cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return path;
+            }
+            if in_scc.contains(&v) && !prev.contains_key(&v) && v != start {
+                prev.insert(v, u);
+                queue.push_back(v);
+            }
+        }
+    }
+    scc.to_vec() // unreachable for a true SCC, but stay total
+}
+
+// ---------------------------------------------------------------------
+// CC003 / CC004: dataflow conservation via symbolic replay
+// ---------------------------------------------------------------------
+
+fn dataflow_lints(schedule: &Schedule, report: &mut LintReport) {
+    let p = schedule.num_ranks();
+    let k = schedule.chunking().num_chunks();
+    let mut state: Vec<Vec<verify::Contrib>> = (0..p)
+        .map(|r| {
+            (0..k)
+                .map(|_| verify::Contrib::single(Rank(r as u32), p))
+                .collect()
+        })
+        .collect();
+
+    for t in schedule.transfers() {
+        let payload = state[t.src.index()][t.chunk.index()].clone();
+        let dst = &mut state[t.dst.index()][t.chunk.index()];
+        if t.phase.is_reduction() {
+            if payload.intersects(dst) {
+                report.push(
+                    LintCode::DoubleReduction,
+                    format!(
+                        "{} folds contributions already present at {} {}",
+                        t.id, t.dst, t.chunk
+                    ),
+                    Span {
+                        transfers: vec![t.id],
+                        ranks: vec![t.dst],
+                        chunks: vec![t.chunk],
+                        ..Span::default()
+                    },
+                );
+            }
+            dst.union(&payload);
+        } else {
+            *dst = payload;
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)] // `c` indexes the inner axis of state[r][c]
+    for c in 0..k {
+        let incomplete: Vec<(Rank, usize)> = (0..p)
+            .filter_map(|r| {
+                let have = state[r][c].count();
+                (have != p).then_some((Rank(r as u32), have))
+            })
+            .collect();
+        if let Some(&(worst_rank, worst_have)) = incomplete.iter().min_by_key(|&&(_, h)| h) {
+            report.push(
+                LintCode::IncompleteDataflow,
+                format!(
+                    "chunk c{c} incomplete at {} ranks (worst: {} with {}/{} contributions)",
+                    incomplete.len(),
+                    worst_rank,
+                    worst_have,
+                    p
+                ),
+                Span {
+                    ranks: incomplete.iter().map(|&(r, _)| r).collect(),
+                    chunks: vec![ChunkId(c as u32)],
+                    ..Span::default()
+                },
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CC005: unordered conflicting buffer accesses
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Access {
+    /// The transfer reads the buffer (it is the sender's source).
+    Read,
+    /// The transfer accumulates into the buffer (reduction receive).
+    Acc,
+    /// The transfer overwrites the buffer (broadcast receive).
+    Over,
+}
+
+impl Access {
+    fn label(self) -> &'static str {
+        match self {
+            Access::Read => "read",
+            Access::Acc => "accumulate",
+            Access::Over => "overwrite",
+        }
+    }
+
+    /// Acc/Acc commutes (reduction is associative-commutative) and
+    /// Read/Read is harmless; every other pair needs a dependency path.
+    fn conflicts_with(self, other: Access) -> bool {
+        !matches!(
+            (self, other),
+            (Access::Read, Access::Read) | (Access::Acc, Access::Acc)
+        )
+    }
+}
+
+fn race_lints(schedule: &Schedule, max_transfers: usize, report: &mut LintReport) {
+    let transfers = schedule.transfers();
+    let n = transfers.len();
+    if n > max_transfers {
+        report.push(
+            LintCode::AnalysisTruncated,
+            format!("race analysis skipped: {n} transfers exceed the {max_transfers} cap"),
+            Span::default(),
+        );
+        return;
+    }
+
+    // anc[i] = bitset of transfers reachable from i via deps (ancestors
+    // in execution order). Ids are topological here (checked upstream).
+    let words = n.div_ceil(64);
+    let mut anc: Vec<Vec<u64>> = Vec::with_capacity(n);
+    for t in transfers {
+        let mut bits = vec![0u64; words];
+        for d in &t.deps {
+            let di = d.index();
+            bits[di / 64] |= 1 << (di % 64);
+            for (w, a) in bits.iter_mut().zip(&anc[di]) {
+                *w |= a;
+            }
+        }
+        anc.push(bits);
+    }
+    let ordered = |a: usize, b: usize| -> bool {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        anc[hi][lo / 64] & (1 << (lo % 64)) != 0
+    };
+
+    // Buffer accesses, in id order per (rank, chunk) buffer.
+    let mut accesses: BTreeMap<(u32, u32), Vec<(u32, Access)>> = BTreeMap::new();
+    for t in transfers {
+        accesses
+            .entry((t.src.0, t.chunk.0))
+            .or_default()
+            .push((t.id.0, Access::Read));
+        let write = if t.phase.is_reduction() {
+            Access::Acc
+        } else {
+            Access::Over
+        };
+        accesses
+            .entry((t.dst.0, t.chunk.0))
+            .or_default()
+            .push((t.id.0, write));
+    }
+
+    for (&(rank, chunk), list) in &accesses {
+        for i in 0..list.len() {
+            for j in (i + 1)..list.len() {
+                let (ta, ka) = list[i];
+                let (tb, kb) = list[j];
+                if ka.conflicts_with(kb) && !ordered(ta as usize, tb as usize) {
+                    report.push(
+                        LintCode::DataflowRace,
+                        format!(
+                            "unordered conflicting accesses to r{rank} c{chunk}: \
+                             t{ta} ({}) vs t{tb} ({})",
+                            ka.label(),
+                            kb.label()
+                        ),
+                        Span {
+                            transfers: vec![TransferId(ta), TransferId(tb)],
+                            ranks: vec![Rank(rank)],
+                            chunks: vec![ChunkId(chunk)],
+                            ..Span::default()
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CC006 / CC013: delivery order and class step bounds
+// ---------------------------------------------------------------------
+
+fn ordering_and_bound_lints(schedule: &Schedule, opts: &AnalyzeOptions, report: &mut LintReport) {
+    let is_pure_tree = schedule
+        .transfers()
+        .iter()
+        .all(|t| matches!(t.phase, Phase::Reduce | Phase::Broadcast));
+    let Ok(replay) = verify::execute_steps(schedule, ChannelKeying::PerTree) else {
+        return; // a replay deadlock would already be a CC002 upstream
+    };
+
+    if is_pure_tree && !schedule.transfers().is_empty() {
+        let num_trees = schedule
+            .transfers()
+            .iter()
+            .map(|t| t.tree.index() + 1)
+            .max()
+            .unwrap_or(1);
+        for parity in 0..num_trees {
+            let per_parity: Vec<(usize, usize)> = replay
+                .chunk_complete_step
+                .iter()
+                .enumerate()
+                .filter(|(c, _)| c % num_trees == parity)
+                .map(|(c, &s)| (c, s))
+                .collect();
+            if let Some(w) = per_parity.windows(2).find(|w| w[0].1 > w[1].1) {
+                report.push(
+                    LintCode::OutOfOrderDelivery,
+                    format!(
+                        "tree {parity}: chunk c{} (step {}) completes after chunk c{} (step {})",
+                        w[0].0, w[0].1, w[1].0, w[1].1
+                    ),
+                    Span {
+                        chunks: vec![ChunkId(w[0].0 as u32), ChunkId(w[1].0 as u32)],
+                        ..Span::default()
+                    },
+                );
+            }
+        }
+    }
+
+    if opts.check_step_bounds {
+        step_bound_lints(schedule, &replay, report);
+    }
+}
+
+fn step_bound_lints(schedule: &Schedule, replay: &verify::StepReport, report: &mut LintReport) {
+    let name = schedule.algorithm();
+    let p = schedule.num_ranks();
+    if name == "ring" || name.ends_with("-ring") {
+        // Each ring's dependency chain is its 2(P-1) sequential steps.
+        let bound = 2 * (p.saturating_sub(1));
+        let actual = schedule.stats().critical_path;
+        if actual > bound {
+            report.push(
+                LintCode::StepBoundExceeded,
+                format!("ring critical path {actual} exceeds 2(P-1) = {bound} at P={p}"),
+                Span::default(),
+            );
+        }
+        return;
+    }
+    let overlapped = name.starts_with("overlapped-");
+    if !name.contains("tree") || (!overlapped && !name.starts_with("baseline-")) {
+        return; // unknown class: no bound to check
+    }
+
+    // Per tree t: d_t = longest reduction chain (the tree depth a chunk
+    // climbs), k_t = chunks the tree carries. The paper's Fig. 7 bounds:
+    // overlapped 2·d_t + k_t - 1, baseline 2(d_t + k_t - 1); trees run on
+    // disjoint channels, so the schedule bound is the max over trees.
+    let transfers = schedule.transfers();
+    let mut reduce_depth = vec![0usize; transfers.len()];
+    let mut per_tree: BTreeMap<usize, (usize, std::collections::BTreeSet<u32>)> = BTreeMap::new();
+    for t in transfers {
+        let entry = per_tree.entry(t.tree.index()).or_default();
+        entry.1.insert(t.chunk.0);
+        if t.phase.is_reduction() {
+            let base = t
+                .deps
+                .iter()
+                .filter(|d| transfers[d.index()].phase.is_reduction())
+                .map(|d| reduce_depth[d.index()])
+                .max()
+                .unwrap_or(0);
+            reduce_depth[t.id.index()] = base + 1;
+            entry.0 = entry.0.max(base + 1);
+        }
+    }
+    let bound = per_tree
+        .values()
+        .map(|&(d, ref chunks)| {
+            let k = chunks.len();
+            if overlapped {
+                2 * d + k.saturating_sub(1)
+            } else {
+                2 * (d + k.saturating_sub(1))
+            }
+        })
+        .max()
+        .unwrap_or(0);
+    if replay.num_steps > bound {
+        let formula = if overlapped {
+            "2·logP + K - 1"
+        } else {
+            "2(logP + K - 1)"
+        };
+        report.push(
+            LintCode::StepBoundExceeded,
+            format!(
+                "{} steps exceed the {} class bound {} ({})",
+                replay.num_steps, name, bound, formula
+            ),
+            Span::default(),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// CC007..CC012: embedding lints
+// ---------------------------------------------------------------------
+
+fn embedding_lints(
+    schedule: &Schedule,
+    embedding: &Embedding,
+    topo: &Topology,
+    report: &mut LintReport,
+) {
+    let had_errors = !report.is_clean();
+    route_lints(schedule, embedding, topo, report);
+
+    // Conflict detection over the valid routes, in deterministic
+    // logical-edge order (never HashMap iteration order).
+    let edges = schedule.logical_edges();
+    let mut by_channel: BTreeMap<ChannelId, Vec<EdgeKey>> = BTreeMap::new();
+    let mut transfers_on_edge: BTreeMap<(u32, u32, u8), Vec<u32>> = BTreeMap::new();
+    for t in schedule.transfers() {
+        transfers_on_edge
+            .entry((t.src.0, t.dst.0, t.tree.0))
+            .or_default()
+            .push(t.id.0);
+    }
+    let mut host_edges: Vec<EdgeKey> = Vec::new();
+    for &(src, dst, tree) in &edges {
+        let key = EdgeKey { src, dst, tree };
+        let Some(route) = embedding.route(&key) else {
+            continue; // already a CC007
+        };
+        if route.class() == ChannelClass::HostBridge {
+            host_edges.push(key);
+        }
+        for &c in route.channels() {
+            if c.index() < topo.channels().len() {
+                by_channel.entry(c).or_default().push(key);
+            }
+        }
+    }
+
+    // Unit-step completion times give the "overlapping steps" witness: a
+    // shared channel is a real conflict only if two edges occupy it in
+    // the same step.
+    let replay = if had_errors {
+        None
+    } else {
+        verify::execute_steps(schedule, ChannelKeying::PerTree).ok()
+    };
+    let steps_of = |edge: &EdgeKey| -> BTreeMap<usize, u32> {
+        let mut steps = BTreeMap::new();
+        if let Some(rep) = &replay {
+            if let Some(tids) = transfers_on_edge.get(&(edge.src.0, edge.dst.0, edge.tree.0)) {
+                for &tid in tids {
+                    steps
+                        .entry(rep.completion_step[tid as usize])
+                        .or_insert(tid);
+                }
+            }
+        }
+        steps
+    };
+
+    let mut nic_shared = 0usize;
+    let mut nic_max_fanin = 0usize;
+    for (&channel, edges) in &by_channel {
+        if edges.len() < 2 {
+            continue;
+        }
+        if topo.channel(channel).class() == ChannelClass::Nic {
+            nic_shared += 1;
+            nic_max_fanin = nic_max_fanin.max(edges.len());
+            continue;
+        }
+        for i in 0..edges.len() {
+            for j in (i + 1)..edges.len() {
+                let (e1, e2) = (edges[i], edges[j]);
+                let s1 = steps_of(&e1);
+                let s2 = steps_of(&e2);
+                let overlap = s1
+                    .iter()
+                    .find_map(|(step, &t1)| s2.get(step).map(|&t2| (*step, t1, t2)));
+                match overlap {
+                    Some((step, t1, t2)) => report.push(
+                        LintCode::ChannelConflict,
+                        format!(
+                            "{e1} and {e2} both occupy {channel} at step {step} (t{t1}, t{t2})"
+                        ),
+                        Span {
+                            transfers: vec![TransferId(t1), TransferId(t2)],
+                            channels: vec![channel],
+                            edges: vec![e1, e2],
+                            ..Span::default()
+                        },
+                    ),
+                    None if replay.is_some() => report.push(
+                        LintCode::Oversubscription,
+                        format!("{e1} and {e2} share {channel} (never in the same step)"),
+                        Span {
+                            channels: vec![channel],
+                            edges: vec![e1, e2],
+                            ..Span::default()
+                        },
+                    ),
+                    // Without a step replay (schedule already errored) a
+                    // shared point-to-point channel must be assumed hot.
+                    None => report.push(
+                        LintCode::ChannelConflict,
+                        format!("{e1} and {e2} both mapped to {channel}"),
+                        Span {
+                            channels: vec![channel],
+                            edges: vec![e1, e2],
+                            ..Span::default()
+                        },
+                    ),
+                }
+            }
+        }
+    }
+
+    if nic_shared > 0 {
+        report.push(
+            LintCode::NicFanIn,
+            format!(
+                "{nic_shared} nic channels carry multiple edges (max fan-in {nic_max_fanin}); \
+                 arbitrated at runtime, expected in scale-out topologies"
+            ),
+            Span::default(),
+        );
+    }
+    if !host_edges.is_empty() {
+        report.push(
+            LintCode::HostBridgeRoute,
+            format!(
+                "{} edges routed over the PCIe host bridge (e.g. {})",
+                host_edges.len(),
+                host_edges[0]
+            ),
+            Span {
+                edges: host_edges,
+                ..Span::default()
+            },
+        );
+    }
+}
+
+/// CC007/CC008: every logical edge must have a route that is real on the
+/// topology — channels exist, hops chain from the source GPU to the
+/// destination GPU (NIC routes instead follow the injection/ejection
+/// convention), and the declared detour GPU lies on the path.
+fn route_lints(
+    schedule: &Schedule,
+    embedding: &Embedding,
+    topo: &Topology,
+    report: &mut LintReport,
+) {
+    for (src, dst, tree) in schedule.logical_edges() {
+        let key = EdgeKey { src, dst, tree };
+        let Some(route) = embedding.route(&key) else {
+            report.push(
+                LintCode::MissingRoute,
+                format!("no route for logical edge {key}"),
+                Span {
+                    edges: vec![key],
+                    ..Span::default()
+                },
+            );
+            continue;
+        };
+        let sg = embedding.gpu_of(src);
+        let dg = embedding.gpu_of(dst);
+        let mut invalid = |why: String, channels: Vec<ChannelId>| {
+            report.push(
+                LintCode::InvalidRoute,
+                format!("invalid route for {key}: {why}"),
+                Span {
+                    channels,
+                    edges: vec![key],
+                    ..Span::default()
+                },
+            );
+        };
+        if route.src() != sg || route.dst() != dg {
+            invalid(
+                format!(
+                    "route endpoints {}->{} do not match the edge's GPUs {}->{}",
+                    route.src(),
+                    route.dst(),
+                    sg,
+                    dg
+                ),
+                route.channels().to_vec(),
+            );
+            continue;
+        }
+        if let Some(&bad) = route
+            .channels()
+            .iter()
+            .find(|c| c.index() >= topo.channels().len())
+        {
+            invalid(format!("unknown channel {bad}"), vec![bad]);
+            continue;
+        }
+        if route.channels().is_empty() {
+            invalid("empty channel path".to_string(), Vec::new());
+            continue;
+        }
+        if route.class() == ChannelClass::Nic {
+            // NIC routes are (injection, ejection) pairs, not hop chains:
+            // the first channel must leave the source node and the last
+            // must arrive at the destination node.
+            let first = topo.channel(route.channels()[0]);
+            let last = topo.channel(*route.channels().last().expect("non-empty"));
+            if first.src() != sg || last.dst() != dg {
+                invalid(
+                    format!(
+                        "nic route must inject at {sg} and eject at {dg} \
+                         (got {} and {})",
+                        first.src(),
+                        last.dst()
+                    ),
+                    route.channels().to_vec(),
+                );
+            }
+            continue;
+        }
+        if !topo.is_path(sg, dg, route.channels()) {
+            invalid(
+                format!("channels do not form a path from {sg} to {dg}"),
+                route.channels().to_vec(),
+            );
+            continue;
+        }
+        if let Some(via) = route.via() {
+            let through_via = route.channels()[..route.channels().len() - 1]
+                .iter()
+                .any(|&c| topo.channel(c).dst() == via);
+            if !through_via {
+                invalid(
+                    format!("declared detour via {via} is not on the path"),
+                    route.channels().to_vec(),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::Chunking;
+    use crate::ring::{ring_allreduce, ring_allreduce_multi};
+    use crate::schedule::Transfer;
+    use crate::tree::{BinaryTree, DoubleBinaryTree};
+    use crate::tree_schedule::{tree_allreduce, Overlap};
+    use ccube_topology::{dgx1, ByteSize, Route};
+
+    fn double_tree(k: usize, overlap: Overlap) -> Schedule {
+        let dt = DoubleBinaryTree::new(8).unwrap();
+        tree_allreduce(dt.trees(), &Chunking::even(ByteSize::mib(64), k), overlap)
+    }
+
+    fn runtime_opts() -> AnalyzeOptions {
+        AnalyzeOptions {
+            mailbox_capacity: Some(4),
+            ..AnalyzeOptions::default()
+        }
+    }
+
+    #[test]
+    fn shipped_schedules_lint_clean() {
+        let opts = runtime_opts();
+        let fwd: Vec<Rank> = (0..8).map(Rank).collect();
+        let rev: Vec<Rank> = (0..8).rev().map(Rank).collect();
+        for s in [
+            ring_allreduce(8, ByteSize::mib(64)),
+            ring_allreduce_multi(ByteSize::mib(64), &[fwd, rev]),
+            double_tree(16, Overlap::ReductionBroadcast),
+            double_tree(16, Overlap::None),
+        ] {
+            let report = analyze(&s, &opts);
+            assert!(report.is_clean(), "{}:\n{report}", s.algorithm());
+            assert_eq!(
+                report.count(Severity::Warn),
+                0,
+                "{}:\n{report}",
+                s.algorithm()
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_dependency_cycle_is_a_minimal_witness() {
+        // t0 and t1 wait on each other: a 2-cycle.
+        let mk = |id: u32, deps: Vec<TransferId>| Transfer {
+            id: TransferId(id),
+            src: Rank(id % 2),
+            dst: Rank((id + 1) % 2),
+            chunk: ChunkId(0),
+            bytes: ByteSize::kib(4),
+            phase: Phase::Reduce,
+            tree: TreeIndex(0),
+            deps,
+        };
+        let s = Schedule::new_unchecked(
+            "seeded-deadlock",
+            2,
+            Chunking::even(ByteSize::kib(8), 1),
+            vec![mk(0, vec![TransferId(1)]), mk(1, vec![TransferId(0)])],
+        );
+        let report = analyze(&s, &AnalyzeOptions::default());
+        let cycle: Vec<_> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == LintCode::WaitCycle)
+            .collect();
+        assert_eq!(cycle.len(), 1, "{report}");
+        // Minimal witness: exactly the two mutually-waiting transfers.
+        assert_eq!(cycle[0].span.transfers.len(), 2, "{}", cycle[0].message);
+        // The forward dep is also flagged structurally.
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == LintCode::MalformedDag));
+    }
+
+    #[test]
+    fn mailbox_capacity_one_deadlocks_a_two_message_exchange() {
+        // Edge r0->r1 carries m0 (t0) and m1 (t1); r1's forwarding send
+        // t2 consumes both. With capacity 1, m1 cannot be posted until m0
+        // is consumed by t2 — which waits for m1.
+        let t = |id: u32, src: u32, dst: u32, deps: Vec<TransferId>| Transfer {
+            id: TransferId(id),
+            src: Rank(src),
+            dst: Rank(dst),
+            chunk: ChunkId(0),
+            bytes: ByteSize::kib(4),
+            phase: Phase::Reduce,
+            tree: TreeIndex(0),
+            deps,
+        };
+        let s = Schedule::new_unchecked(
+            "mailbox-exchange",
+            3,
+            Chunking::even(ByteSize::kib(4), 1),
+            vec![
+                t(0, 0, 1, vec![]),
+                t(1, 0, 1, vec![]),
+                t(2, 1, 2, vec![TransferId(0), TransferId(1)]),
+            ],
+        );
+        let tight = analyze(
+            &s,
+            &AnalyzeOptions {
+                mailbox_capacity: Some(1),
+                ..AnalyzeOptions::default()
+            },
+        );
+        assert!(
+            tight
+                .diagnostics()
+                .iter()
+                .any(|d| d.code == LintCode::WaitCycle && d.message.contains("mailbox")),
+            "{tight}"
+        );
+        // Capacity 2 clears the back-pressure edge.
+        let roomy = analyze(
+            &s,
+            &AnalyzeOptions {
+                mailbox_capacity: Some(2),
+                ..AnalyzeOptions::default()
+            },
+        );
+        assert!(
+            !roomy
+                .diagnostics()
+                .iter()
+                .any(|d| d.code == LintCode::WaitCycle),
+            "{roomy}"
+        );
+    }
+
+    #[test]
+    fn dropped_dependency_is_a_dataflow_race() {
+        // Dropping a data-carrying dep leaves the symbolic (id-order)
+        // replay correct but the accesses unordered — exactly CC005.
+        let good = double_tree(8, Overlap::ReductionBroadcast);
+        let mut transfers = good.transfers().to_vec();
+        let victim = transfers
+            .iter()
+            .position(|t| {
+                !t.deps.is_empty()
+                    && t.deps.iter().any(|d| {
+                        let dep = &good.transfers()[d.index()];
+                        dep.chunk == t.chunk && (dep.dst == t.src || dep.dst == t.dst)
+                    })
+            })
+            .expect("a data-carrying dependency exists");
+        let keep: Vec<TransferId> = transfers[victim]
+            .deps
+            .iter()
+            .copied()
+            .filter(|d| {
+                let dep = &good.transfers()[d.index()];
+                !(dep.chunk == transfers[victim].chunk
+                    && (dep.dst == transfers[victim].src || dep.dst == transfers[victim].dst))
+            })
+            .collect();
+        let dropped = transfers[victim].deps.len() - keep.len();
+        assert!(dropped > 0);
+        transfers[victim].deps = keep;
+        let mutated = Schedule::new(
+            good.algorithm().to_string(),
+            good.num_ranks(),
+            good.chunking().clone(),
+            transfers,
+        );
+        // Still "correct" under id-order symbolic replay...
+        verify::check_allreduce(&mutated).unwrap();
+        // ...but the analyzer sees the missing ordering.
+        let report = analyze(&mutated, &AnalyzeOptions::default());
+        assert!(
+            report
+                .diagnostics()
+                .iter()
+                .any(|d| d.code == LintCode::DataflowRace),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn incomplete_and_double_reductions_are_flagged() {
+        let t = |id: u32, src: u32, dst: u32, deps: Vec<TransferId>| Transfer {
+            id: TransferId(id),
+            src: Rank(src),
+            dst: Rank(dst),
+            chunk: ChunkId(0),
+            bytes: ByteSize::kib(4),
+            phase: Phase::Reduce,
+            tree: TreeIndex(0),
+            deps,
+        };
+        // Reduce r0 into r1 twice: the second fold double-counts r0.
+        let s = Schedule::new(
+            "bad",
+            2,
+            Chunking::even(ByteSize::kib(4), 1),
+            vec![t(0, 0, 1, vec![]), t(1, 0, 1, vec![TransferId(0)])],
+        );
+        let report = analyze(&s, &AnalyzeOptions::default());
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == LintCode::DoubleReduction));
+        // And r0 never hears back: incomplete.
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == LintCode::IncompleteDataflow));
+    }
+
+    #[test]
+    fn dgx1_double_tree_embedding_is_clean_but_identity_conflicts() {
+        let topo = dgx1();
+        let s = double_tree(16, Overlap::ReductionBroadcast);
+        let good = Embedding::dgx1_double_tree(&topo, &s).unwrap();
+        let report = analyze_embedded(&s, &good, &topo, &runtime_opts());
+        assert!(report.is_clean(), "{report}");
+
+        let naive = Embedding::identity(&topo, &s).unwrap();
+        let report = analyze_embedded(&s, &naive, &topo, &runtime_opts());
+        let conflicts: Vec<_> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == LintCode::ChannelConflict)
+            .collect();
+        assert!(
+            !conflicts.is_empty(),
+            "identity double tree must collide on the doubled NVLinks:\n{report}"
+        );
+        // The witness names the step and both transfers.
+        assert!(conflicts[0].message.contains("step"), "{}", conflicts[0]);
+        assert_eq!(conflicts[0].span.transfers.len(), 2);
+    }
+
+    #[test]
+    fn nic_embedding_reports_fanin_info_only() {
+        let topo = ccube_topology::hierarchical(16);
+        let dt = DoubleBinaryTree::new(16).unwrap();
+        let s = tree_allreduce(
+            dt.trees(),
+            &Chunking::even(ByteSize::mib(64), 16),
+            Overlap::ReductionBroadcast,
+        );
+        let emb = Embedding::nic(&topo, &s).unwrap();
+        let report = analyze_embedded(&s, &emb, &topo, &runtime_opts());
+        assert!(report.is_clean(), "{report}");
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == LintCode::NicFanIn));
+    }
+
+    #[test]
+    fn missing_and_invalid_routes_are_flagged() {
+        let topo = dgx1();
+        let s = ring_allreduce(8, ByteSize::mib(1));
+        let mut emb = Embedding::identity(&topo, &s).unwrap();
+        // Remap one edge onto a channel with the wrong endpoints.
+        let edge = {
+            let (src, dst, tree) = s.logical_edges()[0];
+            EdgeKey { src, dst, tree }
+        };
+        let wrong = topo
+            .channels()
+            .iter()
+            .find(|c| c.src() != emb.gpu_of(edge.src))
+            .unwrap()
+            .id();
+        emb.set_route(
+            edge,
+            Route::multi(
+                emb.gpu_of(edge.src),
+                emb.gpu_of(edge.dst),
+                vec![wrong],
+                ChannelClass::NvLink,
+            ),
+        );
+        let report = gate(&s, &emb, &topo);
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == LintCode::InvalidRoute));
+
+        // A different schedule's embedding has no routes for this one.
+        let tree = BinaryTree::inorder(8).unwrap();
+        let other = tree_allreduce(
+            std::slice::from_ref(&tree),
+            &Chunking::even(ByteSize::mib(1), 4),
+            Overlap::None,
+        );
+        let other_emb = Embedding::identity(&topo, &other).unwrap();
+        let report = gate(&s, &other_emb, &topo);
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == LintCode::MissingRoute));
+    }
+
+    #[test]
+    fn step_bound_flags_a_mislabeled_schedule() {
+        // Baseline transfers labeled as overlapped exceed the overlapped
+        // class bound 2·d + k - 1.
+        let tree = BinaryTree::inorder(8).unwrap();
+        let baseline = tree_allreduce(
+            std::slice::from_ref(&tree),
+            &Chunking::even(ByteSize::mib(8), 8),
+            Overlap::None,
+        );
+        let mislabeled = Schedule::new(
+            "overlapped-tree",
+            baseline.num_ranks(),
+            baseline.chunking().clone(),
+            baseline.transfers().to_vec(),
+        );
+        let report = analyze(&mislabeled, &AnalyzeOptions::default());
+        assert!(
+            report
+                .diagnostics()
+                .iter()
+                .any(|d| d.code == LintCode::StepBoundExceeded),
+            "{report}"
+        );
+        // Correctly labeled, the same schedule meets its class bound.
+        let report = analyze(&baseline, &AnalyzeOptions::default());
+        assert!(
+            !report
+                .diagnostics()
+                .iter()
+                .any(|d| d.code == LintCode::StepBoundExceeded),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let mut report = LintReport::default();
+        report.push(
+            LintCode::MissingRoute,
+            "quote \" and backslash \\".to_string(),
+            Span {
+                transfers: vec![TransferId(3)],
+                ..Span::default()
+            },
+        );
+        let json = report.finish().to_json();
+        assert!(json.contains("\\\""));
+        assert!(json.contains("\"transfers\":[3]"));
+        assert!(json.starts_with("{\"errors\":1,"));
+    }
+
+    #[test]
+    fn gate_is_clean_for_all_shipped_embeddings() {
+        let topo = dgx1();
+        let s = double_tree(16, Overlap::ReductionBroadcast);
+        for emb in [
+            Embedding::identity(&topo, &s).unwrap(),
+            Embedding::identity_with_host(&topo, &s).unwrap(),
+            Embedding::dgx1_double_tree(&topo, &s).unwrap(),
+        ] {
+            assert!(gate(&s, &emb, &topo).is_clean());
+        }
+        let hier = ccube_topology::hierarchical(16);
+        let dt = DoubleBinaryTree::new(16).unwrap();
+        let s16 = tree_allreduce(
+            dt.trees(),
+            &Chunking::even(ByteSize::mib(64), 16),
+            Overlap::ReductionBroadcast,
+        );
+        let emb = Embedding::nic(&hier, &s16).unwrap();
+        assert!(gate(&s16, &emb, &hier).is_clean());
+    }
+}

@@ -265,6 +265,18 @@ impl Embedding {
         &self.routes
     }
 
+    /// Overrides (or adds) the route for one logical edge.
+    ///
+    /// This is the hook the static analyzer's tests and the `ccube lint`
+    /// demo cases use to construct deliberately conflicting or invalid
+    /// embeddings; the constructors never produce such routes themselves.
+    /// No validation is performed — run the route through
+    /// [`analyze::analyze_embedded`](crate::analyze::analyze_embedded)
+    /// (or at least [`analyze::gate`](crate::analyze::gate)) afterwards.
+    pub fn set_route(&mut self, edge: EdgeKey, route: Route) {
+        self.routes.insert(edge, route);
+    }
+
     /// Pairs of distinct edges that share a physical channel. Empty for a
     /// conflict-free embedding (which is what the overlapped double tree
     /// needs).

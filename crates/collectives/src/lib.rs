@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 mod chunk;
 pub mod cost;
 pub mod embedding;
@@ -62,6 +63,7 @@ mod tree;
 mod tree_schedule;
 pub mod verify;
 
+pub use analyze::{AnalyzeOptions, Diagnostic, LintCode, LintReport, Severity, Span};
 pub use chunk::{ChunkId, Chunking};
 pub use embedding::{EdgeKey, Embedding, EmbeddingError};
 pub use lowering::{lower_schedule, LinkTiming, LowerError, TransferSpec};

@@ -3,7 +3,7 @@
 //! A [`Schedule`] is purely logical: transfers name ranks and chunks but
 //! know nothing about channels or wall-clock time. Before any engine can
 //! replay one, every transfer must be resolved against an [`Embedding`]
-//! and a [`Topology`](ccube_topology::Topology) into a physical
+//! and a [`Topology`] into a physical
 //! [`TransferSpec`]: the channel path it occupies, the intermediate GPU
 //! it detours through (if any), and its wormhole duration
 //! `Σ per-hop latency (+ forwarding latency for detours)

@@ -154,6 +154,28 @@ impl Schedule {
         }
     }
 
+    /// Assembles a schedule **without** the dense-id / backward-dep debug
+    /// assertions of [`Schedule::new`]. Exists so the static analyzer
+    /// ([`analyze`](crate::analyze)) and its tests can construct
+    /// deliberately broken schedules — forward dependencies, dependency
+    /// cycles — and prove they are detected rather than panicking at
+    /// construction time. Everything downstream of a schedule built this
+    /// way must go through [`verify::check_dag`](crate::verify::check_dag)
+    /// or the analyzer first.
+    pub fn new_unchecked(
+        algorithm: impl Into<String>,
+        num_ranks: usize,
+        chunking: Chunking,
+        transfers: Vec<Transfer>,
+    ) -> Self {
+        Schedule {
+            algorithm: algorithm.into(),
+            num_ranks,
+            chunking,
+            transfers,
+        }
+    }
+
     /// The algorithm name (e.g. `"ring"`, `"double-tree"`,
     /// `"overlapped-double-tree"`).
     pub fn algorithm(&self) -> &str {

@@ -17,17 +17,107 @@
 
 use crate::chunk::ChunkId;
 use crate::rank::Rank;
-use crate::schedule::{Schedule, TreeIndex};
+use crate::schedule::{Schedule, TransferId, TreeIndex};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+
+/// One structural invariant violation of a schedule DAG, with the exact
+/// offending transfer — shared between [`check_dag`] (which stops at the
+/// first) and the [`analyze`](crate::analyze) lint pass (which reports
+/// all of them as `CC001` diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DagViolation {
+    /// A transfer's id does not equal its index (ids must be dense).
+    NonDenseId {
+        /// The index the transfer sits at.
+        index: usize,
+        /// The id it claims.
+        id: TransferId,
+    },
+    /// A transfer sends to itself.
+    SelfLoop {
+        /// The offending transfer.
+        id: TransferId,
+    },
+    /// A transfer endpoint is outside `0..num_ranks`.
+    EndpointOutOfRange {
+        /// The offending transfer.
+        id: TransferId,
+        /// Its sending rank.
+        src: Rank,
+        /// Its receiving rank.
+        dst: Rank,
+        /// The schedule's rank count.
+        num_ranks: usize,
+    },
+    /// A transfer's chunk is outside `0..num_chunks`.
+    ChunkOutOfRange {
+        /// The offending transfer.
+        id: TransferId,
+        /// Its chunk.
+        chunk: ChunkId,
+        /// The schedule's chunk count.
+        num_chunks: usize,
+    },
+    /// A dependency does not precede its dependent (ids are required to
+    /// be a topological order, so a forward dep also covers cycles).
+    ForwardDep {
+        /// The offending transfer.
+        id: TransferId,
+        /// The dependency that does not precede it.
+        dep: TransferId,
+    },
+}
+
+impl DagViolation {
+    /// The transfer the violation is anchored to.
+    pub fn transfer(&self) -> TransferId {
+        match *self {
+            DagViolation::NonDenseId { id, .. }
+            | DagViolation::SelfLoop { id }
+            | DagViolation::EndpointOutOfRange { id, .. }
+            | DagViolation::ChunkOutOfRange { id, .. }
+            | DagViolation::ForwardDep { id, .. } => id,
+        }
+    }
+}
+
+impl fmt::Display for DagViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagViolation::NonDenseId { index, id } => {
+                write!(f, "transfer at index {index} has id {id}")
+            }
+            DagViolation::SelfLoop { id } => write!(f, "{id} is a self-loop"),
+            DagViolation::EndpointOutOfRange {
+                id,
+                src,
+                dst,
+                num_ranks,
+            } => write!(
+                f,
+                "{id} endpoints {src}->{dst} out of range for p={num_ranks}"
+            ),
+            DagViolation::ChunkOutOfRange {
+                id,
+                chunk,
+                num_chunks,
+            } => write!(f, "{id} chunk {chunk} out of range for k={num_chunks}"),
+            DagViolation::ForwardDep { id, dep } => {
+                write!(f, "{id} depends on {dep} which does not precede it")
+            }
+        }
+    }
+}
 
 /// Errors found by the verifiers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum VerifyError {
     /// A structural invariant of the schedule DAG is broken.
-    MalformedDag(String),
+    MalformedDag(DagViolation),
     /// After execution, a rank is missing contributions for a chunk.
     MissingContribution {
         /// The rank whose buffer is incomplete.
@@ -49,7 +139,9 @@ pub enum VerifyError {
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            VerifyError::MalformedDag(msg) => write!(f, "malformed schedule dag: {msg}"),
+            VerifyError::MalformedDag(violation) => {
+                write!(f, "malformed schedule dag: {violation}")
+            }
             VerifyError::MissingContribution { rank, chunk, have } => write!(
                 f,
                 "incomplete reduction: {rank} {chunk} has only {have} contributions"
@@ -86,66 +178,79 @@ pub enum ChannelKeying {
 /// a dependency does not precede its dependent, an endpoint pair is a
 /// self-loop, or a rank/chunk is out of range.
 pub fn check_dag(schedule: &Schedule) -> Result<(), VerifyError> {
+    match dag_violations(schedule).into_iter().next() {
+        Some(v) => Err(VerifyError::MalformedDag(v)),
+        None => Ok(()),
+    }
+}
+
+/// Collects **every** structural violation of the schedule DAG, in
+/// transfer order. [`check_dag`] reports the first; the analyzer reports
+/// them all.
+pub fn dag_violations(schedule: &Schedule) -> Vec<DagViolation> {
     let p = schedule.num_ranks();
     let k = schedule.chunking().num_chunks();
+    let mut out = Vec::new();
     for (i, t) in schedule.transfers().iter().enumerate() {
         if t.id.index() != i {
-            return Err(VerifyError::MalformedDag(format!(
-                "transfer at index {i} has id {}",
-                t.id
-            )));
+            out.push(DagViolation::NonDenseId { index: i, id: t.id });
         }
         if t.src == t.dst {
-            return Err(VerifyError::MalformedDag(format!(
-                "{} is a self-loop",
-                t.id
-            )));
+            out.push(DagViolation::SelfLoop { id: t.id });
         }
         if t.src.index() >= p || t.dst.index() >= p {
-            return Err(VerifyError::MalformedDag(format!(
-                "{} endpoints out of range for p={p}",
-                t.id
-            )));
+            out.push(DagViolation::EndpointOutOfRange {
+                id: t.id,
+                src: t.src,
+                dst: t.dst,
+                num_ranks: p,
+            });
         }
         if t.chunk.index() >= k {
-            return Err(VerifyError::MalformedDag(format!(
-                "{} chunk {} out of range for k={k}",
-                t.id, t.chunk
-            )));
+            out.push(DagViolation::ChunkOutOfRange {
+                id: t.id,
+                chunk: t.chunk,
+                num_chunks: k,
+            });
         }
-        for d in &t.deps {
+        for &d in &t.deps {
             if d.index() >= i {
-                return Err(VerifyError::MalformedDag(format!(
-                    "{} depends on {} which does not precede it",
-                    t.id, d
-                )));
+                out.push(DagViolation::ForwardDep { id: t.id, dep: d });
             }
         }
     }
-    Ok(())
+    out
 }
 
-/// A set of rank contributions, one bit per rank.
+/// A set of rank contributions, one bit per rank. Shared with the
+/// analyzer's dataflow lints (`pub(crate)` for that reason).
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct Contrib {
+pub(crate) struct Contrib {
     bits: Vec<u64>,
 }
 
 impl Contrib {
-    fn single(rank: Rank, p: usize) -> Self {
+    pub(crate) fn single(rank: Rank, p: usize) -> Self {
         let mut bits = vec![0u64; p.div_ceil(64)];
         bits[rank.index() / 64] |= 1 << (rank.index() % 64);
         Contrib { bits }
     }
 
-    fn union(&mut self, other: &Contrib) {
+    pub(crate) fn union(&mut self, other: &Contrib) {
         for (a, b) in self.bits.iter_mut().zip(&other.bits) {
             *a |= b;
         }
     }
 
-    fn count(&self) -> usize {
+    pub(crate) fn count(&self) -> usize {
         self.bits.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// True if the two sets share any contribution — the signature of a
+    /// double reduction (a payload folded into a buffer that already
+    /// contains part of it).
+    pub(crate) fn intersects(&self, other: &Contrib) -> bool {
+        self.bits.iter().zip(&other.bits).any(|(a, b)| a & b != 0)
     }
 }
 
@@ -320,7 +425,7 @@ pub fn execute_steps(
 }
 
 /// Runs the symbolic executor and returns the final contribution state.
-fn run_symbolic(schedule: &Schedule) -> Result<Vec<Vec<Contrib>>, VerifyError> {
+pub(crate) fn run_symbolic(schedule: &Schedule) -> Result<Vec<Vec<Contrib>>, VerifyError> {
     check_dag(schedule)?;
     let p = schedule.num_ranks();
     let k = schedule.chunking().num_chunks();
@@ -355,10 +460,14 @@ pub fn check_broadcast(schedule: &Schedule) -> Result<(), VerifyError> {
     for c in 0..k {
         let reference = &state[0][c];
         if reference.count() != 1 {
-            return Err(VerifyError::MalformedDag(format!(
-                "broadcast left chunk {c} at rank 0 with {} contributions",
-                reference.count()
-            )));
+            // A broadcast must leave exactly one (the root's) contribution
+            // everywhere; anything else is a dataflow error with the same
+            // structured shape as an incomplete reduction.
+            return Err(VerifyError::MissingContribution {
+                rank: Rank(0),
+                chunk: ChunkId(c as u32),
+                have: reference.count(),
+            });
         }
         for r in 1..p {
             if &state[r][c] != reference {

@@ -14,6 +14,7 @@
 //!                                  resilience sweep under sampled fault plans
 //! ccube trace [out] [--json] [--seed N]
 //!                                  faulted C1 trace (CSV or Chrome trace_event)
+//! ccube lint [case|all] [--json]   static schedule analyzer (CC001.. lints)
 //! ```
 //!
 //! Sweep-backed commands (`figures`, `scaleout`, `search`, `faults`)
@@ -41,6 +42,7 @@ fn usage() -> ExitCode {
          \x20 rings                            DGX-1 Hamiltonian ring decomposition\n\
          \x20 faults [out] [--seed N] [--smoke] resilience sweep under sampled fault plans\n\
          \x20 trace [out] [--json] [--seed N]  faulted C1 trace (CSV or Chrome JSON)\n\
+         \x20 lint [case|all] [--json]         static schedule analyzer (CC001.. lints)\n\
          \n\
          figures/scaleout/search/faults take --threads N (default: all cores);\n\
          results are bit-identical at any worker count."
@@ -141,8 +143,16 @@ fn cmd_scaleout(args: &[String], threads: usize) -> ExitCode {
 }
 
 fn cmd_search(threads: usize) -> ExitCode {
-    let rows = experiments::policy_search::run_with_threads(threads);
+    let outcome = experiments::policy_search::run_full(threads);
     println!("schedule policy search: topology x tree shape x arbitration x chunks");
+    println!(
+        "static gate pruned {} invalid candidate(s) before simulation:",
+        outcome.pruned.len()
+    );
+    for p in &outcome.pruned {
+        println!("  {p}");
+    }
+    let rows = outcome.rows;
     for row in &rows {
         println!("{row}");
     }
@@ -353,6 +363,43 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     write_or_print(out, &content)
 }
 
+fn cmd_lint(args: &[String]) -> ExitCode {
+    use ccube::lint;
+    let json = args.iter().any(|a| a == "--json");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str);
+    let reports = match which {
+        None | Some("all") => lint::run_all(),
+        Some(name) => match lint::run_case(name) {
+            Some(r) => vec![r],
+            None => {
+                eprintln!("lint: unknown case {name:?}; available cases:");
+                for (n, d) in lint::CASES {
+                    eprintln!("  {n:<18} {d}");
+                }
+                return ExitCode::from(2);
+            }
+        },
+    };
+    if json {
+        println!("{}", lint::to_json(&reports));
+    } else {
+        print!("{}", lint::to_text(&reports));
+    }
+    // Demo cases are expected to carry errors; the exit code reflects
+    // only the shipped configurations (non-DEMO cases).
+    let shipped_dirty = reports
+        .iter()
+        .any(|r| !r.description.starts_with("DEMO") && !r.report.is_clean());
+    if shipped_dirty {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn cmd_rings() -> ExitCode {
     let topo = ccube_topology::dgx1();
     let rings = ccube_topology::disjoint_rings(&topo, 3);
@@ -390,6 +437,7 @@ fn main() -> ExitCode {
         "rings" => cmd_rings(),
         "faults" => cmd_faults(rest, threads),
         "trace" => cmd_trace(rest),
+        "lint" => cmd_lint(rest),
         "help" | "--help" | "-h" => {
             usage();
             ExitCode::SUCCESS

@@ -63,7 +63,7 @@ pub fn run_with(ns: &[ByteSize]) -> Vec<Row> {
 }
 
 /// [`run_with`] fanned out over `threads` workers via
-/// [`ccube_sim::sweep`]: each message size is one independent sweep
+/// [`ccube_sim::sweep()`]: each message size is one independent sweep
 /// point, and the result is bit-identical to the serial run.
 pub fn run_with_threads(ns: &[ByteSize], threads: usize) -> Vec<Row> {
     let topo = dgx1();

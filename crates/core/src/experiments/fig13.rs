@@ -43,7 +43,7 @@ pub fn run_with(batches: &[usize]) -> Vec<Row> {
 }
 
 /// [`run_with`] fanned out over `threads` workers via
-/// [`ccube_sim::sweep`]: each `(network, batch, bandwidth)` cell is one
+/// [`ccube_sim::sweep()`]: each `(network, batch, bandwidth)` cell is one
 /// sweep point; flattening the index-ordered results reproduces the
 /// serial row order exactly.
 pub fn run_with_threads(batches: &[usize], threads: usize) -> Vec<Row> {

@@ -75,7 +75,7 @@ pub fn run_with(ps: &[usize], ns: &[ByteSize]) -> Vec<Row> {
 }
 
 /// [`run_with`] fanned out over `threads` workers via
-/// [`ccube_sim::sweep`]: each `(P, N)` grid point (three simulations) is
+/// [`ccube_sim::sweep()`]: each `(P, N)` grid point (three simulations) is
 /// one sweep point, reassembled in grid order.
 pub fn run_with_threads(ps: &[usize], ns: &[ByteSize], threads: usize) -> Vec<Row> {
     let points: Vec<(usize, ByteSize)> = ps

@@ -31,7 +31,7 @@
 //!
 //! The `paper_figures` example runs every driver and writes one CSV per
 //! figure. [`run_all`] fans the figures out across
-//! [`ccube_sim::sweep`] workers; because every driver is a pure
+//! [`ccube_sim::sweep()`] workers; because every driver is a pure
 //! function, the CSVs are bit-identical at any worker count.
 
 pub mod extensions;

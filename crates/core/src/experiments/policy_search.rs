@@ -11,11 +11,21 @@
 //! grid order, so the winner is deterministic.
 //!
 //! Every grid point is independent, so the search runs on
-//! [`ccube_sim::sweep`] and is bit-identical at any worker count.
+//! [`ccube_sim::sweep()`] and is bit-identical at any worker count.
+//!
+//! Before any simulation is spent, every candidate passes through the
+//! static analyzer ([`ccube_collectives::analyze`]): the grid includes a
+//! *naive-placement* class (the double tree dropped onto the DGX-1 with
+//! the identity mapping, which collides on the doubled NVLinks), and the
+//! analyzer prunes it with a channel-conflict error instead of wasting a
+//! DES run on a provably conflicted schedule. [`run_full`] reports the
+//! pruned candidates alongside the surviving rows.
 
+use ccube_collectives::analyze::{self, AnalyzeOptions};
 use ccube_collectives::{
-    tree_allreduce, BinaryTree, Chunking, DoubleBinaryTree, Embedding, Overlap,
+    tree_allreduce, BinaryTree, Chunking, DoubleBinaryTree, Embedding, Overlap, Schedule,
 };
+use ccube_runtime::protocol::DEFAULT_TREE_MAILBOX_CAPACITY;
 use ccube_sim::{simulate, Arbitration, SimOptions};
 use ccube_topology::{dgx1, hierarchical, ByteSize, Seconds, Topology};
 use std::fmt;
@@ -75,11 +85,21 @@ pub fn arbitration_name(a: Arbitration) -> &'static str {
 struct Point {
     topology: &'static str,
     shape: &'static str,
+    /// `aware` = the topology-matched placement the experiments ship;
+    /// `naive` = the identity placement of the same schedule (invalid on
+    /// the DGX-1 for the double tree — kept in the grid so the static
+    /// gate has something real to prune).
+    placement: &'static str,
     arbitration: Arbitration,
     k: usize,
 }
 
-fn evaluate(topo: &Topology, ranks: usize, point: &Point, n: ByteSize) -> (Seconds, Seconds) {
+fn build_candidate(
+    topo: &Topology,
+    ranks: usize,
+    point: &Point,
+    n: ByteSize,
+) -> (Schedule, Embedding) {
     let chunking = Chunking::even(n, point.k);
     let schedule = if point.shape == "single-tree" {
         let tree = BinaryTree::inorder(ranks).expect("valid rank count");
@@ -92,12 +112,17 @@ fn evaluate(topo: &Topology, ranks: usize, point: &Point, n: ByteSize) -> (Secon
         let dt = DoubleBinaryTree::new(ranks).expect("valid rank count");
         tree_allreduce(dt.trees(), &chunking, Overlap::ReductionBroadcast)
     };
-    let emb = match (point.topology, point.shape) {
-        ("dgx1", "double-tree") => Embedding::dgx1_double_tree(topo, &schedule),
-        ("dgx1", _) => Embedding::identity(topo, &schedule),
+    let emb = match (point.topology, point.shape, point.placement) {
+        (_, _, "naive") | ("dgx1", "single-tree", _) => Embedding::identity(topo, &schedule),
+        ("dgx1", "double-tree", _) => Embedding::dgx1_double_tree(topo, &schedule),
         _ => Embedding::nic(topo, &schedule),
     }
     .expect("embeddable");
+    (schedule, emb)
+}
+
+fn evaluate(topo: &Topology, ranks: usize, point: &Point, n: ByteSize) -> (Seconds, Seconds) {
+    let (schedule, emb) = build_candidate(topo, ranks, point, n);
     // The search only reads timings and counters, so it takes the
     // trace-off fast path.
     let opts = SimOptions {
@@ -109,6 +134,50 @@ fn evaluate(topo: &Topology, ranks: usize, point: &Point, n: ByteSize) -> (Secon
     (report.makespan(), report.stats().total_queue_wait())
 }
 
+/// A candidate the static gate rejected before simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrunedCandidate {
+    /// Topology name.
+    pub topology: &'static str,
+    /// Tree shape.
+    pub shape: &'static str,
+    /// Placement class (`naive` for the identity placement).
+    pub placement: &'static str,
+    /// Channel arbitration policy.
+    pub arbitration: Arbitration,
+    /// Chunk count.
+    pub k: usize,
+    /// Number of error-severity diagnostics.
+    pub errors: usize,
+    /// The first error's lint code (e.g. `CC009`).
+    pub code: String,
+}
+
+impl fmt::Display for PrunedCandidate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<6} {:<11} {:<6} {:<13} K={:<4} pruned: {} error(s), first {}",
+            self.topology,
+            self.shape,
+            self.placement,
+            arbitration_name(self.arbitration),
+            self.k,
+            self.errors,
+            self.code
+        )
+    }
+}
+
+/// The full search result: surviving rows plus what the gate pruned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// Simulated rows (candidates that linted clean), winners marked.
+    pub rows: Vec<SearchRow>,
+    /// Candidates rejected by the static analyzer, in grid order.
+    pub pruned: Vec<PrunedCandidate>,
+}
+
 /// Runs the search serially (64 MiB message).
 pub fn run() -> Vec<SearchRow> {
     run_with_threads(1)
@@ -118,6 +187,14 @@ pub fn run() -> Vec<SearchRow> {
 /// chunk count — on `threads` sweep workers and marks the best schedule
 /// per topology. Deterministic at any worker count.
 pub fn run_with_threads(threads: usize) -> Vec<SearchRow> {
+    run_full(threads).rows
+}
+
+/// [`run_with_threads`] plus the static pre-simulation gate's log: the
+/// grid is extended with the naive-placement candidate class, every
+/// candidate is linted first, and candidates with error-severity
+/// diagnostics are pruned (never simulated) and reported.
+pub fn run_full(threads: usize) -> SearchOutcome {
     let n = ByteSize::mib(64);
     let machines: [(&'static str, usize, Topology); 2] =
         [("dgx1", 8, dgx1()), ("hier16", 16, hierarchical(16))];
@@ -130,6 +207,7 @@ pub fn run_with_threads(threads: usize) -> Vec<SearchRow> {
                     points.push(Point {
                         topology: name,
                         shape,
+                        placement: "aware",
                         arbitration,
                         k,
                     });
@@ -137,8 +215,52 @@ pub fn run_with_threads(threads: usize) -> Vec<SearchRow> {
             }
         }
     }
+    // The naive-placement class: the double tree dropped onto the DGX-1
+    // with the identity mapping (the paper's doubled-NVLink hazard).
+    for arbitration in [Arbitration::FifoHol, Arbitration::ChunkPriority] {
+        for k in CHUNKS {
+            points.push(Point {
+                topology: "dgx1",
+                shape: "double-tree",
+                placement: "naive",
+                arbitration,
+                k,
+            });
+        }
+    }
 
-    let mut rows = ccube_sim::sweep(&points, threads, |_, point| {
+    // The static gate, in grid order (serial: linting is cheap relative
+    // to a DES run, and order determinism keeps the log stable).
+    let lint_opts = AnalyzeOptions {
+        mailbox_capacity: Some(DEFAULT_TREE_MAILBOX_CAPACITY),
+        ..AnalyzeOptions::default()
+    };
+    let mut survivors = Vec::with_capacity(points.len());
+    let mut pruned = Vec::new();
+    for point in points {
+        let (_, ranks, topo) = machines
+            .iter()
+            .find(|(name, _, _)| *name == point.topology)
+            .expect("known topology");
+        let (schedule, emb) = build_candidate(topo, *ranks, &point, n);
+        let report = analyze::analyze_embedded(&schedule, &emb, topo, &lint_opts);
+        if report.is_clean() {
+            survivors.push(point);
+        } else {
+            let first = report.errors().next().expect("unclean report has an error");
+            pruned.push(PrunedCandidate {
+                topology: point.topology,
+                shape: point.shape,
+                placement: point.placement,
+                arbitration: point.arbitration,
+                k: point.k,
+                errors: report.errors().count(),
+                code: first.code.as_str().to_string(),
+            });
+        }
+    }
+
+    let mut rows = ccube_sim::sweep(&survivors, threads, |_, point| {
         let (_, ranks, topo) = machines
             .iter()
             .find(|(name, _, _)| *name == point.topology)
@@ -167,7 +289,7 @@ pub fn run_with_threads(threads: usize) -> Vec<SearchRow> {
             .expect("topology has rows");
         rows[best].best = true;
     }
-    rows
+    SearchOutcome { rows, pruned }
 }
 
 /// The winning row for a topology.
@@ -227,6 +349,22 @@ mod tests {
         for threads in [2, 8] {
             assert_eq!(run_with_threads(threads), serial);
         }
+    }
+
+    #[test]
+    fn naive_placement_class_is_pruned_before_simulation() {
+        let outcome = run_full(1);
+        // Every naive-placement candidate (2 arbitrations x |CHUNKS|)
+        // fails the static gate with the doubled-NVLink channel conflict;
+        // none reaches the simulator.
+        assert_eq!(outcome.pruned.len(), 2 * CHUNKS.len());
+        for p in &outcome.pruned {
+            assert_eq!(p.placement, "naive");
+            assert_eq!(p.code, "CC009", "{p}");
+            assert!(p.errors > 0);
+        }
+        // The surviving rows are exactly the original grid.
+        assert_eq!(outcome.rows, run_with_threads(1));
     }
 
     #[test]

@@ -47,6 +47,7 @@
 
 pub mod arrivals;
 pub mod experiments;
+pub mod lint;
 pub mod pipeline;
 pub mod systemjob;
 pub mod timeline;

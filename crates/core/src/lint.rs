@@ -1,0 +1,379 @@
+//! The `ccube lint` case library: named (schedule, embedding, topology)
+//! configurations run through the static analyzer.
+//!
+//! The first group covers every configuration the shipped experiments
+//! simulate (they must lint with zero errors); the second group contains
+//! deliberately broken demonstrations — the doubled-NVLink conflict of a
+//! naive double-tree placement, a forced shared-channel detour, and a
+//! seeded dependency deadlock — that show the analyzer's witnesses.
+
+use ccube_collectives::analyze::{self, AnalyzeOptions, LintReport};
+use ccube_collectives::{
+    ring_allreduce, tree_allreduce, BinaryTree, ChunkId, Chunking, DoubleBinaryTree, EdgeKey,
+    Embedding, Overlap, Phase, Rank, Schedule, Transfer, TransferId, TreeIndex,
+};
+use ccube_runtime::protocol::{DEFAULT_RING_MAILBOX_CAPACITY, DEFAULT_TREE_MAILBOX_CAPACITY};
+use ccube_topology::{dgx1, hierarchical, ByteSize, Route, Topology};
+
+/// The named lint cases, in report order.
+pub const CASES: [(&str, &str); 8] = [
+    (
+        "dgx1-cc",
+        "overlapped double tree on the DGX-1's conflict-free placement (the CC schedule)",
+    ),
+    (
+        "dgx1-baseline",
+        "baseline double tree on the DGX-1's conflict-free placement",
+    ),
+    (
+        "dgx1-single",
+        "overlapped single tree on the DGX-1, identity placement",
+    ),
+    (
+        "dgx1-ring",
+        "ring AllReduce on the DGX-1, identity placement",
+    ),
+    (
+        "hier16",
+        "overlapped double tree across the 16-GPU switch fabric (NIC routes)",
+    ),
+    (
+        "dgx1-naive-double",
+        "DEMO: double tree placed naively (identity) — collides on the doubled NVLinks",
+    ),
+    (
+        "conflict",
+        "DEMO: single tree with a forced detour sharing another edge's channel",
+    ),
+    (
+        "deadlock",
+        "DEMO: seeded dependency cycle (two transfers waiting on each other)",
+    ),
+];
+
+/// The outcome of linting one named case.
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    /// The case name (`dgx1-cc`, ...).
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// The linted schedule's algorithm name.
+    pub algorithm: String,
+    /// The topology the embedding targets.
+    pub topology: &'static str,
+    /// The analyzer's findings.
+    pub report: LintReport,
+}
+
+impl CaseReport {
+    /// Renders this case as the `--json` object: stable key order, the
+    /// report nested under `"report"`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"case\":\"{}\",\"algorithm\":\"{}\",\"topology\":\"{}\",\"report\":{}}}",
+            self.name,
+            self.algorithm,
+            self.topology,
+            self.report.to_json()
+        )
+    }
+}
+
+fn tree_opts() -> AnalyzeOptions {
+    AnalyzeOptions {
+        mailbox_capacity: Some(DEFAULT_TREE_MAILBOX_CAPACITY),
+        ..AnalyzeOptions::default()
+    }
+}
+
+fn ring_opts() -> AnalyzeOptions {
+    AnalyzeOptions {
+        mailbox_capacity: Some(DEFAULT_RING_MAILBOX_CAPACITY),
+        ..AnalyzeOptions::default()
+    }
+}
+
+fn lint_embedded(
+    name: &'static str,
+    description: &'static str,
+    topology: &'static str,
+    topo: &Topology,
+    schedule: &Schedule,
+    embedding: &Embedding,
+    opts: &AnalyzeOptions,
+) -> CaseReport {
+    CaseReport {
+        name,
+        description,
+        algorithm: schedule.algorithm().to_string(),
+        topology,
+        report: analyze::analyze_embedded(schedule, embedding, topo, opts),
+    }
+}
+
+fn double_tree(ranks: usize, k: usize, overlap: Overlap) -> Schedule {
+    let dt = DoubleBinaryTree::new(ranks).expect("valid rank count");
+    tree_allreduce(dt.trees(), &Chunking::even(ByteSize::mib(64), k), overlap)
+}
+
+fn single_tree(ranks: usize, k: usize) -> Schedule {
+    let tree = BinaryTree::inorder(ranks).expect("valid rank count");
+    tree_allreduce(
+        std::slice::from_ref(&tree),
+        &Chunking::even(ByteSize::mib(64), k),
+        Overlap::ReductionBroadcast,
+    )
+}
+
+/// Builds the forced shared-channel embedding of the `conflict` demo: the
+/// first pair of same-source logical edges where the second can be
+/// detoured through the first's destination is rerouted over the first
+/// edge's channel, so both edges occupy it.
+fn forced_conflict_embedding(topo: &Topology, schedule: &Schedule) -> Embedding {
+    let mut emb = Embedding::identity(topo, schedule).expect("embeddable");
+    let edges = schedule.logical_edges();
+    for (i, &(src1, dst1, tree1)) in edges.iter().enumerate() {
+        for &(src2, dst2, tree2) in &edges[i + 1..] {
+            if src2 != src1 || (dst2, tree2) == (dst1, tree1) {
+                continue;
+            }
+            let e1 = EdgeKey {
+                src: src1,
+                dst: dst1,
+                tree: tree1,
+            };
+            let e2 = EdgeKey {
+                src: src2,
+                dst: dst2,
+                tree: tree2,
+            };
+            let (g1, g2, g3) = (emb.gpu_of(src1), emb.gpu_of(dst1), emb.gpu_of(dst2));
+            // e2 will ride e1's first channel to dst1, then hop onward.
+            let Some(route1) = emb.route(&e1) else {
+                continue;
+            };
+            let first = route1.channels()[0];
+            if topo.channel(first).dst() != g2 {
+                continue; // e1 itself is a detour; keep looking
+            }
+            let Some(&onward) = topo.channels_between(g2, g3).first() else {
+                continue;
+            };
+            emb.set_route(e2, Route::detour(g1, g3, g2, vec![first, onward]));
+            return emb;
+        }
+    }
+    unreachable!("a detourable same-source edge pair exists on the DGX-1")
+}
+
+/// Builds the `deadlock` demo schedule: two transfers that wait on each
+/// other (a forward dependency closing a 2-cycle).
+fn seeded_deadlock_schedule() -> Schedule {
+    let mk = |id: u32, src: u32, dst: u32, deps: Vec<TransferId>| Transfer {
+        id: TransferId(id),
+        src: Rank(src),
+        dst: Rank(dst),
+        chunk: ChunkId(0),
+        bytes: ByteSize::kib(4),
+        phase: Phase::Reduce,
+        tree: TreeIndex(0),
+        deps,
+    };
+    Schedule::new_unchecked(
+        "seeded-deadlock",
+        2,
+        Chunking::even(ByteSize::kib(8), 1),
+        vec![
+            mk(0, 0, 1, vec![TransferId(1)]),
+            mk(1, 1, 0, vec![TransferId(0)]),
+        ],
+    )
+}
+
+/// Runs one named case, or `None` if the name is unknown.
+pub fn run_case(name: &str) -> Option<CaseReport> {
+    let description = CASES.iter().find(|(n, _)| *n == name)?.1;
+    let report = match name {
+        "dgx1-cc" => {
+            let topo = dgx1();
+            let s = double_tree(8, 32, Overlap::ReductionBroadcast);
+            let e = Embedding::dgx1_double_tree(&topo, &s).expect("embeddable");
+            lint_embedded("dgx1-cc", description, "dgx1", &topo, &s, &e, &tree_opts())
+        }
+        "dgx1-baseline" => {
+            let topo = dgx1();
+            let s = double_tree(8, 32, Overlap::None);
+            let e = Embedding::dgx1_double_tree(&topo, &s).expect("embeddable");
+            lint_embedded(
+                "dgx1-baseline",
+                description,
+                "dgx1",
+                &topo,
+                &s,
+                &e,
+                &tree_opts(),
+            )
+        }
+        "dgx1-single" => {
+            let topo = dgx1();
+            let s = single_tree(8, 32);
+            let e = Embedding::identity(&topo, &s).expect("embeddable");
+            lint_embedded(
+                "dgx1-single",
+                description,
+                "dgx1",
+                &topo,
+                &s,
+                &e,
+                &tree_opts(),
+            )
+        }
+        "dgx1-ring" => {
+            let topo = dgx1();
+            let s = ring_allreduce(8, ByteSize::mib(64));
+            let e = Embedding::identity(&topo, &s).expect("embeddable");
+            lint_embedded(
+                "dgx1-ring",
+                description,
+                "dgx1",
+                &topo,
+                &s,
+                &e,
+                &ring_opts(),
+            )
+        }
+        "hier16" => {
+            let topo = hierarchical(16);
+            let s = double_tree(16, 32, Overlap::ReductionBroadcast);
+            let e = Embedding::nic(&topo, &s).expect("embeddable");
+            lint_embedded("hier16", description, "hier16", &topo, &s, &e, &tree_opts())
+        }
+        "dgx1-naive-double" => {
+            let topo = dgx1();
+            let s = double_tree(8, 32, Overlap::ReductionBroadcast);
+            let e = Embedding::identity(&topo, &s).expect("embeddable");
+            lint_embedded(
+                "dgx1-naive-double",
+                description,
+                "dgx1",
+                &topo,
+                &s,
+                &e,
+                &tree_opts(),
+            )
+        }
+        "conflict" => {
+            let topo = dgx1();
+            let s = single_tree(8, 8);
+            let e = forced_conflict_embedding(&topo, &s);
+            lint_embedded("conflict", description, "dgx1", &topo, &s, &e, &tree_opts())
+        }
+        "deadlock" => {
+            let s = seeded_deadlock_schedule();
+            CaseReport {
+                name: "deadlock",
+                description,
+                algorithm: s.algorithm().to_string(),
+                topology: "-",
+                report: analyze::analyze(&s, &tree_opts()),
+            }
+        }
+        _ => return None,
+    };
+    Some(report)
+}
+
+/// Runs every named case in report order.
+pub fn run_all() -> Vec<CaseReport> {
+    CASES
+        .iter()
+        .map(|(name, _)| run_case(name).expect("listed case exists"))
+        .collect()
+}
+
+/// Renders case reports as the `--json` payload: a stable JSON array.
+pub fn to_json(reports: &[CaseReport]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&r.to_json());
+    }
+    out.push(']');
+    out
+}
+
+/// Renders case reports as human-readable text.
+pub fn to_text(reports: &[CaseReport]) -> String {
+    let mut out = String::new();
+    for r in reports {
+        out.push_str(&format!(
+            "== {} ({} on {}) ==\n   {}\n{}\n\n",
+            r.name, r.algorithm, r.topology, r.description, r.report
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccube_collectives::analyze::{LintCode, Severity};
+
+    #[test]
+    fn shipped_configurations_lint_clean() {
+        for name in [
+            "dgx1-cc",
+            "dgx1-baseline",
+            "dgx1-single",
+            "dgx1-ring",
+            "hier16",
+        ] {
+            let case = run_case(name).expect("known case");
+            assert!(case.report.is_clean(), "{name}:\n{}", case.report);
+            assert_eq!(
+                case.report.count(Severity::Warn),
+                0,
+                "{name}:\n{}",
+                case.report
+            );
+        }
+    }
+
+    #[test]
+    fn demo_cases_reproduce_their_findings() {
+        let naive = run_case("dgx1-naive-double").expect("known case");
+        assert_eq!(
+            naive
+                .report
+                .diagnostics()
+                .iter()
+                .filter(|d| d.code == LintCode::ChannelConflict)
+                .count(),
+            2,
+            "the doubled-NVLink hazard is exactly two conflicts:\n{}",
+            naive.report
+        );
+
+        let conflict = run_case("conflict").expect("known case");
+        assert!(conflict
+            .report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == LintCode::ChannelConflict));
+
+        let deadlock = run_case("deadlock").expect("known case");
+        assert!(deadlock
+            .report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == LintCode::WaitCycle));
+    }
+
+    #[test]
+    fn unknown_case_is_none() {
+        assert!(run_case("nope").is_none());
+    }
+}

@@ -1,6 +1,6 @@
 //! Multi-iteration training timeline co-simulation.
 //!
-//! [`TrainingPipeline`](crate::pipeline::TrainingPipeline) prices one
+//! [`TrainingPipeline`] prices one
 //! steady-state iteration in closed form. This module rolls the same
 //! model across *many* iterations with per-GPU compute heterogeneity —
 //! the regime where the paper's Fig. 15 effect (detour GPUs computing
@@ -17,8 +17,8 @@
 //!
 //! The roll-out executes on the workspace-wide DES machinery: every
 //! forward layer and backward pass is an event on a
-//! [`Kernel`](ccube_sim::Kernel), and each GPU is one exclusive
-//! [`ComputeStream`](ccube_sim::ComputeStream) whose slowdown factor
+//! [`Kernel`], and each GPU is one exclusive
+//! [`ComputeStream`] whose slowdown factor
 //! models the Fig. 15 forwarding-occupancy tax — the same kernel and
 //! resources [`ccube_sim::simulate`] and [`ccube_sim::simulate_system`]
 //! run on.

@@ -15,7 +15,7 @@ use crate::model::NetworkModel;
 const SEQ_LEN: u64 = 50;
 
 /// An LSTM layer: 4 gates of `(input + hidden + 1) × hidden` parameters,
-/// with per-sample FLOPs over [`SEQ_LEN`] tokens.
+/// with per-sample FLOPs over `SEQ_LEN = 50` tokens.
 pub fn lstm(name: impl Into<String>, input: u64, hidden: u64) -> Layer {
     let params = 4 * hidden * (input + hidden + 1);
     let flops = 2 * params * SEQ_LEN;

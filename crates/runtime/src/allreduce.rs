@@ -240,7 +240,7 @@ impl TreeAllReduceRuntime {
             trees,
             overlap,
             num_chunks,
-            mailbox_capacity: 4,
+            mailbox_capacity: crate::protocol::DEFAULT_TREE_MAILBOX_CAPACITY,
         }
     }
 
@@ -338,7 +338,7 @@ impl RingAllReduceRuntime {
         assert!(p >= 2, "ring needs at least two ranks");
         RingAllReduceRuntime {
             num_ranks: p,
-            mailbox_capacity: 2,
+            mailbox_capacity: crate::protocol::DEFAULT_RING_MAILBOX_CAPACITY,
         }
     }
 

@@ -49,6 +49,7 @@ mod allreduce;
 mod chained;
 mod error;
 mod mailbox;
+pub mod protocol;
 mod sync;
 mod trainer;
 

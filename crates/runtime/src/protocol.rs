@@ -1,0 +1,26 @@
+//! The executor protocol parameters, extracted so the static analyzer
+//! models exactly what the runtime runs.
+//!
+//! The threaded executors synchronize through three mechanisms (paper
+//! Fig. 9–11): bounded per-`(tree, edge)` [`Mailbox`](crate::Mailbox)es
+//! between neighboring ranks, the `red_done` semaphore from each root's
+//! reduction loop to its broadcast loop, and the gradient queue's
+//! enqueue/dequeue semaphores. Deadlock-freedom therefore depends on the
+//! mailbox capacities: a producer blocks once `capacity` messages are
+//! in flight, and only the receiving worker's progress frees a slot.
+//!
+//! `ccube_collectives::analyze` rebuilds this wait-for structure
+//! statically (lint `CC002`); the capacities it assumes must be the ones
+//! the executors actually use, which is why they live here instead of as
+//! literals inside the executors.
+
+/// Receive-buffer capacity of each tree executor mailbox (one bounded
+/// queue per `(tree, child)` uplink and downlink;
+/// [`TreeAllReduceRuntime`](crate::TreeAllReduceRuntime) default,
+/// overridable with `with_mailbox_capacity`).
+pub const DEFAULT_TREE_MAILBOX_CAPACITY: usize = 4;
+
+/// Receive-buffer capacity of each ring executor mailbox (one bounded
+/// queue per ring edge, shared by the Reduce-Scatter and AllGather
+/// phases; [`RingAllReduceRuntime`](crate::RingAllReduceRuntime)).
+pub const DEFAULT_RING_MAILBOX_CAPACITY: usize = 2;

@@ -182,6 +182,19 @@ pub fn simulate(
     let n = transfers.len();
     let num_channels = topo.channels().len();
 
+    // Debug builds run the analyzer's structural gate (malformed DAG,
+    // missing/invalid routes) on every input. Conflicted-but-valid
+    // embeddings are deliberately NOT gated: the extension studies
+    // simulate them on purpose to measure the cost of the conflicts.
+    #[cfg(debug_assertions)]
+    {
+        let lint = ccube_collectives::analyze::gate(schedule, embedding, topo);
+        debug_assert!(
+            lint.is_clean(),
+            "schedule/embedding failed the static gate:\n{lint}"
+        );
+    }
+
     let specs = lower_schedule(schedule, embedding, topo, &opts.link_timing())?;
 
     // Dependency bookkeeping stays with the scheduler; resources and
@@ -429,6 +442,9 @@ mod tests {
     }
 
     #[test]
+    // In debug builds the static gate catches the missing routes before
+    // lowering; in release the `Err` path below is what callers see.
+    #[cfg_attr(debug_assertions, should_panic(expected = "CC007"))]
     fn missing_route_is_reported() {
         let topo = dgx1();
         let s = ring_allreduce(8, ByteSize::mib(1));

@@ -27,7 +27,7 @@
 //!   link to return; a run whose traffic can *never* finish reports
 //!   [`SimError::Unroutable`] instead of a generic deadlock;
 //! * [`FaultDriver`] is the same scheduling logic as a
-//!   [`Component`](crate::kernel::Component) on the
+//!   [`Component`] on the
 //!   [`Simulation`](crate::kernel::Simulation) layer, for experiments
 //!   built there;
 //! * failing plans shrink to 1-minimal reproducers with

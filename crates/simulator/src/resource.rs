@@ -55,7 +55,7 @@ pub struct ChannelPool {
     /// arbitration key, so the best waiter is always the front — no
     /// per-round scan.
     waiters: Vec<Vec<u32>>,
-    /// Every task currently in [`TaskState::Ready`], sorted ascending by
+    /// Every task currently in `Ready`, sorted ascending by
     /// arbitration key. Replaces the collect-and-sort
     /// [`ChannelPool::force_start`] historically paid per stall round.
     ready_by_key: Vec<u32>,
@@ -384,7 +384,7 @@ impl ChannelPool {
         }
     }
 
-    /// Tries to start a [`TaskState::Ready`] task under the normal
+    /// Tries to start a `Ready` task under the normal
     /// (non-forced) policy — e.g. after a re-route moved it onto free
     /// channels. Returns `true` if it started; `false` leaves it queued.
     pub fn poke(&mut self, task: u32, now: Seconds, trace: &mut SimTrace) -> bool {

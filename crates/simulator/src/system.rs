@@ -9,12 +9,12 @@
 //! and per-GPU **compute tasks**, with dependencies in *both* directions
 //! (communication gated on backward compute, forward layers gated on
 //! chunk deliveries), and [`simulate_system`] executes everything through
-//! the shared [`Kernel`](crate::kernel::Kernel):
+//! the shared [`Kernel`]:
 //!
 //! * channels behave exactly as in [`simulate`](crate::simulate) — the
-//!   same [`ChannelPool`](crate::resource::ChannelPool) arbitration,
-//!   honoring [`SimOptions::arbitration`];
-//! * each GPU is one exclusive [`ComputeStream`](crate::resource::ComputeStream)
+//!   same [`ChannelPool`] arbitration,
+//!   honoring [`SimOptions::arbitration`](crate::engine::SimOptions::arbitration);
+//! * each GPU is one exclusive [`ComputeStream`]
 //!   — at most one compute task runs on it at a time, in readiness order
 //!   (a single compute stream, like the paper's implementation).
 //!
@@ -189,7 +189,7 @@ impl SystemState<'_> {
 
 /// Runs a [`SystemJob`] over a topology/embedding: one shared kernel for
 /// both the transfers (channel-exclusive, arbitrated by
-/// [`SimOptions::arbitration`]) and the compute tasks (one exclusive
+/// [`SimOptions::arbitration`](crate::engine::SimOptions::arbitration)) and the compute tasks (one exclusive
 /// compute stream per GPU).
 ///
 /// # Errors
@@ -227,6 +227,16 @@ pub fn simulate_system_with_slowdowns(
     let nt = transfers.len();
     let nc = job.compute.len();
     let num_channels = topo.channels().len();
+
+    // Same structural gate as `simulate` (DAG + route validity only).
+    #[cfg(debug_assertions)]
+    {
+        let lint = ccube_collectives::analyze::gate(&job.schedule, embedding, topo);
+        debug_assert!(
+            lint.is_clean(),
+            "schedule/embedding failed the static gate:\n{lint}"
+        );
+    }
 
     let specs = lower_schedule(&job.schedule, embedding, topo, &opts.link_timing())?;
 

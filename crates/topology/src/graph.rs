@@ -133,6 +133,38 @@ impl Topology {
         !self.channels_between(src, dst).is_empty()
     }
 
+    /// True if `channels` is a contiguous hop chain from `src` to `dst`:
+    /// non-empty, every id in range, the first hop leaves `src`, each hop
+    /// starts where the previous one ended, and the last hop arrives at
+    /// `dst`. This is the shape every GPU-to-GPU route must have; NIC
+    /// routes in a [`hierarchical`](crate::hierarchical) topology follow
+    /// the injection/ejection convention instead and are validated by
+    /// endpoints only.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ccube_topology::{dgx1, GpuId};
+    /// let topo = dgx1();
+    /// let hop = topo.channels_between(GpuId(2), GpuId(3))[0];
+    /// assert!(topo.is_path(GpuId(2), GpuId(3), &[hop]));
+    /// assert!(!topo.is_path(GpuId(3), GpuId(2), &[hop]));
+    /// ```
+    pub fn is_path(&self, src: GpuId, dst: GpuId, channels: &[ChannelId]) -> bool {
+        if channels.is_empty() || channels.iter().any(|c| c.index() >= self.channels.len()) {
+            return false;
+        }
+        let mut at = src;
+        for &c in channels {
+            let ch = self.channel(c);
+            if ch.src() != at {
+                return false;
+            }
+            at = ch.dst();
+        }
+        at == dst
+    }
+
     /// Direct neighbors reachable from `gpu` (deduplicated, sorted).
     pub fn neighbors(&self, gpu: GpuId) -> Vec<GpuId> {
         let mut out: Vec<GpuId> = self.outgoing[gpu.index()]

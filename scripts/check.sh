@@ -10,6 +10,12 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> determinism lint (scripts/lint_determinism.sh)"
+./scripts/lint_determinism.sh
+
+echo "==> cargo doc -D warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo test -q"
 cargo test -q --workspace
 

@@ -1,0 +1,47 @@
+//! Byte-stable goldens for `ccube lint --json`.
+//!
+//! Two cases are pinned: the DGX-1 CC schedule (the conflict-free
+//! overlapped double tree — must lint clean) and the deliberately
+//! conflicting single-tree embedding whose forced detour shares another
+//! edge's channel. The JSON is hand-rolled with stable key order and
+//! deterministic (BTreeMap-ordered) diagnostics, so the files must match
+//! byte for byte; a diff means the lint output contract changed.
+//!
+//! To regenerate after an *intentional* contract change:
+//!
+//! ```text
+//! cargo run --bin ccube -- lint dgx1-cc --json   # first array element
+//! cargo run --bin ccube -- lint conflict --json
+//! ```
+
+use ccube::lint;
+
+fn golden(name: &str) -> String {
+    let path = format!("{}/../../tests/data/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn dgx1_cc_json_is_byte_stable() {
+    let case = lint::run_case("dgx1-cc").expect("known case");
+    assert!(case.report.is_clean(), "{}", case.report);
+    assert_eq!(case.to_json(), golden("lint_dgx1_cc.json").trim_end());
+}
+
+#[test]
+fn conflict_json_is_byte_stable() {
+    let case = lint::run_case("conflict").expect("known case");
+    assert!(!case.report.is_clean(), "the demo must carry errors");
+    assert_eq!(case.to_json(), golden("lint_conflict.json").trim_end());
+}
+
+#[test]
+fn json_runs_are_deterministic() {
+    // Same process, repeated runs: byte-identical output (no HashMap
+    // iteration order anywhere in the lint path).
+    for name in ["dgx1-cc", "conflict", "dgx1-naive-double"] {
+        let a = lint::run_case(name).expect("known case").to_json();
+        let b = lint::run_case(name).expect("known case").to_json();
+        assert_eq!(a, b, "{name}");
+    }
+}
