@@ -13,8 +13,8 @@
 
 use ccube::experiments::fig14;
 use ccube_collectives::{ring_allreduce, Embedding};
-use ccube_sim::{simulate, SimOptions};
-use ccube_topology::{hierarchical, ByteSize};
+use ccube_sim::{simulate, FabricSpec, SimOptions};
+use ccube_topology::{hierarchical, ByteSize, Seconds};
 use std::time::Instant;
 
 /// Median wall-clock seconds of `reps` runs of `f`.
@@ -105,12 +105,49 @@ fn main() {
         t_on / t_off
     );
 
+    // --- Switch-fabric rate: the same run on the componentized model. -
+    // Passthrough processes the same event count as the approximation
+    // (the equivalence contract); the split fabric adds uplink hops, so
+    // its events/sec is the agent-layer overhead figure.
+    let passthrough = SimOptions::scale_out().without_trace().with_network(
+        ccube_sim::NetworkModel::SwitchFabric(FabricSpec::passthrough()),
+    );
+    let split = SimOptions::scale_out().without_trace().with_network(
+        ccube_sim::NetworkModel::SwitchFabric(FabricSpec {
+            radix: Some(8),
+            oversubscription: 2.0,
+            uplink_latency: Seconds::from_micros(1.0),
+            ..FabricSpec::passthrough()
+        }),
+    );
+    let split_events = simulate(&topo, &s, &e, &split)
+        .unwrap()
+        .stats()
+        .events_processed;
+    let t_pass = median_secs(reps, || {
+        std::hint::black_box(simulate(&topo, &s, &e, &passthrough).unwrap());
+    });
+    let t_split = median_secs(reps, || {
+        std::hint::black_box(simulate(&topo, &s, &e, &split).unwrap());
+    });
+    println!(
+        "fabric hier64 ring  {events} events  passthrough {:>7.1} ms  {:>10.0} events/s  x{:.2} vs approx",
+        t_pass * 1e3,
+        events as f64 / t_pass,
+        t_off / t_pass
+    );
+    println!(
+        "fabric hier64 ring  {split_events} events  radix8/2:1  {:>7.1} ms  {:>10.0} events/s",
+        t_split * 1e3,
+        split_events as f64 / t_split
+    );
+
     // --- Machine-readable record at the repository root. --------------
     // The host block makes the "no speedup on a 1-core box" caveat
     // self-documenting: speedups are meaningless without the
     // parallelism the run actually had available.
     let json = format!(
-        "{{\n  \"host\": {{\n    \"available_parallelism\": {},\n    \"sweep_workers\": {},\n    \"threads_benchmarked\": [1,2,4,8]\n  }},\n  \"sweep\": {{\n    \"grid\": \"fig14 {}x{}\",\n    \"points\": {},\n    \"serial_secs\": {},\n    \"serial_points_per_sec\": {},\n    \"parallel\": [{}]\n  }},\n  \"kernel\": {{\n    \"workload\": \"hier64 ring 16MiB\",\n    \"events\": {},\n    \"trace_on_secs\": {},\n    \"trace_on_events_per_sec\": {},\n    \"trace_off_secs\": {},\n    \"trace_off_events_per_sec\": {},\n    \"speedup_trace_off\": {}\n  }}\n}}\n",
+        "{{\n  \"host\": {{\n    \"available_parallelism\": {},\n    \"sweep_workers\": {},\n    \"threads_benchmarked\": [1,2,4,8]\n  }},\n  \"sweep\": {{\n    \"grid\": \"fig14 {}x{}\",\n    \"points\": {},\n    \"serial_secs\": {},\n    \"serial_points_per_sec\": {},\n    \"parallel\": [{}]\n  }},\n  \"kernel\": {{\n    \"workload\": \"hier64 ring 16MiB\",\n    \"events\": {},\n    \"trace_on_secs\": {},\n    \"trace_on_events_per_sec\": {},\n    \"trace_off_secs\": {},\n    \"trace_off_events_per_sec\": {},\n    \"speedup_trace_off\": {}\n  }},\n  \"fabric\": {{\n    \"workload\": \"hier64 ring 16MiB\",\n    \"passthrough_events\": {},\n    \"passthrough_secs\": {},\n    \"passthrough_events_per_sec\": {},\n    \"split_spec\": \"radix 8, oversubscription 2.0, uplink 1us\",\n    \"split_events\": {},\n    \"split_secs\": {},\n    \"split_events_per_sec\": {}\n  }}\n}}\n",
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         ccube_sim::available_threads(),
         ps.len(),
@@ -124,7 +161,13 @@ fn main() {
         json_f(events as f64 / t_on),
         json_f(t_off),
         json_f(events as f64 / t_off),
-        json_f(t_on / t_off)
+        json_f(t_on / t_off),
+        events,
+        json_f(t_pass),
+        json_f(events as f64 / t_pass),
+        split_events,
+        json_f(t_split),
+        json_f(split_events as f64 / t_split)
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
     std::fs::write(path, json).expect("write BENCH_sweep.json");

@@ -16,7 +16,7 @@
 use crate::chunk::ChunkId;
 use crate::embedding::{EdgeKey, Embedding};
 use crate::schedule::{Schedule, TransferId};
-use ccube_topology::{ChannelId, GpuId, Seconds, Topology};
+use ccube_topology::{ByteSize, ChannelId, FabricGraph, GpuId, PortId, Seconds, Topology};
 use std::error::Error;
 use std::fmt;
 
@@ -55,6 +55,10 @@ pub struct TransferSpec {
     pub via: Option<GpuId>,
     /// Wormhole occupancy time of the whole path.
     pub duration: Seconds,
+    /// Payload size, kept so lower layers (the switch-fabric network
+    /// model, fault-driven re-routing) can recompute durations when the
+    /// effective path or per-hop resources change.
+    pub bytes: ByteSize,
 }
 
 /// Errors from lowering a schedule onto a topology.
@@ -153,9 +157,22 @@ pub fn lower_schedule(
             path: route.channels().to_vec(),
             via: route.via(),
             duration: alpha + serialization,
+            bytes: t.bytes,
         });
     }
     Ok(specs)
+}
+
+/// Lowers channel-level [`TransferSpec`]s one level further, onto an
+/// explicit switch fabric: the result holds, per transfer, the ordered
+/// port path the transfer occupies (endpoint ports plus any uplink ports
+/// inserted between leaves). Indexed like `specs`, by transfer id.
+///
+/// This is the hop-level view the `SwitchFabric` network model schedules
+/// on; under a passthrough fabric every port path mirrors the channel
+/// path one-for-one.
+pub fn lower_to_ports(specs: &[TransferSpec], fabric: &FabricGraph) -> Vec<Vec<PortId>> {
+    specs.iter().map(|s| fabric.port_route(&s.path)).collect()
 }
 
 #[cfg(test)]

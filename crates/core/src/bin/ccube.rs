@@ -14,12 +14,19 @@
 //!                                  resilience sweep under sampled fault plans
 //! ccube trace [out] [--json] [--seed N]
 //!                                  faulted C1 trace (CSV or Chrome trace_event)
+//! ccube trace --diff a.csv b.csv   compare two trace CSVs (first divergence,
+//!                                  per-kind deltas, busy drift)
 //! ccube lint [case|all] [--json]   static schedule analyzer (CC001.. lints)
 //! ```
 //!
 //! Sweep-backed commands (`figures`, `scaleout`, `search`, `faults`)
 //! accept `--threads N` (default: the machine's available parallelism);
-//! the output is bit-identical at any worker count.
+//! the output is bit-identical at any worker count. DES-backed commands
+//! (`figures`, `scaleout`, `faults`, `trace`) accept `--fabric
+//! {approx,switch}` to pick the network model: `approx` (default) is the
+//! channel approximation, `switch` runs the componentized switch fabric
+//! (explicit NIC/switch agents with per-port queues); at the passthrough
+//! configuration the two produce identical results.
 
 use ccube::experiments;
 use ccube::pipeline::{Mode, TrainingPipeline};
@@ -42,10 +49,13 @@ fn usage() -> ExitCode {
          \x20 rings                            DGX-1 Hamiltonian ring decomposition\n\
          \x20 faults [out] [--seed N] [--smoke] resilience sweep under sampled fault plans\n\
          \x20 trace [out] [--json] [--seed N]  faulted C1 trace (CSV or Chrome JSON)\n\
+         \x20 trace --diff a.csv b.csv         compare two trace CSVs\n\
          \x20 lint [case|all] [--json]         static schedule analyzer (CC001.. lints)\n\
          \n\
          figures/scaleout/search/faults take --threads N (default: all cores);\n\
-         results are bit-identical at any worker count."
+         results are bit-identical at any worker count.\n\
+         figures/scaleout/faults/trace take --fabric {{approx,switch}}:\n\
+         the channel approximation (default) or the componentized switch fabric."
     );
     ExitCode::from(2)
 }
@@ -60,11 +70,18 @@ fn network_by_name(name: &str) -> Option<NetworkModel> {
 }
 
 fn cmd_figures(args: &[String], threads: usize) -> ExitCode {
+    let (args, fabric) = match fabric_from_args(args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("figures: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let dir = args
         .first()
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("target/figures"));
-    match experiments::run_all_with(&dir, threads) {
+    match experiments::run_all_with_network(&dir, threads, fabric) {
         Ok(paths) => {
             println!("wrote {} CSV files to {}", paths.len(), dir.display());
             for p in paths {
@@ -121,6 +138,13 @@ fn cmd_compare(args: &[String]) -> ExitCode {
 }
 
 fn cmd_scaleout(args: &[String], threads: usize) -> ExitCode {
+    let (args, fabric) = match fabric_from_args(args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("scaleout: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let max_p: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(128);
     let sizes: Vec<ByteSize> = {
         let explicit: Vec<u64> = args.iter().skip(1).filter_map(|s| s.parse().ok()).collect();
@@ -136,7 +160,7 @@ fn cmd_scaleout(args: &[String], threads: usize) -> ExitCode {
         ps.push(p);
         p *= 2;
     }
-    for row in experiments::fig14::run_with_threads(&ps, &sizes, threads) {
+    for row in experiments::fig14::run_with_threads_net(&ps, &sizes, threads, fabric) {
         println!("{row}");
     }
     ExitCode::SUCCESS
@@ -246,6 +270,37 @@ fn cmd_train(args: &[String]) -> ExitCode {
     }
 }
 
+/// Splits a `--fabric approx|switch` / `--fabric=...` flag out of
+/// `args`, defaulting to the channel approximation. `switch` selects the
+/// componentized switch fabric at its passthrough configuration, which
+/// reproduces the approximation exactly — the flag is both an
+/// end-to-end equivalence check and the hook for fabric experiments.
+fn fabric_from_args(args: &[String]) -> Result<(Vec<String>, ccube_sim::NetworkModel), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut model = ccube_sim::NetworkModel::ChannelApprox;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let value = if arg == "--fabric" {
+            Some(
+                iter.next()
+                    .ok_or_else(|| "--fabric requires a value (approx | switch)".to_string())?
+                    .as_str(),
+            )
+        } else {
+            arg.strip_prefix("--fabric=")
+        };
+        match value {
+            Some("approx") => model = ccube_sim::NetworkModel::ChannelApprox,
+            Some("switch") => {
+                model = ccube_sim::NetworkModel::SwitchFabric(ccube_sim::FabricSpec::passthrough());
+            }
+            Some(v) => return Err(format!("--fabric: unknown model {v:?} (approx | switch)")),
+            None => rest.push(arg.clone()),
+        }
+    }
+    Ok((rest, model))
+}
+
 /// Splits a `--seed N` / `--seed=N` flag out of `args`, defaulting to
 /// `default`.
 fn seed_from_args(args: &[String], default: u64) -> Result<(Vec<String>, u64), String> {
@@ -295,7 +350,14 @@ fn write_or_print(out: Option<&String>, content: &str) -> ExitCode {
 
 fn cmd_faults(args: &[String], threads: usize) -> ExitCode {
     use ccube::experiments::resilience;
-    let (args, seed) = match seed_from_args(args, resilience::DEFAULT_SEED) {
+    let (args, fabric) = match fabric_from_args(args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("faults: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (args, seed) = match seed_from_args(&args, resilience::DEFAULT_SEED) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("faults: {e}");
@@ -305,9 +367,9 @@ fn cmd_faults(args: &[String], threads: usize) -> ExitCode {
     let smoke = args.iter().any(|a| a == "--smoke");
     let out = args.iter().find(|a| !a.starts_with("--"));
     let rows = if smoke {
-        resilience::run_smoke()
+        resilience::run_smoke_network(fabric)
     } else {
-        resilience::run_with(seed, threads)
+        resilience::run_with_network(seed, threads, fabric)
     };
     if out.is_none() {
         for row in &rows {
@@ -318,12 +380,51 @@ fn cmd_faults(args: &[String], threads: usize) -> ExitCode {
     write_or_print(out, &resilience::to_csv(&rows))
 }
 
+/// `ccube trace --diff a.csv b.csv`: compare two trace CSVs and report
+/// the first diverging line, per-record-kind count deltas, and busy /
+/// horizon drift. Exit code 0 when identical, 1 when they differ.
+fn cmd_trace_diff(paths: &[&String]) -> ExitCode {
+    let [left_path, right_path] = paths else {
+        eprintln!("trace --diff: expected exactly two CSV paths");
+        return ExitCode::from(2);
+    };
+    let read = |path: &String| match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("trace --diff: failed to read {path}: {e}");
+            None
+        }
+    };
+    let (Some(left), Some(right)) = (read(left_path), read(right_path)) else {
+        return ExitCode::FAILURE;
+    };
+    let diff = ccube_sim::diff_csv(&left, &right);
+    if diff.is_identical() {
+        println!("traces are identical");
+        ExitCode::SUCCESS
+    } else {
+        print!("{diff}");
+        ExitCode::FAILURE
+    }
+}
+
 fn cmd_trace(args: &[String]) -> ExitCode {
     use ccube_collectives::{tree_allreduce, Chunking, DoubleBinaryTree, Embedding, Overlap};
     use ccube_sim::{simulate_faulted, FaultModel, FaultPlan, SimOptions, SimRng};
     use ccube_topology::dgx1;
 
-    let (args, seed) = match seed_from_args(args, ccube::experiments::resilience::DEFAULT_SEED) {
+    if args.iter().any(|a| a == "--diff") {
+        let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+        return cmd_trace_diff(&paths);
+    }
+    let (args, fabric) = match fabric_from_args(args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("trace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (args, seed) = match seed_from_args(&args, ccube::experiments::resilience::DEFAULT_SEED) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("trace: {e}");
@@ -343,7 +444,7 @@ fn cmd_trace(args: &[String]) -> ExitCode {
         Overlap::ReductionBroadcast,
     );
     let e = Embedding::dgx1_double_tree(&topo, &s).expect("embeddable");
-    let opts = SimOptions::default();
+    let opts = SimOptions::default().with_network(fabric);
     let healthy =
         simulate_faulted(&topo, &s, &e, &opts, &FaultPlan::empty()).expect("healthy run simulates");
     let model = FaultModel::severity(2, healthy.makespan);
@@ -355,8 +456,14 @@ fn cmd_trace(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Under the switch fabric the grant records carry port indices, so
+    // label the Chrome-trace lanes accordingly.
+    let lane = match fabric {
+        ccube_sim::NetworkModel::ChannelApprox => "channel",
+        ccube_sim::NetworkModel::SwitchFabric(_) => "port",
+    };
     let content = if json {
-        report.trace.to_chrome_json()
+        report.trace.to_chrome_json_labeled(lane)
     } else {
         report.trace.to_csv()
     };

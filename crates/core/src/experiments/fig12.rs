@@ -42,6 +42,11 @@ impl fmt::Display for Row {
 
 /// Default sweep over the paper's data-size range.
 pub fn run() -> Vec<Row> {
+    run_net(ccube_sim::NetworkModel::ChannelApprox)
+}
+
+/// [`run`] under an explicit network model.
+pub fn run_net(network: ccube_sim::NetworkModel) -> Vec<Row> {
     let ns = [
         ByteSize::mib(4),
         ByteSize::mib(16),
@@ -49,7 +54,7 @@ pub fn run() -> Vec<Row> {
         ByteSize::mib(128),
         ByteSize::mib(256),
     ];
-    run_with(&ns)
+    run_with_threads_net(&ns, 1, network)
 }
 
 /// Runs the comparison for explicit message sizes (serially).
@@ -66,6 +71,17 @@ pub fn run_with(ns: &[ByteSize]) -> Vec<Row> {
 /// [`ccube_sim::sweep()`]: each message size is one independent sweep
 /// point, and the result is bit-identical to the serial run.
 pub fn run_with_threads(ns: &[ByteSize], threads: usize) -> Vec<Row> {
+    run_with_threads_net(ns, threads, ccube_sim::NetworkModel::ChannelApprox)
+}
+
+/// [`run_with_threads`] under an explicit network model (`ccube figures
+/// --fabric switch` reruns the DES-backed figures on the componentized
+/// switch fabric; a passthrough fabric reproduces the defaults).
+pub fn run_with_threads_net(
+    ns: &[ByteSize],
+    threads: usize,
+    network: ccube_sim::NetworkModel,
+) -> Vec<Row> {
     let topo = dgx1();
     let dt = DoubleBinaryTree::new(8).expect("8 ranks");
     let params = cost::CostParams::nvlink();
@@ -75,7 +91,7 @@ pub fn run_with_threads(ns: &[ByteSize], threads: usize) -> Vec<Row> {
         let run_one = |overlap| {
             let s = tree_allreduce(dt.trees(), &chunking, overlap);
             let e = Embedding::dgx1_double_tree(&topo, &s).expect("embeddable");
-            simulate(&topo, &s, &e, &SimOptions::default())
+            simulate(&topo, &s, &e, &SimOptions::default().with_network(network))
                 .expect("simulates")
                 .makespan()
         };

@@ -49,16 +49,33 @@ impl fmt::Display for Row {
 
 /// Default sweep: P in {4, 8, …, 256}, N in {16 KiB, 1 MiB, 64 MiB}.
 pub fn run() -> Vec<Row> {
-    run_with(
+    run_net(ccube_sim::NetworkModel::ChannelApprox)
+}
+
+/// [`run`] under an explicit network model.
+pub fn run_net(network: ccube_sim::NetworkModel) -> Vec<Row> {
+    run_with_threads_net(
         &[4, 8, 16, 32, 64, 128, 256],
         &[ByteSize::kib(16), ByteSize::mib(1), ByteSize::mib(64)],
+        1,
+        network,
     )
 }
 
-fn sim_on(p: usize, schedule: &ccube_collectives::Schedule) -> SimReport {
+fn sim_on(
+    p: usize,
+    schedule: &ccube_collectives::Schedule,
+    network: ccube_sim::NetworkModel,
+) -> SimReport {
     let topo = hierarchical(p);
     let emb = Embedding::nic(&topo, schedule).expect("nic embedding");
-    simulate(&topo, schedule, &emb, &SimOptions::scale_out()).expect("simulates")
+    simulate(
+        &topo,
+        schedule,
+        &emb,
+        &SimOptions::scale_out().with_network(network),
+    )
+    .expect("simulates")
 }
 
 /// The paper's scale-out chunk policy: 256 KiB chunks ("256 chunks for
@@ -78,6 +95,18 @@ pub fn run_with(ps: &[usize], ns: &[ByteSize]) -> Vec<Row> {
 /// [`ccube_sim::sweep()`]: each `(P, N)` grid point (three simulations) is
 /// one sweep point, reassembled in grid order.
 pub fn run_with_threads(ps: &[usize], ns: &[ByteSize], threads: usize) -> Vec<Row> {
+    run_with_threads_net(ps, ns, threads, ccube_sim::NetworkModel::ChannelApprox)
+}
+
+/// [`run_with_threads`] under an explicit network model (`ccube
+/// scaleout --fabric switch` runs the sweep on the componentized switch
+/// fabric; a passthrough fabric reproduces the defaults).
+pub fn run_with_threads_net(
+    ps: &[usize],
+    ns: &[ByteSize],
+    threads: usize,
+    network: ccube_sim::NetworkModel,
+) -> Vec<Row> {
     let points: Vec<(usize, ByteSize)> = ps
         .iter()
         .flat_map(|&p| ns.iter().map(move |&n| (p, n)))
@@ -89,9 +118,9 @@ pub fn run_with_threads(ps: &[usize], ns: &[ByteSize], threads: usize) -> Vec<Ro
         let ring = ring_allreduce(p, n);
         let c1 = tree_allreduce(dt.trees(), &chunking, Overlap::ReductionBroadcast);
         let b = tree_allreduce(dt.trees(), &chunking, Overlap::None);
-        let ring_report = sim_on(p, &ring);
-        let c1_report = sim_on(p, &c1);
-        let b_report = sim_on(p, &b);
+        let ring_report = sim_on(p, &ring, network);
+        let c1_report = sim_on(p, &c1, network);
+        let b_report = sim_on(p, &b, network);
         Row {
             p,
             n,

@@ -56,6 +56,11 @@ pub fn run() -> Vec<Row> {
 
 /// Runs the per-GPU comparison at an explicit batch size.
 pub fn run_with(batch: usize) -> Vec<Row> {
+    run_with_net(batch, ccube_sim::NetworkModel::ChannelApprox)
+}
+
+/// [`run_with`] under an explicit network model.
+pub fn run_with_net(batch: usize, network: ccube_sim::NetworkModel) -> Vec<Row> {
     let net = ccube_dnn::resnet50();
     let pipeline = TrainingPipeline::dgx1(&net, batch);
     let report = pipeline.iteration(Mode::CCube);
@@ -75,7 +80,13 @@ pub fn run_with(batch: usize) -> Vec<Row> {
         Overlap::ReductionBroadcast,
     );
     let emb = Embedding::dgx1_double_tree(&topo, &s).expect("embeddable");
-    let sim = simulate(&topo, &s, &emb, &SimOptions::default()).expect("simulates");
+    let sim = simulate(
+        &topo,
+        &s,
+        &emb,
+        &SimOptions::default().with_network(network),
+    )
+    .expect("simulates");
     let kernels = emb.forwarding_load();
 
     (0..8u32)

@@ -25,9 +25,14 @@
 //! a detour-vs-PCIe quantification, and a chunk-count sensitivity sweep
 //! validating Eq. 4 against the simulator — [`policy_search`]
 //! brute-forces the best (chunk count, tree shape, arbitration)
-//! schedule per topology over the sweep executor — and [`resilience`]
+//! schedule per topology over the sweep executor — [`resilience`]
 //! stresses every mode under sampled fault plans (link flaps,
-//! degradation, stragglers) at escalating severity.
+//! degradation, stragglers) at escalating severity — and
+//! [`scaleout_fabric`] compares the NIC-channel approximation against
+//! the componentized switch fabric (explicit NIC/switch agents,
+//! per-port queues, uplink oversubscription) across hierarchical,
+//! NVSwitch-class and 2-D torus scale-out topologies, including the
+//! Fig. 14-style NVSwitch and torus sweeps.
 //!
 //! The `paper_figures` example runs every driver and writes one CSV per
 //! figure. [`run_all`] fans the figures out across
@@ -46,45 +51,74 @@ pub mod fig16;
 pub mod fig17;
 pub mod policy_search;
 pub mod resilience;
+pub mod scaleout_fabric;
 
+use ccube_sim::NetworkModel;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// A figure entry: output file name plus the driver rendering its CSV.
-type Figure = (&'static str, fn() -> String);
+/// Drivers take the network model the DES-backed figures should run
+/// under; cost-model-only figures ignore it, and the fabric comparison
+/// figures sweep models internally.
+type Figure = (&'static str, fn(NetworkModel) -> String);
 
 /// The full figure table. Each driver runs serially inside one sweep
 /// point; [`run_all`] parallelizes across the table.
 const FIGURES: &[Figure] = &[
-    ("fig01_allreduce_ratio.csv", || fig01::to_csv(&fig01::run())),
-    ("fig03_granularity.csv", || fig03::to_csv(&fig03::run())),
-    ("fig04_ring_vs_tree.csv", || fig04::to_csv(&fig04::run())),
-    ("fig12_comm_overlap.csv", || fig12::to_csv(&fig12::run())),
-    ("fig13_overall.csv", || fig13::to_csv(&fig13::run())),
-    ("fig14_scaleout.csv", || fig14::to_csv(&fig14::run())),
-    ("fig15_detour.csv", || fig15::to_csv(&fig15::run())),
-    ("fig16_patterns.csv", || fig16::to_csv(&fig16::run())),
-    ("fig17_resnet_layers.csv", || fig17::to_csv(&fig17::run(64))),
-    ("ext_topology_study.csv", || {
+    (
+        "fig01_allreduce_ratio.csv",
+        |_| fig01::to_csv(&fig01::run()),
+    ),
+    ("fig03_granularity.csv", |_| fig03::to_csv(&fig03::run())),
+    ("fig04_ring_vs_tree.csv", |_| fig04::to_csv(&fig04::run())),
+    ("fig12_comm_overlap.csv", |net| {
+        fig12::to_csv(&fig12::run_net(net))
+    }),
+    ("fig13_overall.csv", |_| fig13::to_csv(&fig13::run())),
+    ("fig14_scaleout.csv", |net| {
+        fig14::to_csv(&fig14::run_net(net))
+    }),
+    ("fig15_detour.csv", |net| {
+        fig15::to_csv(&fig15::run_with_net(64, net))
+    }),
+    ("fig16_patterns.csv", |_| fig16::to_csv(&fig16::run())),
+    ("fig17_resnet_layers.csv", |_| {
+        fig17::to_csv(&fig17::run(64))
+    }),
+    ("ext_topology_study.csv", |_| {
         extensions::topology_to_csv(&extensions::topology_study())
     }),
-    ("ext_detour_vs_host.csv", || {
+    ("ext_detour_vs_host.csv", |_| {
         extensions::detour_to_csv(&extensions::detour_vs_host())
     }),
-    ("ext_chunk_sensitivity.csv", || {
+    ("ext_chunk_sensitivity.csv", |_| {
         extensions::chunk_to_csv(&extensions::chunk_sensitivity())
     }),
-    ("ext_cosim_validation.csv", || {
+    ("ext_cosim_validation.csv", |_| {
         extensions::cosim_to_csv(&extensions::cosim_validation())
     }),
-    ("ext_overlap_strategies.csv", || {
+    ("ext_overlap_strategies.csv", |_| {
         extensions::strategy_to_csv(&extensions::overlap_strategy_study())
     }),
-    ("ext_policy_search.csv", || {
+    ("ext_policy_search.csv", |_| {
         policy_search::to_csv(&policy_search::run())
     }),
-    ("ext_resilience.csv", || {
-        resilience::to_csv(&resilience::run())
+    ("ext_resilience.csv", |net| {
+        resilience::to_csv(&resilience::run_with_network(
+            resilience::DEFAULT_SEED,
+            1,
+            net,
+        ))
+    }),
+    ("ext_scaleout_fabric.csv", |_| {
+        scaleout_fabric::fabric_to_csv(&scaleout_fabric::fabric_study())
+    }),
+    ("ext_nvswitch_sweep.csv", |_| {
+        scaleout_fabric::sweep_to_csv(&scaleout_fabric::nvswitch_sweep())
+    }),
+    ("ext_torus_sweep.csv", |_| {
+        scaleout_fabric::sweep_to_csv(&scaleout_fabric::torus_sweep())
     }),
 ];
 
@@ -106,8 +140,27 @@ pub fn run_all(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
 ///
 /// Returns any I/O error from creating the directory or writing files.
 pub fn run_all_with(dir: &Path, threads: usize) -> std::io::Result<Vec<PathBuf>> {
+    run_all_with_network(dir, threads, NetworkModel::ChannelApprox)
+}
+
+/// [`run_all_with`] under an explicit network model: the DES-backed
+/// figures (12/14/15 and the resilience study) rerun on that model
+/// (`ccube figures --fabric switch`), while the cost-model figures and
+/// the fabric comparison studies are unaffected. A passthrough switch
+/// fabric reproduces the default CSVs byte-for-byte.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing files.
+pub fn run_all_with_network(
+    dir: &Path,
+    threads: usize,
+    network: NetworkModel,
+) -> std::io::Result<Vec<PathBuf>> {
     std::fs::create_dir_all(dir)?;
-    let outputs = ccube_sim::sweep(FIGURES, threads, |_, &(name, driver)| (name, driver()));
+    let outputs = ccube_sim::sweep(FIGURES, threads, |_, &(name, driver)| {
+        (name, driver(network))
+    });
     let mut paths = Vec::new();
     for (name, csv) in outputs {
         let path = dir.join(name);
@@ -129,7 +182,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("ccube_run_all_test_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let paths = run_all(&dir).unwrap();
-        assert_eq!(paths.len(), 16);
+        assert_eq!(paths.len(), 19);
         for p in &paths {
             let content = std::fs::read_to_string(p).unwrap();
             assert!(content.lines().count() >= 2, "{p:?} has no data rows");

@@ -25,8 +25,8 @@ use ccube_collectives::{
     ring_allreduce, tree_allreduce, Chunking, DoubleBinaryTree, Embedding, Overlap, Schedule,
 };
 use ccube_sim::{
-    simulate_system_faulted, FaultModel, FaultPlan, SimError, SimOptions, SimRng, SystemJob,
-    SystemReport,
+    simulate_system_faulted, FaultModel, FaultPlan, NetworkModel, SimError, SimOptions, SimRng,
+    SystemJob, SystemReport,
 };
 use ccube_topology::{dgx1, hierarchical, ByteSize, Seconds, Topology};
 use std::fmt;
@@ -174,29 +174,41 @@ pub fn run() -> Vec<Row> {
 /// is sampled from the point's forked RNG stream, so the rows are
 /// byte-identical at any worker count and under replay of the seed.
 pub fn run_with(seed: u64, threads: usize) -> Vec<Row> {
-    run_grid(&grid(), seed, threads)
+    run_with_network(seed, threads, NetworkModel::ChannelApprox)
+}
+
+/// [`run_with`] under an explicit network model (`ccube faults --fabric
+/// switch` runs the grid on the componentized switch fabric).
+pub fn run_with_network(seed: u64, threads: usize, network: NetworkModel) -> Vec<Row> {
+    run_grid(&grid(), seed, threads, network)
 }
 
 /// The smallest faulty slice of the grid — severity 1 on both fabrics'
 /// C1 — for CI smoke runs (`ccube faults --smoke`).
 pub fn run_smoke() -> Vec<Row> {
+    run_smoke_network(NetworkModel::ChannelApprox)
+}
+
+/// [`run_smoke`] under an explicit network model.
+pub fn run_smoke_network(network: NetworkModel) -> Vec<Row> {
     let points: Vec<Point> = grid()
         .into_iter()
         .filter(|p| p.severity == 1 && p.mode == "C1")
         .collect();
-    run_grid(&points, DEFAULT_SEED, 1)
+    run_grid(&points, DEFAULT_SEED, 1, network)
 }
 
-fn run_grid(points: &[Point], seed: u64, threads: usize) -> Vec<Row> {
-    ccube_sim::sweep_seeded(points, seed, threads, |_, p, rng| cell(p, &rng))
+fn run_grid(points: &[Point], seed: u64, threads: usize, network: NetworkModel) -> Vec<Row> {
+    ccube_sim::sweep_seeded(points, seed, threads, |_, p, rng| cell(p, &rng, network))
 }
 
 /// Evaluates one grid point: a healthy baseline fixes the fault horizon
 /// and the slowdown denominator, then the sampled plan runs on the same
 /// job. Everything the cell needs is derived point-locally (baseline
 /// included), so points stay independent under work stealing.
-fn cell(p: &Point, rng: &SimRng) -> Row {
+fn cell(p: &Point, rng: &SimRng, network: NetworkModel) -> Row {
     let (topo, job, opts) = workload(p.topology, p.mode);
+    let opts = opts.with_network(network);
     let emb = embed(p.topology, p.mode, &topo, &job.schedule);
     let healthy = simulate_system_faulted(&topo, &job, &emb, &opts, &FaultPlan::empty())
         .expect("healthy run simulates");
@@ -276,6 +288,7 @@ mod tests {
                 .collect::<Vec<_>>(),
             DEFAULT_SEED,
             1,
+            NetworkModel::ChannelApprox,
         );
         assert_eq!(rows.len(), 8);
         for r in &rows {

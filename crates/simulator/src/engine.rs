@@ -11,6 +11,7 @@
 //! pre-kernel implementation.
 
 use crate::error::SimError;
+use crate::fabric::NetworkModel;
 use crate::kernel::Kernel;
 use crate::report::{SimReport, SimStats, TransferTiming};
 use crate::resource::ChannelPool;
@@ -56,6 +57,11 @@ pub struct SimOptions {
     /// path for sweeps and searches that only read timings and
     /// counters. Tracing never affects simulated timings either way.
     pub trace_capacity: usize,
+    /// Which network model the engines run: the NIC-channel
+    /// approximation (default, bit-identical to the historical engines)
+    /// or the explicit switch fabric with NIC/switch agents and per-port
+    /// queues.
+    pub network: NetworkModel,
 }
 
 impl Default for SimOptions {
@@ -65,6 +71,7 @@ impl Default for SimOptions {
             forwarding_latency: Seconds::from_micros(0.5),
             arbitration: Arbitration::FifoHol,
             trace_capacity: SimTrace::DEFAULT_CAPACITY,
+            network: NetworkModel::ChannelApprox,
         }
     }
 }
@@ -93,6 +100,14 @@ impl SimOptions {
     #[must_use]
     pub fn without_trace(mut self) -> Self {
         self.trace_capacity = 0;
+        self
+    }
+
+    /// The same options running `network` instead of the default
+    /// channel approximation.
+    #[must_use]
+    pub fn with_network(mut self, network: NetworkModel) -> Self {
+        self.network = network;
         self
     }
 
@@ -178,6 +193,9 @@ pub fn simulate(
     embedding: &Embedding,
     opts: &SimOptions,
 ) -> Result<SimReport, SimError> {
+    if let NetworkModel::SwitchFabric(spec) = opts.network {
+        return crate::fabric::simulate_fabric(topo, schedule, embedding, opts, &spec);
+    }
     let transfers = schedule.transfers();
     let n = transfers.len();
     let num_channels = topo.channels().len();

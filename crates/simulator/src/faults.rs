@@ -497,6 +497,11 @@ struct Engine<'a> {
     opts: &'a SimOptions,
     plan: &'a FaultPlan,
     specs: Vec<TransferSpec>,
+    /// Channel→port mapping under the switch-fabric network model:
+    /// `specs` keep channel-level paths (fault events and degradation
+    /// windows are declared per channel), while the pool schedules the
+    /// mapped port paths.
+    fabric: Option<crate::fabric::FabricMap>,
     pool: ChannelPool,
     streams: HashMap<GpuId, ComputeStream>,
     kernel: Kernel<Ev>,
@@ -528,6 +533,28 @@ impl Engine<'_> {
 
     fn compute_key(cid: u32) -> u64 {
         NODE_KEYS + ((u64::from(cid) << 1) | 1)
+    }
+
+    /// The pool resources a channel-level path occupies (identity under
+    /// the channel approximation, the port path under the fabric).
+    fn res_path(&self, channels: &[ChannelId]) -> Vec<ChannelId> {
+        match &self.fabric {
+            Some(f) => f.resource_path(channels),
+            None => channels.to_vec(),
+        }
+    }
+
+    /// True if `channel` is currently down in the pool (its endpoint
+    /// ports, under the fabric).
+    fn is_channel_down(&self, channel: ChannelId) -> bool {
+        match &self.fabric {
+            Some(f) => f
+                .graph
+                .ports_for_channel(channel)
+                .iter()
+                .any(|p| self.pool.is_link_down(ChannelId(p.0))),
+            None => self.pool.is_link_down(channel),
+        }
     }
 
     /// Product of the active degradation rates on `channel`.
@@ -624,7 +651,9 @@ impl Engine<'_> {
             .push(TraceRecord::FaultStart { fault: e, at: now });
         match self.plan.events()[e as usize] {
             FaultEvent::LinkDown { channel, .. } => {
-                self.pool.set_link_down(channel);
+                for r in self.res_path(&[channel]) {
+                    self.pool.set_link_down(r);
+                }
                 self.reroute_pass(now);
             }
             FaultEvent::Degraded { channel, .. } => self.rescale_channel(channel, now),
@@ -638,13 +667,15 @@ impl Engine<'_> {
         self.trace.push(TraceRecord::FaultEnd { fault: e, at: now });
         match self.plan.events()[e as usize] {
             FaultEvent::LinkDown { channel, .. } => {
-                self.pool.set_link_up(channel);
-                if !self.pool.is_link_down(channel) {
-                    let mut started = Vec::new();
-                    self.pool
-                        .serve_channel(channel, now, &mut self.trace, &mut started);
-                    for s in started {
-                        self.begin_transfer(s, now);
+                for r in self.res_path(&[channel]) {
+                    self.pool.set_link_up(r);
+                    if !self.pool.is_link_down(r) {
+                        let mut started = Vec::new();
+                        self.pool
+                            .serve_channel(r, now, &mut self.trace, &mut started);
+                        for s in started {
+                            self.begin_transfer(s, now);
+                        }
                     }
                 }
             }
@@ -669,7 +700,7 @@ impl Engine<'_> {
     fn reroute_pass(&mut self, now: Seconds) {
         let mut router = Router::new(self.topo);
         for ch in self.topo.channels() {
-            if self.pool.is_link_down(ch.id()) {
+            if self.is_channel_down(ch.id()) {
                 router.block_channel(ch.id());
             }
         }
@@ -679,10 +710,7 @@ impl Engine<'_> {
             if self.pool.is_done(tid) || self.pool.is_running(tid) {
                 continue;
             }
-            let crosses = self.specs[t]
-                .path
-                .iter()
-                .any(|&c| self.pool.is_link_down(c));
+            let crosses = self.specs[t].path.iter().any(|&c| self.is_channel_down(c));
             if !crosses {
                 continue;
             }
@@ -714,8 +742,17 @@ impl Engine<'_> {
             );
             self.specs[t].path = route.channels().to_vec();
             self.specs[t].via = route.via();
-            self.specs[t].duration = alpha + serialization;
-            self.pool.reroute(tid, self.specs[t].path.clone());
+            self.specs[t].duration = match &self.fabric {
+                Some(f) => f.duration(
+                    &self.specs[t].path,
+                    transfers[t].bytes,
+                    route.is_detour(),
+                    &self.opts.link_timing(),
+                ),
+                None => alpha + serialization,
+            };
+            let res_path = self.res_path(&self.specs[t].path);
+            self.pool.reroute(tid, res_path);
             self.reroutes_taken += 1;
             self.trace.push(TraceRecord::Reroute {
                 id: self.specs[t].id,
@@ -793,11 +830,7 @@ impl Engine<'_> {
             if self.pool.is_done(tid) {
                 continue;
             }
-            if self.specs[t]
-                .path
-                .iter()
-                .any(|&c| self.pool.is_link_down(c))
-            {
+            if self.specs[t].path.iter().any(|&c| self.is_channel_down(c)) {
                 return SimError::Unroutable {
                     src: self.embedding.gpu_of(transfers[t].src),
                     dst: self.embedding.gpu_of(transfers[t].dst),
@@ -855,7 +888,25 @@ pub fn simulate_system_faulted(
     let num_channels = topo.channels().len();
     let node_count = nt + nc;
 
-    let specs = lower_schedule(&job.schedule, embedding, topo, &opts.link_timing())?;
+    let mut specs = lower_schedule(&job.schedule, embedding, topo, &opts.link_timing())?;
+
+    // Under the switch-fabric model the pool schedules port paths and
+    // durations follow the fabric; specs keep their channel-level paths
+    // (fault events are declared per channel).
+    let fabric = crate::fabric::FabricMap::for_options(topo, opts);
+    let res_paths: Vec<Vec<ChannelId>> = match &fabric {
+        Some(f) => {
+            let timing = opts.link_timing();
+            specs
+                .iter_mut()
+                .map(|s| {
+                    s.duration = f.duration(&s.path, s.bytes, s.via.is_some(), &timing);
+                    f.resource_path(&s.path)
+                })
+                .collect()
+        }
+        None => specs.iter().map(|s| s.path.clone()).collect(),
+    };
 
     // Dependency bookkeeping, identical to simulate_system.
     let mut deps_remaining = vec![0u32; node_count];
@@ -880,10 +931,11 @@ pub fn simulate_system_faulted(
         }
     }
 
-    let mut pool = ChannelPool::new(num_channels, opts.arbitration);
+    let num_resources = fabric.as_ref().map_or(num_channels, |f| f.num_ports());
+    let mut pool = ChannelPool::new(num_resources, opts.arbitration);
     pool.reserve_tasks(nt);
-    for s in &specs {
-        pool.add_task(s.path.clone(), (s.chunk.0, s.id.0));
+    for (s, path) in specs.iter().zip(res_paths) {
+        pool.add_task(path, (s.chunk.0, s.id.0));
     }
     let mut streams: HashMap<GpuId, ComputeStream> = HashMap::new();
     for c in &job.compute {
@@ -897,9 +949,10 @@ pub fn simulate_system_faulted(
         opts,
         plan,
         specs,
+        fabric,
         pool,
         streams,
-        kernel: Kernel::with_capacity(node_count.min(num_channels + nc) + 2 * plan.len()),
+        kernel: Kernel::with_capacity(node_count.min(num_resources + nc) + 2 * plan.len()),
         trace: opts.make_trace(),
         nt,
         generation: vec![0; node_count],
@@ -1112,17 +1165,33 @@ pub fn simulate_system_faulted(
         .map(|s| s.max_waiting())
         .max()
         .unwrap_or(0);
+    // Per-port quantities fold back to channels under the fabric model;
+    // the raw per-port busy vector stays visible in the stats.
+    let (channel_busy, queue_wait, port_busy) = match &eng.fabric {
+        Some(f) => (
+            f.channel_values(eng.pool.busy(), num_channels),
+            f.channel_values(eng.pool.queue_wait(), num_channels),
+            eng.pool.busy().to_vec(),
+        ),
+        None => (
+            eng.pool.busy().to_vec(),
+            eng.pool.queue_wait().to_vec(),
+            Vec::new(),
+        ),
+    };
     let stats = SimStats {
         events_scheduled: kstats.events_scheduled,
         events_processed: kstats.events_processed,
         max_event_queue_depth: kstats.max_queue_depth,
         max_channel_queue_depth: eng.pool.max_waiting().max(max_stream_waiting),
-        queue_wait: eng.pool.queue_wait().to_vec(),
+        queue_wait,
         force_starts: eng.pool.force_starts(),
         faults_injected: eng.faults_injected,
         reroutes_taken: eng.reroutes_taken,
         time_degraded,
         channel_downtime,
+        port_busy,
+        ..SimStats::default()
     };
 
     Ok(SystemReport {
@@ -1130,7 +1199,7 @@ pub fn simulate_system_faulted(
         compute_complete,
         makespan,
         gpu_busy,
-        channel_busy: eng.pool.busy().to_vec(),
+        channel_busy,
         trace: eng.trace,
         stats,
     })

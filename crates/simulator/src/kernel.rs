@@ -263,7 +263,7 @@ pub struct Ctx<'a, E> {
     now: Seconds,
     self_id: ComponentId,
     rng: &'a mut SimRng,
-    emitted: &'a mut Vec<(Seconds, ComponentId, E)>,
+    emitted: &'a mut Vec<(Seconds, ComponentId, Option<u64>, E)>,
 }
 
 impl<E> Ctx<'_, E> {
@@ -284,7 +284,16 @@ impl<E> Ctx<'_, E> {
 
     /// Emits `event` to `dst` after `delay`.
     pub fn emit(&mut self, dst: ComponentId, delay: Seconds, event: E) {
-        self.emitted.push((self.now + delay, dst, event));
+        self.emitted.push((self.now + delay, dst, None, event));
+    }
+
+    /// Emits `event` to `dst` after `delay` with an explicit tie-break
+    /// `key` overriding the default destination-id key. Engines that
+    /// must reproduce a domain-specific pop order (e.g. transfer-id
+    /// tie-breaks) use this to keep equal-time deliveries deterministic
+    /// in that domain order rather than component-registration order.
+    pub fn emit_keyed(&mut self, dst: ComponentId, delay: Seconds, key: u64, event: E) {
+        self.emitted.push((self.now + delay, dst, Some(key), event));
     }
 
     /// Emits `event` to the component itself after `delay`.
@@ -330,7 +339,7 @@ pub trait Component<E> {
 pub struct Simulation<E> {
     kernel: Kernel<(ComponentId, E)>,
     components: Vec<Box<dyn Component<E>>>,
-    emitted: Vec<(Seconds, ComponentId, E)>,
+    emitted: Vec<(Seconds, ComponentId, Option<u64>, E)>,
 }
 
 impl<E> Simulation<E> {
@@ -363,6 +372,20 @@ impl<E> Simulation<E> {
         self.kernel.schedule(time, u64::from(dst.0), (dst, event));
     }
 
+    /// Schedules `event` for `dst` at absolute `time` with an explicit
+    /// tie-break `key` (see [`Ctx::emit_keyed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is not a registered component.
+    pub fn emit_keyed(&mut self, time: Seconds, dst: ComponentId, key: u64, event: E) {
+        assert!(
+            dst.index() < self.components.len(),
+            "unknown component {dst:?}"
+        );
+        self.kernel.schedule(time, key, (dst, event));
+    }
+
     /// Delivers the next event; returns false when the queue is empty.
     pub fn step(&mut self) -> bool {
         let Some((now, (dst, event))) = self.kernel.pop() else {
@@ -375,12 +398,13 @@ impl<E> Simulation<E> {
             emitted: &mut self.emitted,
         };
         self.components[dst.index()].on_event(event, &mut ctx);
-        for (time, to, ev) in self.emitted.drain(..) {
+        for (time, to, key, ev) in self.emitted.drain(..) {
             assert!(
                 to.index() < self.components.len(),
                 "unknown component {to:?}"
             );
-            self.kernel.schedule(time, u64::from(to.0), (to, ev));
+            let key = key.unwrap_or(u64::from(to.0));
+            self.kernel.schedule(time, key, (to, ev));
         }
         true
     }

@@ -43,6 +43,7 @@
 
 mod engine;
 mod error;
+pub mod fabric;
 pub mod faults;
 pub mod kernel;
 mod report;
@@ -54,6 +55,7 @@ pub mod trace;
 
 pub use engine::{simulate, Arbitration, SimOptions};
 pub use error::SimError;
+pub use fabric::{FabricSpec, HopMode, NetworkModel};
 pub use faults::{
     forever, simulate_faulted, simulate_system_faulted, FaultDriver, FaultEvent, FaultModel,
     FaultPlan, FaultSignal,
@@ -67,9 +69,16 @@ pub use system::{
     SystemReport,
 };
 pub use timeline::{render_channel_timeline, render_timeline, TimelineOptions};
-pub use trace::{utilization_bins, BusyInterval, SimTrace, TraceRecord};
+pub use trace::{diff_csv, utilization_bins, BusyInterval, SimTrace, TraceDiff, TraceRecord};
 
 /// Convenient re-exports of the most commonly used items.
+///
+/// [`NetworkModel`] is deliberately absent: `ccube_dnn::prelude`
+/// exports a type of the same name (the DNN being trained), and the
+/// umbrella crate glob-imports both preludes. Name it explicitly as
+/// `ccube_sim::NetworkModel`.
 pub mod prelude {
-    pub use crate::{simulate, Arbitration, SimError, SimOptions, SimReport, SimStats};
+    pub use crate::{
+        simulate, Arbitration, FabricSpec, HopMode, SimError, SimOptions, SimReport, SimStats,
+    };
 }

@@ -45,6 +45,14 @@ pub struct SimStats {
     /// Downtime per channel (indexed by channel id), clipped to the
     /// run's makespan. Empty when no fault plan was injected.
     pub channel_downtime: Vec<Seconds>,
+    /// Busy time of every fabric port (indexed by port id), including
+    /// uplink ports that have no channel counterpart. Populated only by
+    /// the `SwitchFabric` network model; empty under `ChannelApprox`.
+    pub port_busy: Vec<Seconds>,
+    /// Per-switch high-water mark of the waiter-queue depth across the
+    /// switch's ports — the congestion signal for policy search.
+    /// Populated only by the `SwitchFabric` network model.
+    pub switch_queue_depth: Vec<usize>,
 }
 
 impl SimStats {

@@ -428,6 +428,16 @@ impl ChannelPool {
         self.max_waiting
     }
 
+    /// Current length of `channel`'s waiter queue — the congestion
+    /// signal the fabric engine samples into per-switch queue depths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn waiting_on(&self, channel: ChannelId) -> usize {
+        self.waiters[channel.index()].len()
+    }
+
     /// Number of force-starts used to break reservation stalls.
     pub fn force_starts(&self) -> u64 {
         self.force_starts

@@ -27,7 +27,7 @@ use crate::report::SimStats;
 use crate::resource::{ChannelPool, ComputeStream};
 use crate::trace::{SimTrace, TraceRecord};
 use ccube_collectives::{lower_schedule, Embedding, Schedule, TransferId, TransferSpec};
-use ccube_topology::{GpuId, Seconds, Topology};
+use ccube_topology::{ChannelId, GpuId, Seconds, Topology};
 use std::collections::HashMap;
 
 /// Identifier of a compute task within a [`SystemJob`].
@@ -238,7 +238,25 @@ pub fn simulate_system_with_slowdowns(
         );
     }
 
-    let specs = lower_schedule(&job.schedule, embedding, topo, &opts.link_timing())?;
+    let mut specs = lower_schedule(&job.schedule, embedding, topo, &opts.link_timing())?;
+
+    // Under the switch-fabric model transfers occupy port paths (with
+    // any uplink hops) instead of channels, and durations follow the
+    // fabric's port bandwidths/latencies.
+    let fabric = crate::fabric::FabricMap::for_options(topo, opts);
+    let res_paths: Vec<Vec<ChannelId>> = match &fabric {
+        Some(f) => {
+            let timing = opts.link_timing();
+            specs
+                .iter_mut()
+                .map(|s| {
+                    s.duration = f.duration(&s.path, s.bytes, s.via.is_some(), &timing);
+                    f.resource_path(&s.path)
+                })
+                .collect()
+        }
+        None => specs.iter().map(|s| s.path.clone()).collect(),
+    };
 
     // Unified dependency counts and reverse edges over both node kinds.
     let node_count = nt + nc;
@@ -271,10 +289,11 @@ pub fn simulate_system_with_slowdowns(
         }
     }
 
-    let mut pool = ChannelPool::new(num_channels, opts.arbitration);
+    let num_resources = fabric.as_ref().map_or(num_channels, |f| f.num_ports());
+    let mut pool = ChannelPool::new(num_resources, opts.arbitration);
     pool.reserve_tasks(nt);
-    for s in &specs {
-        pool.add_task(s.path.clone(), (s.chunk.0, s.id.0));
+    for (s, path) in specs.iter().zip(res_paths) {
+        pool.add_task(path, (s.chunk.0, s.id.0));
     }
     let mut streams: HashMap<GpuId, ComputeStream> = HashMap::new();
     for c in &job.compute {
@@ -285,7 +304,7 @@ pub fn simulate_system_with_slowdowns(
 
     // Exclusive channels plus one running compute kernel per stream
     // bound the number of in-flight completion events.
-    let in_flight = (num_channels + streams.len()).min(node_count);
+    let in_flight = (num_resources + streams.len()).min(node_count);
     let mut st = SystemState {
         specs: &specs,
         compute: &job.compute,
@@ -406,13 +425,28 @@ pub fn simulate_system_with_slowdowns(
         .map(|s| s.max_waiting())
         .max()
         .unwrap_or(0);
+    // Per-port quantities fold back to channels under the fabric model;
+    // the raw per-port busy vector stays visible in the stats.
+    let (channel_busy, queue_wait, port_busy) = match &fabric {
+        Some(f) => (
+            f.channel_values(st.pool.busy(), num_channels),
+            f.channel_values(st.pool.queue_wait(), num_channels),
+            st.pool.busy().to_vec(),
+        ),
+        None => (
+            st.pool.busy().to_vec(),
+            st.pool.queue_wait().to_vec(),
+            Vec::new(),
+        ),
+    };
     let stats = SimStats {
         events_scheduled: kstats.events_scheduled,
         events_processed: kstats.events_processed,
         max_event_queue_depth: kstats.max_queue_depth,
         max_channel_queue_depth: st.pool.max_waiting().max(max_stream_waiting),
-        queue_wait: st.pool.queue_wait().to_vec(),
+        queue_wait,
         force_starts: st.pool.force_starts(),
+        port_busy,
         ..SimStats::default()
     };
 
@@ -421,7 +455,7 @@ pub fn simulate_system_with_slowdowns(
         compute_complete,
         makespan,
         gpu_busy,
-        channel_busy: st.pool.busy().to_vec(),
+        channel_busy,
         trace: st.trace,
         stats,
     })

@@ -15,7 +15,7 @@
 use ccube_collectives::TransferId;
 use ccube_topology::{ChannelId, GpuId, Seconds};
 use std::collections::VecDeque;
-use std::fmt::Write as _;
+use std::fmt::{self, Write as _};
 
 /// One closed span during which a resource was occupied.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -326,12 +326,55 @@ impl SimTrace {
     /// events. A fault still active at the end of the trace (a
     /// permanent link-down) is closed at the last recorded timestamp.
     /// Timestamps are microseconds, as the format requires.
+    ///
+    /// Every lane also gets a `thread_name` metadata row (channels as
+    /// `ch <n>`), so Perfetto shows names instead of bare tids. Traces
+    /// from the switch-fabric engines grant *ports*, not channels — use
+    /// [`to_chrome_json_labeled`](Self::to_chrome_json_labeled) to
+    /// label the lanes accordingly.
     pub fn to_chrome_json(&self) -> String {
+        self.to_chrome_json_labeled("ch")
+    }
+
+    /// [`to_chrome_json`](Self::to_chrome_json) with the pid-0 lanes
+    /// labeled `<lane> <n>` — pass `"port"` for traces recorded by the
+    /// switch-fabric engines, whose grant records carry port indices.
+    pub fn to_chrome_json_labeled(&self, lane: &str) -> String {
         use std::collections::BTreeMap;
+        use std::collections::BTreeSet;
         let mut events: Vec<String> = Vec::with_capacity(self.records.len() + 4);
         for (pid, name) in [(0, "channels"), (1, "compute"), (2, "faults")] {
             events.push(format!(
                 "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            ));
+        }
+        // One thread_name metadata row per lane actually used, so
+        // Perfetto labels channels/ports, GPUs and faults readably.
+        let mut lanes: BTreeSet<(u32, u32, String)> = BTreeSet::new();
+        for r in &self.records {
+            match *r {
+                TraceRecord::ChannelGrant { channel, .. } => {
+                    lanes.insert((0, channel.0, format!("{lane} {}", channel.0)));
+                }
+                TraceRecord::QueueWait { .. } | TraceRecord::Reroute { .. } => {
+                    lanes.insert((0, 0, format!("{lane} 0")));
+                }
+                TraceRecord::ComputeStart { gpu, .. } | TraceRecord::ComputeEnd { gpu, .. } => {
+                    lanes.insert((1, gpu.0, format!("gpu {}", gpu.0)));
+                }
+                TraceRecord::DetourHop { via, .. } => {
+                    lanes.insert((1, via.0, format!("gpu {}", via.0)));
+                }
+                TraceRecord::FaultStart { fault, .. } | TraceRecord::FaultEnd { fault, .. } => {
+                    lanes.insert((2, fault, format!("fault {fault}")));
+                }
+                TraceRecord::TransferStart { .. } | TraceRecord::TransferEnd { .. } => {}
+            }
+        }
+        for (pid, tid, name) in lanes {
+            events.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
                  \"args\":{{\"name\":\"{name}\"}}}}"
             ));
         }
@@ -435,6 +478,137 @@ pub fn utilization_bins(intervals: &[BusyInterval], horizon: Seconds, bins: usiz
         *slot = (busy / width.as_secs_f64()).min(1.0);
     }
     out
+}
+
+/// The structural difference between two trace CSVs (the
+/// [`SimTrace::to_csv`] format), as computed by [`diff_csv`]. Built for
+/// answering "where did these two runs diverge?" — e.g. a channel-approx
+/// run against a switch-fabric run, or two fault replays.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceDiff {
+    /// First data line (1-based, header excluded) where the two traces
+    /// differ, with both lines (`None` marks one trace ending early).
+    pub first_divergence: Option<(usize, Option<String>, Option<String>)>,
+    /// Per-record-kind counts `(left, right)`, for every kind present in
+    /// either trace.
+    pub kind_counts: std::collections::BTreeMap<String, (usize, usize)>,
+    /// Number of data lines in the left / right trace.
+    pub lines: (usize, usize),
+    /// Per-transfer busy drift: summed `|duration_left − duration_right|`
+    /// over transfers present in both traces (start→end intervals).
+    pub busy_drift: Seconds,
+    /// Largest single-transfer busy drift.
+    pub max_busy_drift: Seconds,
+    /// Difference between the last record timestamps (right − left).
+    pub horizon_delta: Seconds,
+}
+
+impl TraceDiff {
+    /// True if the traces are line-for-line identical.
+    pub fn is_identical(&self) -> bool {
+        self.first_divergence.is_none() && self.lines.0 == self.lines.1
+    }
+}
+
+impl fmt::Display for TraceDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_identical() {
+            return writeln!(f, "traces identical ({} records)", self.lines.0);
+        }
+        match &self.first_divergence {
+            Some((line, a, b)) => {
+                writeln!(f, "first divergence at record {line}:")?;
+                writeln!(f, "  left:  {}", a.as_deref().unwrap_or("<end of trace>"))?;
+                writeln!(f, "  right: {}", b.as_deref().unwrap_or("<end of trace>"))?;
+            }
+            None => writeln!(
+                f,
+                "no divergent record, but lengths differ: {} vs {}",
+                self.lines.0, self.lines.1
+            )?,
+        }
+        writeln!(f, "records: {} vs {}", self.lines.0, self.lines.1)?;
+        for (kind, (l, r)) in &self.kind_counts {
+            if l != r {
+                writeln!(f, "  {kind}: {l} vs {r} ({:+})", *r as i64 - *l as i64)?;
+            }
+        }
+        writeln!(
+            f,
+            "busy drift: {} total, {} max per transfer",
+            self.busy_drift, self.max_busy_drift
+        )?;
+        write!(f, "horizon delta: {}", self.horizon_delta)
+    }
+}
+
+/// Record kind, transfer id, and timestamp of one CSV data line.
+fn parse_line(line: &str) -> Option<(&str, Option<u64>, Option<f64>)> {
+    let mut cols = line.split(',');
+    let kind = cols.next()?;
+    let id = cols.next().and_then(|c| c.parse().ok());
+    let at = cols.nth(1).and_then(|c| c.parse().ok());
+    Some((kind, id, at))
+}
+
+/// Compares two trace CSVs (as produced by [`SimTrace::to_csv`]):
+/// first divergent record, per-kind record-count deltas, per-transfer
+/// busy drift (transfer start→end), and horizon shift. Tolerant of
+/// unknown kinds — anything with the `kind,id,_,t_us,…` shape counts.
+pub fn diff_csv(left: &str, right: &str) -> TraceDiff {
+    let data = |s: &str| -> Vec<String> {
+        s.lines()
+            .skip(1)
+            .filter(|l| !l.trim().is_empty())
+            .map(str::to_string)
+            .collect()
+    };
+    let (l, r) = (data(left), data(right));
+    let mut diff = TraceDiff {
+        lines: (l.len(), r.len()),
+        ..TraceDiff::default()
+    };
+    for i in 0..l.len().max(r.len()) {
+        let (a, b) = (l.get(i), r.get(i));
+        if a != b {
+            diff.first_divergence = Some((i + 1, a.cloned(), b.cloned()));
+            break;
+        }
+    }
+    let mut spans: [std::collections::BTreeMap<u64, (f64, f64)>; 2] = Default::default();
+    let mut horizon = [0.0f64; 2];
+    for (side, trace) in [&l, &r].into_iter().enumerate() {
+        for line in trace {
+            let Some((kind, id, at)) = parse_line(line) else {
+                continue;
+            };
+            let (a, b) = diff.kind_counts.entry(kind.to_string()).or_default();
+            *if side == 0 { a } else { b } += 1;
+            let Some(at) = at else { continue };
+            horizon[side] = horizon[side].max(at);
+            if let Some(id) = id {
+                match kind {
+                    "transfer_start" => {
+                        spans[side].entry(id).or_insert((0.0, 0.0)).0 = at;
+                    }
+                    "transfer_end" => {
+                        spans[side].entry(id).or_insert((0.0, 0.0)).1 = at;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    let (left_spans, right_spans) = (std::mem::take(&mut spans[0]), std::mem::take(&mut spans[1]));
+    for (id, (s0, e0)) in &left_spans {
+        if let Some((s1, e1)) = right_spans.get(id) {
+            let d = ((e1 - s1) - (e0 - s0)).abs();
+            diff.busy_drift += Seconds::from_micros(d);
+            diff.max_busy_drift = diff.max_busy_drift.max(Seconds::from_micros(d));
+        }
+    }
+    diff.horizon_delta = Seconds::from_micros(horizon[1] - horizon[0]);
+    diff
 }
 
 #[cfg(test)]

@@ -50,6 +50,7 @@
 mod channel;
 mod dgx1;
 mod error;
+mod fabric;
 mod graph;
 mod hierarchical;
 mod rings;
@@ -60,6 +61,7 @@ mod units;
 pub use channel::{Channel, ChannelClass, ChannelId};
 pub use dgx1::{dgx1, dgx1_with, Dgx1Config, DGX1_NUM_GPUS};
 pub use error::TopologyError;
+pub use fabric::{FabricConfig, FabricGraph, FabricPort, FabricSwitch, PortId, PortKind, SwitchId};
 pub use graph::{GpuId, Topology, TopologyBuilder};
 pub use hierarchical::{
     ejection_channel, hierarchical, hierarchical_with, injection_channel, nic_path, nvswitch,
@@ -74,6 +76,7 @@ pub use units::{Bandwidth, ByteSize, Seconds};
 pub mod prelude {
     pub use crate::{
         dgx1, disjoint_rings, hierarchical, nvswitch, torus2d, Bandwidth, ByteSize, Channel,
-        ChannelClass, ChannelId, GpuId, Route, Router, Seconds, Topology, TopologyBuilder,
+        ChannelClass, ChannelId, FabricConfig, FabricGraph, GpuId, PortId, Route, Router, Seconds,
+        SwitchId, Topology, TopologyBuilder,
     };
 }

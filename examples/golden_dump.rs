@@ -6,7 +6,7 @@
 //! cargo run --release --example golden_dump
 //! ```
 
-use ccube::experiments::{fig12, fig14, fig15, resilience};
+use ccube::experiments::{fig12, fig14, fig15, resilience, scaleout_fabric};
 use ccube_topology::ByteSize;
 use std::fmt::Write as _;
 
@@ -66,6 +66,26 @@ fn main() {
     std::fs::write(
         "tests/data/ext_resilience_golden.csv",
         resilience::to_csv(&resilience::run()),
+    )
+    .unwrap();
+
+    // The switch-fabric fixtures are rendered CSVs too: byte-for-byte
+    // reproducible (pure drivers, sweep contract), and the passthrough
+    // rows double as an end-to-end record of the fabric ≡ approximation
+    // equivalence contract.
+    std::fs::write(
+        "tests/data/ext_scaleout_fabric_golden.csv",
+        scaleout_fabric::fabric_to_csv(&scaleout_fabric::fabric_study()),
+    )
+    .unwrap();
+    std::fs::write(
+        "tests/data/ext_nvswitch_sweep_golden.csv",
+        scaleout_fabric::sweep_to_csv(&scaleout_fabric::nvswitch_sweep()),
+    )
+    .unwrap();
+    std::fs::write(
+        "tests/data/ext_torus_sweep_golden.csv",
+        scaleout_fabric::sweep_to_csv(&scaleout_fabric::torus_sweep()),
     )
     .unwrap();
     println!("golden fixtures written to tests/data/");

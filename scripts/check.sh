@@ -22,8 +22,17 @@ cargo test -q --workspace
 echo "==> fault-injection property tests"
 cargo test -q -p ccube-sim --test faults
 
+echo "==> network-model equivalence suite (fabric passthrough == approx)"
+cargo test -q -p ccube-sim --test fabric_equivalence
+
+echo "==> static schedule analyzer (ccube lint)"
+cargo run -q --release -p ccube --bin ccube -- lint all > /dev/null
+
 echo "==> resilience smoke run (ccube faults --smoke)"
 cargo run -q --release -p ccube --bin ccube -- faults --smoke
+
+echo "==> resilience smoke run on the switch fabric (--fabric switch)"
+cargo run -q --release -p ccube --bin ccube -- faults --smoke --fabric switch
 
 echo "==> cargo bench --no-run (benches stay buildable)"
 cargo bench --workspace --no-run

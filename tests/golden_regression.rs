@@ -8,7 +8,7 @@
 //! with `cargo run --release --example golden_dump` only after an
 //! *intentional* model change.
 
-use ccube::experiments::{fig12, fig14, fig15, resilience};
+use ccube::experiments::{fig12, fig14, fig15, resilience, scaleout_fabric};
 use ccube_topology::ByteSize;
 
 const REL_TOL: f64 = 1e-9;
@@ -52,6 +52,45 @@ fn ext_resilience_csv_matches_golden_byte_for_byte() {
     assert_eq!(
         actual, golden,
         "ext_resilience.csv drifted from the golden fixture"
+    );
+}
+
+/// Loads a rendered-CSV fixture from `tests/data/`.
+fn load_csv_fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/data")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing fixture {name}: {e}"))
+}
+
+#[test]
+fn ext_scaleout_fabric_csv_matches_golden_byte_for_byte() {
+    // Like the resilience fixture, these rows carry string columns, so
+    // the comparison is on the rendered CSV. The passthrough `switch`
+    // rows must stay byte-identical to the `approx` rows — this fixture
+    // is the end-to-end record of the fabric ≡ approximation contract.
+    assert_eq!(
+        scaleout_fabric::fabric_to_csv(&scaleout_fabric::fabric_study()),
+        load_csv_fixture("ext_scaleout_fabric_golden.csv"),
+        "ext_scaleout_fabric.csv drifted from the golden fixture"
+    );
+}
+
+#[test]
+fn ext_nvswitch_sweep_csv_matches_golden_byte_for_byte() {
+    assert_eq!(
+        scaleout_fabric::sweep_to_csv(&scaleout_fabric::nvswitch_sweep()),
+        load_csv_fixture("ext_nvswitch_sweep_golden.csv"),
+        "ext_nvswitch_sweep.csv drifted from the golden fixture"
+    );
+}
+
+#[test]
+fn ext_torus_sweep_csv_matches_golden_byte_for_byte() {
+    assert_eq!(
+        scaleout_fabric::sweep_to_csv(&scaleout_fabric::torus_sweep()),
+        load_csv_fixture("ext_torus_sweep_golden.csv"),
+        "ext_torus_sweep.csv drifted from the golden fixture"
     );
 }
 

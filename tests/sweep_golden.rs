@@ -29,7 +29,7 @@ fn run_all_is_byte_identical_across_worker_counts() {
     for threads in [1usize, 2, 8] {
         let dir = base.join(format!("t{threads}"));
         let paths = experiments::run_all_with(&dir, threads).unwrap();
-        assert_eq!(paths.len(), 16);
+        assert_eq!(paths.len(), 19);
         let contents = dir_contents(&dir);
         match &reference {
             None => reference = Some(contents),
