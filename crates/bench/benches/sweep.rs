@@ -15,7 +15,44 @@ use ccube::experiments::fig14;
 use ccube_collectives::{ring_allreduce, Embedding};
 use ccube_sim::{simulate, FabricSpec, SimOptions};
 use ccube_topology::{hierarchical, ByteSize, Seconds};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// [`System`] with a call counter: the per-point allocation figures in
+/// the `prep_cache` block come from deltas of [`ALLOCS`]. Bench binary
+/// only — the library crates stay `forbid(unsafe_code)`.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Heap allocations performed by one serial pass over the fig14 grid.
+fn grid_allocs(ps: &[usize], ns: &[ByteSize]) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    std::hint::black_box(fig14::run_with_threads(ps, ns, 1));
+    ALLOCS.load(Ordering::Relaxed) - before
+}
 
 /// Median wall-clock seconds of `reps` runs of `f`.
 fn median_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -74,6 +111,37 @@ fn main() {
             json_f(speedup)
         ));
     }
+
+    // --- Preparation cache: cold vs warm over the same grid. ----------
+    // Cold disables the cache (every point re-lowers and re-gates, the
+    // pre-PR behaviour); warm runs with the cache primed. One counted
+    // pass each also records heap allocations per point.
+    ccube_sim::set_prep_cache_enabled(false);
+    let t_prep_cold = median_secs(reps, || {
+        assert_eq!(fig14::run_with_threads(&ps, &ns, 1).len(), points);
+    });
+    let cold_allocs = grid_allocs(&ps, &ns) / points as u64;
+    ccube_sim::set_prep_cache_enabled(true);
+    ccube_sim::reset_prep_cache();
+    let warm_rows = fig14::run_with_threads(&ps, &ns, 1); // prime
+    assert_eq!(warm_rows, serial_rows, "prep cache changed sweep results");
+    let misses = ccube_sim::prep_cache_stats().misses;
+    let t_prep_warm = median_secs(reps, || {
+        assert_eq!(fig14::run_with_threads(&ps, &ns, 1).len(), points);
+    });
+    let warm_allocs = grid_allocs(&ps, &ns) / points as u64;
+    let hits = ccube_sim::prep_cache_stats().hits;
+    println!(
+        "prep fig14 grid  {points} points  cache off  {:>8.1} ms  {:>8.1} points/s  {cold_allocs} allocs/pt",
+        t_prep_cold * 1e3,
+        points as f64 / t_prep_cold
+    );
+    println!(
+        "prep fig14 grid  {points} points  cache warm {:>8.1} ms  {:>8.1} points/s  {warm_allocs} allocs/pt  x{:.2}",
+        t_prep_warm * 1e3,
+        points as f64 / t_prep_warm,
+        t_prep_cold / t_prep_warm
+    );
 
     // --- Kernel rate: one large scale-out run, trace on vs off. -------
     let p = 64;
@@ -147,7 +215,7 @@ fn main() {
     // self-documenting: speedups are meaningless without the
     // parallelism the run actually had available.
     let json = format!(
-        "{{\n  \"host\": {{\n    \"available_parallelism\": {},\n    \"sweep_workers\": {},\n    \"threads_benchmarked\": [1,2,4,8]\n  }},\n  \"sweep\": {{\n    \"grid\": \"fig14 {}x{}\",\n    \"points\": {},\n    \"serial_secs\": {},\n    \"serial_points_per_sec\": {},\n    \"parallel\": [{}]\n  }},\n  \"kernel\": {{\n    \"workload\": \"hier64 ring 16MiB\",\n    \"events\": {},\n    \"trace_on_secs\": {},\n    \"trace_on_events_per_sec\": {},\n    \"trace_off_secs\": {},\n    \"trace_off_events_per_sec\": {},\n    \"speedup_trace_off\": {}\n  }},\n  \"fabric\": {{\n    \"workload\": \"hier64 ring 16MiB\",\n    \"passthrough_events\": {},\n    \"passthrough_secs\": {},\n    \"passthrough_events_per_sec\": {},\n    \"split_spec\": \"radix 8, oversubscription 2.0, uplink 1us\",\n    \"split_events\": {},\n    \"split_secs\": {},\n    \"split_events_per_sec\": {}\n  }}\n}}\n",
+        "{{\n  \"host\": {{\n    \"available_parallelism\": {},\n    \"sweep_workers\": {},\n    \"threads_benchmarked\": [1,2,4,8]\n  }},\n  \"sweep\": {{\n    \"grid\": \"fig14 {}x{}\",\n    \"points\": {},\n    \"serial_secs\": {},\n    \"serial_points_per_sec\": {},\n    \"parallel\": [{}]\n  }},\n  \"prep_cache\": {{\n    \"grid\": \"fig14 serial\",\n    \"cold_secs\": {},\n    \"cold_points_per_sec\": {},\n    \"cold_allocs_per_point\": {},\n    \"warm_secs\": {},\n    \"warm_points_per_sec\": {},\n    \"warm_allocs_per_point\": {},\n    \"speedup_warm_vs_cold\": {},\n    \"misses_first_pass\": {},\n    \"hits_after_priming\": {}\n  }},\n  \"kernel\": {{\n    \"workload\": \"hier64 ring 16MiB\",\n    \"events\": {},\n    \"trace_on_secs\": {},\n    \"trace_on_events_per_sec\": {},\n    \"trace_off_secs\": {},\n    \"trace_off_events_per_sec\": {},\n    \"speedup_trace_off\": {}\n  }},\n  \"fabric\": {{\n    \"workload\": \"hier64 ring 16MiB\",\n    \"passthrough_events\": {},\n    \"passthrough_secs\": {},\n    \"passthrough_events_per_sec\": {},\n    \"split_spec\": \"radix 8, oversubscription 2.0, uplink 1us\",\n    \"split_events\": {},\n    \"split_secs\": {},\n    \"split_events_per_sec\": {}\n  }}\n}}\n",
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         ccube_sim::available_threads(),
         ps.len(),
@@ -156,6 +224,15 @@ fn main() {
         json_f(t_serial),
         json_f(points as f64 / t_serial),
         parallel_json.join(","),
+        json_f(t_prep_cold),
+        json_f(points as f64 / t_prep_cold),
+        cold_allocs,
+        json_f(t_prep_warm),
+        json_f(points as f64 / t_prep_warm),
+        warm_allocs,
+        json_f(t_prep_cold / t_prep_warm),
+        misses,
+        hits,
         events,
         json_f(t_on),
         json_f(events as f64 / t_on),

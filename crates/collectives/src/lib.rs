@@ -66,7 +66,9 @@ pub mod verify;
 pub use analyze::{AnalyzeOptions, Diagnostic, LintCode, LintReport, Severity, Span};
 pub use chunk::{ChunkId, Chunking};
 pub use embedding::{EdgeKey, Embedding, EmbeddingError};
-pub use lowering::{lower_schedule, lower_to_ports, LinkTiming, LowerError, TransferSpec};
+pub use lowering::{
+    lower_schedule, lower_to_ports, LinkTiming, LowerError, PreparedLowering, TransferSpec,
+};
 pub use rank::Rank;
 pub use ring::{ring_allreduce, ring_allreduce_multi};
 pub use schedule::{Phase, Schedule, ScheduleStats, Transfer, TransferId, TreeIndex};

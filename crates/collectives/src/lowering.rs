@@ -175,6 +175,130 @@ pub fn lower_to_ports(specs: &[TransferSpec], fabric: &FabricGraph) -> Vec<Vec<P
     specs.iter().map(|s| fabric.port_route(&s.path)).collect()
 }
 
+/// One transfer's route, resolved once and stored with the two timing
+/// coefficients of the wormhole model, so durations can be recomputed
+/// for any payload size and [`LinkTiming`] without touching the
+/// embedding or the topology again.
+#[derive(Debug, Clone, PartialEq)]
+struct PreparedRoute {
+    /// The physical channels the route occupies, in hop order.
+    path: Vec<ChannelId>,
+    /// The intermediate GPU for detour routes.
+    via: Option<GpuId>,
+    /// Σ per-hop channel latency, accumulated in hop order exactly as
+    /// [`lower_schedule`] does — the forwarding latency of detours is
+    /// *not* folded in, because it is a per-point timing knob.
+    alpha: Seconds,
+    /// The route's bottleneck bandwidth in bytes/sec at nominal scale.
+    bottleneck: f64,
+}
+
+/// A schedule's lowering with the payload- and timing-independent work
+/// hoisted out: route resolution, per-route latency sums, and bottleneck
+/// bandwidths are computed once, and [`PreparedLowering::lower`] then
+/// produces [`TransferSpec`]s for any `(payload, LinkTiming)` point.
+///
+/// Equivalence contract: for the schedule/embedding/topology it was
+/// prepared from — or any schedule with the same transfers modulo
+/// payload sizes — `lower()` is **bit-identical** to calling
+/// [`lower_schedule`] from scratch. The float operations run in the same
+/// order (`alpha` accumulates per hop, the forwarding latency is added
+/// last, serialization divides by `bottleneck × bandwidth_scale`), so
+/// not even the last ulp can drift. The sweep-wide preparation cache in
+/// `ccube-sim` relies on this to rescale cached points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedLowering {
+    routes: Vec<PreparedRoute>,
+}
+
+impl PreparedLowering {
+    /// Resolves every transfer of `schedule` against `embedding` over
+    /// `topo`, storing routes and timing coefficients for later
+    /// [`PreparedLowering::lower`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`lower_schedule`]:
+    /// [`LowerError::MissingRoute`] and [`LowerError::UnknownChannel`].
+    pub fn new(
+        schedule: &Schedule,
+        embedding: &Embedding,
+        topo: &Topology,
+    ) -> Result<Self, LowerError> {
+        let num_channels = topo.channels().len();
+        let mut routes = Vec::with_capacity(schedule.transfers().len());
+        for t in schedule.transfers() {
+            let key = EdgeKey {
+                src: t.src,
+                dst: t.dst,
+                tree: t.tree,
+            };
+            let route = embedding.route(&key).ok_or(LowerError::MissingRoute(key))?;
+            let mut alpha = Seconds::ZERO;
+            let mut bottleneck = f64::INFINITY;
+            for &c in route.channels() {
+                if c.index() >= num_channels {
+                    return Err(LowerError::UnknownChannel {
+                        edge: key,
+                        channel_index: c.index(),
+                    });
+                }
+                let ch = topo.channel(c);
+                alpha += ch.latency();
+                bottleneck = bottleneck.min(ch.bandwidth().as_bytes_per_sec());
+            }
+            routes.push(PreparedRoute {
+                path: route.channels().to_vec(),
+                via: route.via(),
+                alpha,
+                bottleneck,
+            });
+        }
+        Ok(PreparedLowering { routes })
+    }
+
+    /// Number of prepared routes (= transfers of the source schedule).
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True when the source schedule had no transfers.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Produces the [`TransferSpec`]s for `schedule` under `timing`,
+    /// bit-identical to [`lower_schedule`]. `schedule` supplies the
+    /// per-transfer payload sizes (and ids/chunks); it must have the
+    /// same transfers as the schedule this lowering was prepared from,
+    /// up to payload sizes — the preparation cache's key guarantees
+    /// that, and debug builds assert the count.
+    pub fn lower(&self, schedule: &Schedule, timing: &LinkTiming) -> Vec<TransferSpec> {
+        let transfers = schedule.transfers();
+        debug_assert_eq!(transfers.len(), self.routes.len());
+        transfers
+            .iter()
+            .zip(&self.routes)
+            .map(|(t, r)| {
+                let mut alpha = r.alpha;
+                if r.via.is_some() {
+                    alpha += timing.forwarding_latency;
+                }
+                let serialization =
+                    Seconds::new(t.bytes.as_f64() / (r.bottleneck * timing.bandwidth_scale));
+                TransferSpec {
+                    id: t.id,
+                    chunk: t.chunk,
+                    path: r.path.clone(),
+                    via: r.via,
+                    duration: alpha + serialization,
+                    bytes: t.bytes,
+                }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,7 +3,6 @@
 use crate::chunk::{ChunkId, Chunking};
 use crate::schedule::{Phase, Schedule, ScheduleBuilder, TransferId, TreeIndex};
 use crate::tree::BinaryTree;
-use std::collections::HashMap;
 
 /// Whether the reduction and broadcast phases of the tree algorithm are
 /// chained together.
@@ -73,10 +72,16 @@ pub fn tree_allreduce(trees: &[BinaryTree], chunking: &Chunking, overlap: Overla
     );
 
     let mut b = ScheduleBuilder::new();
-    // red[(tree, chunk, rank)] = id of the reduction transfer rank->parent.
-    let mut red: HashMap<(usize, ChunkId, u32), TransferId> = HashMap::new();
-    // bc[(tree, chunk, rank)] = id of the broadcast transfer parent->rank.
-    let mut bc: HashMap<(usize, ChunkId, u32), TransferId> = HashMap::new();
+    // Dense (tree, chunk, rank) tables — every slot the loops below read
+    // is written first, so the placeholder never escapes. A hash map
+    // here is measurably slower: these tables are hit once or twice per
+    // transfer, and deep grids build millions of transfers per sweep.
+    let k = chunking.num_chunks();
+    let idx = |ti: usize, c: ChunkId, r: u32| (ti * k + c.index()) * p + r as usize;
+    // red[idx(tree, chunk, rank)] = id of the reduction transfer rank->parent.
+    let mut red: Vec<TransferId> = vec![TransferId(u32::MAX); trees.len() * k * p];
+    // bc[idx(tree, chunk, rank)] = id of the broadcast transfer parent->rank.
+    let mut bc: Vec<TransferId> = vec![TransferId(u32::MAX); trees.len() * k * p];
 
     let tree_chunks: Vec<Vec<ChunkId>> = (0..trees.len())
         .map(|ti| {
@@ -98,7 +103,7 @@ pub fn tree_allreduce(trees: &[BinaryTree], chunking: &Chunking, overlap: Overla
                 let deps = tree
                     .children(r)
                     .iter()
-                    .map(|&child| red[&(ti, c, child.0)])
+                    .map(|&child| red[idx(ti, c, child.0)])
                     .collect();
                 let id = b.push(
                     r,
@@ -109,7 +114,7 @@ pub fn tree_allreduce(trees: &[BinaryTree], chunking: &Chunking, overlap: Overla
                     TreeIndex(ti as u8),
                     deps,
                 );
-                red.insert((ti, c, r.0), id);
+                red[idx(ti, c, r.0)] = id;
             }
         }
     }
@@ -124,7 +129,7 @@ pub fn tree_allreduce(trees: &[BinaryTree], chunking: &Chunking, overlap: Overla
         if overlap == Overlap::None {
             for &c in &tree_chunks[ti] {
                 for &child in tree.children(root) {
-                    barrier.push(red[&(ti, c, child.0)]);
+                    barrier.push(red[idx(ti, c, child.0)]);
                 }
             }
         }
@@ -137,11 +142,11 @@ pub fn tree_allreduce(trees: &[BinaryTree], chunking: &Chunking, overlap: Overla
                             Overlap::ReductionBroadcast => tree
                                 .children(root)
                                 .iter()
-                                .map(|&ch| red[&(ti, c, ch.0)])
+                                .map(|&ch| red[idx(ti, c, ch.0)])
                                 .collect(),
                         }
                     } else {
-                        vec![bc[&(ti, c, r.0)]]
+                        vec![bc[idx(ti, c, r.0)]]
                     };
                     let id = b.push(
                         r,
@@ -152,7 +157,7 @@ pub fn tree_allreduce(trees: &[BinaryTree], chunking: &Chunking, overlap: Overla
                         TreeIndex(ti as u8),
                         deps,
                     );
-                    bc.insert((ti, c, child.0), id);
+                    bc[idx(ti, c, child.0)] = id;
                 }
             }
         }

@@ -55,7 +55,9 @@ fn usage() -> ExitCode {
          figures/scaleout/search/faults take --threads N (default: all cores);\n\
          results are bit-identical at any worker count.\n\
          figures/scaleout/faults/trace take --fabric {{approx,switch}}:\n\
-         the channel approximation (default) or the componentized switch fabric."
+         the channel approximation (default) or the componentized switch fabric.\n\
+         every command takes --no-prep-cache: disable the sweep-wide\n\
+         preparation cache (same results, cold lowering every point)."
     );
     ExitCode::from(2)
 }
@@ -522,7 +524,15 @@ fn cmd_rings() -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    // The escape hatch for the sweep-wide preparation cache: with the
+    // flag present every run re-gates and re-lowers from scratch.
+    // Results are bit-identical either way (the equivalence contract);
+    // the flag exists to prove it and to time the cold path.
+    if let Some(pos) = raw.iter().position(|a| a == "--no-prep-cache") {
+        raw.remove(pos);
+        ccube_sim::set_prep_cache_enabled(false);
+    }
     let (args, threads) = match ccube_sim::threads_from_args(&raw) {
         Ok(parsed) => parsed,
         Err(e) => {

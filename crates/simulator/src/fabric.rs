@@ -27,9 +27,9 @@ use crate::kernel::{Component, ComponentId, Ctx, Simulation};
 use crate::report::{SimReport, SimStats, TransferTiming};
 use crate::resource::ChannelPool;
 use crate::trace::{BusyInterval, SimTrace, TraceRecord};
-use ccube_collectives::{lower_schedule, Embedding, LinkTiming, Schedule, TransferSpec};
+use ccube_collectives::{Embedding, LinkTiming, Schedule, TransferSpec};
 use ccube_topology::{
-    ByteSize, ChannelId, FabricConfig, FabricGraph, GpuId, Seconds, SwitchId, Topology,
+    ByteSize, ChannelId, FabricConfig, FabricGraph, GpuId, PortId, Seconds, SwitchId, Topology,
 };
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -114,7 +114,9 @@ pub enum NetworkModel {
 /// [`ChannelPool`] over fabric ports and occupy port paths, so uplink
 /// contention and fan-in serialization shape timings there too.
 pub(crate) struct FabricMap {
-    pub(crate) graph: FabricGraph,
+    /// The derived port graph, shared through the preparation cache so
+    /// repeated runs on the same `(topology, fabric spec)` reuse it.
+    pub(crate) graph: Rc<FabricGraph>,
     pub(crate) hop_mode: HopMode,
 }
 
@@ -124,7 +126,7 @@ impl FabricMap {
         match opts.network {
             NetworkModel::ChannelApprox => None,
             NetworkModel::SwitchFabric(spec) => Some(FabricMap {
-                graph: FabricGraph::from_topology(topo, &spec.fabric_config()),
+                graph: crate::prep::fabric_graph_for(topo, &spec),
                 hop_mode: spec.hop_mode,
             }),
         }
@@ -156,12 +158,24 @@ impl FabricMap {
         detour: bool,
         timing: &LinkTiming,
     ) -> Seconds {
-        let route = self.graph.port_route(channels);
+        self.duration_on(&self.graph.port_route(channels), bytes, detour, timing)
+    }
+
+    /// [`FabricMap::duration`] over an already-expanded port route —
+    /// callers holding the cached `lower_to_ports` expansion skip the
+    /// second route computation.
+    pub(crate) fn duration_on(
+        &self,
+        route: &[PortId],
+        bytes: ByteSize,
+        detour: bool,
+        timing: &LinkTiming,
+    ) -> Seconds {
         match self.hop_mode {
             HopMode::CutThrough => {
                 let mut alpha = Seconds::ZERO;
                 let mut bottleneck = f64::INFINITY;
-                for &p in &route {
+                for &p in route {
                     let port = self.graph.port(p);
                     alpha += port.latency();
                     bottleneck = bottleneck.min(port.bandwidth().as_bytes_per_sec());
@@ -173,7 +187,7 @@ impl FabricMap {
             }
             HopMode::StoreForward => {
                 let mut total = Seconds::ZERO;
-                for &p in &route {
+                for &p in route {
                     let port = self.graph.port(p);
                     total += port.latency()
                         + Seconds::new(
@@ -431,25 +445,20 @@ pub(crate) fn simulate_fabric(
     let n = transfers.len();
     let num_channels = topo.channels().len();
     let map = FabricMap {
-        graph: FabricGraph::from_topology(topo, &spec.fabric_config()),
+        graph: crate::prep::fabric_graph_for(topo, spec),
         hop_mode: spec.hop_mode,
     };
     let num_ports = map.num_ports();
     let num_gpus = topo.num_gpus();
     let num_switches = map.graph.num_switches();
 
-    // Same structural gate as the channel engine.
-    #[cfg(debug_assertions)]
-    {
-        let lint = ccube_collectives::analyze::gate(schedule, embedding, topo);
-        debug_assert!(
-            lint.is_clean(),
-            "schedule/embedding failed the static gate:\n{lint}"
-        );
-    }
-
-    let mut specs = lower_schedule(schedule, embedding, topo, &opts.link_timing())?;
-    let port_paths = ccube_collectives::lower_to_ports(&specs, &map.graph);
+    // Same structural gate as the channel engine, and the same lowering
+    // — both through the preparation cache. The fabric engine rewrites
+    // per-spec durations to the port model, so it clones the cached
+    // specs; the port-path expansion is cached per fabric spec too.
+    let prep = crate::prep::gate_and_lower(topo, schedule, embedding, &opts.link_timing())?;
+    let mut specs = (*prep.specs).clone();
+    let port_paths = crate::prep::ports_for(&prep, spec, &map.graph);
 
     let deps_remaining: Vec<u32> = transfers.iter().map(|t| t.deps.len() as u32).collect();
     let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); n];
@@ -464,7 +473,12 @@ pub(crate) fn simulate_fabric(
     // transfer) hop id == transfer id, and both the kernel tie-break and
     // the arbitration keys coincide with the channel engine's.
     let mut pool = ChannelPool::new(num_ports, opts.arbitration);
-    let mut hops: Vec<HopTask> = Vec::new();
+    let num_hops = match spec.hop_mode {
+        HopMode::CutThrough => n,
+        HopMode::StoreForward => port_paths.iter().map(Vec::len).sum(),
+    };
+    pool.reserve_tasks(num_hops);
+    let mut hops: Vec<HopTask> = Vec::with_capacity(num_hops);
     let mut first_hop: Vec<u32> = Vec::with_capacity(n);
     let mut dst_node: Vec<GpuId> = Vec::with_capacity(n);
     let timing = opts.link_timing();
@@ -475,7 +489,7 @@ pub(crate) fn simulate_fabric(
         dst_node.push(dst);
         let nic_owner = ComponentId(dst.0);
         first_hop.push(hops.len() as u32);
-        s.duration = map.duration(&s.path, s.bytes, s.via.is_some(), &timing);
+        s.duration = map.duration_on(route, s.bytes, s.via.is_some(), &timing);
         match spec.hop_mode {
             HopMode::CutThrough => {
                 let hid = pool.add_task(
@@ -538,7 +552,7 @@ pub(crate) fn simulate_fabric(
             };
             n
         ],
-        trace: opts.make_trace(),
+        trace: opts.make_trace_for(num_hops.saturating_mul(4)),
         forwarding_busy: HashMap::new(),
         remaining: n,
         switch_of_port: map.graph.ports().iter().map(|p| p.switch().0).collect(),

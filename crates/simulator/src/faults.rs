@@ -44,7 +44,7 @@ use crate::report::SimStats;
 use crate::resource::{ChannelPool, ComputeStream};
 use crate::system::{simulate_system, SystemJob, SystemReport};
 use crate::trace::{SimTrace, TraceRecord};
-use ccube_collectives::{lower_schedule, Embedding, Schedule, TransferSpec};
+use ccube_collectives::{Embedding, Schedule, TransferSpec};
 use ccube_topology::{ChannelClass, ChannelId, GpuId, Router, Seconds, Topology};
 use std::collections::HashMap;
 
@@ -888,7 +888,11 @@ pub fn simulate_system_faulted(
     let num_channels = topo.channels().len();
     let node_count = nt + nc;
 
-    let mut specs = lower_schedule(&job.schedule, embedding, topo, &opts.link_timing())?;
+    // Lower through the preparation cache; the fault engine re-routes
+    // specs in place (and rescales durations across fault windows), so
+    // it always takes an owned copy of the cached specs.
+    let prep = crate::prep::gate_and_lower(topo, &job.schedule, embedding, &opts.link_timing())?;
+    let mut specs = (*prep.specs).clone();
 
     // Under the switch-fabric model the pool schedules port paths and
     // durations follow the fabric; specs keep their channel-level paths
@@ -953,7 +957,7 @@ pub fn simulate_system_faulted(
         pool,
         streams,
         kernel: Kernel::with_capacity(node_count.min(num_resources + nc) + 2 * plan.len()),
-        trace: opts.make_trace(),
+        trace: opts.make_trace_for(nt.saturating_mul(4) + nc.saturating_mul(2) + 2 * plan.len()),
         nt,
         generation: vec![0; node_count],
         finish_at: vec![Seconds::ZERO; node_count],

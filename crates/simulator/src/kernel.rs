@@ -179,6 +179,20 @@ impl<E> Kernel<E> {
         self.heap.reserve(additional);
     }
 
+    /// Rewinds the kernel to a fresh `t = 0` state with the given seed,
+    /// keeping the event heap's allocation. A reset kernel is
+    /// observationally identical to `Kernel::with_seed(seed)` — same
+    /// clock, sequence counter, stats, and RNG stream — so a run on a
+    /// recycled kernel replays bit-identically to one on a fresh kernel
+    /// (the arena-reuse contract the prep-cache layer relies on).
+    pub fn reset(&mut self, seed: u64) {
+        self.now = Seconds::ZERO;
+        self.seq = 0;
+        self.heap.clear();
+        self.stats = KernelStats::default();
+        self.rng = SimRng::new(seed);
+    }
+
     /// The current simulation time (the timestamp of the last popped
     /// event).
     pub fn now(&self) -> Seconds {
@@ -424,6 +438,19 @@ impl<E> Simulation<E> {
     /// The underlying kernel's counters.
     pub fn stats(&self) -> KernelStats {
         self.kernel.stats()
+    }
+
+    /// Drains the simulation back to an empty `t = 0` state with the
+    /// given seed: all components are dropped, pending events are
+    /// discarded, and the kernel is [`Kernel::reset`] — but the event
+    /// heap, component vector, and emission buffer keep their
+    /// allocations. Re-registering the same components and emitting the
+    /// same events afterwards replays bit-identically to a fresh
+    /// `Simulation::with_seed(seed)`.
+    pub fn reset(&mut self, seed: u64) {
+        self.kernel.reset(seed);
+        self.components.clear();
+        self.emitted.clear();
     }
 }
 

@@ -46,6 +46,7 @@ mod error;
 pub mod fabric;
 pub mod faults;
 pub mod kernel;
+pub mod prep;
 mod report;
 pub mod resource;
 pub mod sweep;
@@ -61,6 +62,10 @@ pub use faults::{
     FaultPlan, FaultSignal,
 };
 pub use kernel::{Component, ComponentId, Ctx, Kernel, KernelStats, SimRng, Simulation};
+pub use prep::{
+    prep_cache_enabled, prep_cache_len, prep_cache_stats, reset_prep_cache, set_prep_cache_enabled,
+    PrepCacheStats,
+};
 pub use report::{SimReport, SimStats, TransferTiming};
 pub use resource::{ChannelPool, ComputeStream};
 pub use sweep::{available_threads, sweep, sweep_seeded, threads_from_args};

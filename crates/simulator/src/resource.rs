@@ -22,6 +22,117 @@ use ccube_collectives::TransferId;
 use ccube_topology::{ChannelId, Seconds};
 use std::collections::VecDeque;
 
+/// Inline capacity of a [`WaiterQueue`]: queues at or below this length
+/// (the overwhelmingly common case — most channels never see more than a
+/// handful of simultaneous waiters) live entirely inside the pool's
+/// `waiters` vector, with no per-channel heap allocation.
+const WAITER_INLINE: usize = 8;
+
+/// A per-channel waiter queue: a fixed inline buffer that spills to a
+/// heap `Vec` only when more than [`WAITER_INLINE`] tasks wait at once.
+/// Semantically identical to a plain `Vec<u32>` (same order, same
+/// insert/remove positions), so arbitration behavior is unchanged; the
+/// point is allocation count, which the sweep bench counts per point.
+#[derive(Debug, Clone)]
+enum WaiterQueue {
+    /// Up to `WAITER_INLINE` waiters stored inline; `len` is the live
+    /// prefix of `buf`.
+    Inline { buf: [u32; WAITER_INLINE], len: u8 },
+    /// The spilled representation. Stays spilled after a clear so the
+    /// capacity survives arena reuse.
+    Heap(Vec<u32>),
+}
+
+impl WaiterQueue {
+    fn new() -> Self {
+        WaiterQueue::Inline {
+            buf: [0; WAITER_INLINE],
+            len: 0,
+        }
+    }
+
+    fn as_slice(&self) -> &[u32] {
+        match self {
+            WaiterQueue::Inline { buf, len } => &buf[..*len as usize],
+            WaiterQueue::Heap(v) => v,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    fn first(&self) -> Option<u32> {
+        self.as_slice().first().copied()
+    }
+
+    fn get(&self, pos: usize) -> Option<u32> {
+        self.as_slice().get(pos).copied()
+    }
+
+    fn push(&mut self, task: u32) {
+        match self {
+            WaiterQueue::Inline { buf, len } if (*len as usize) < WAITER_INLINE => {
+                buf[*len as usize] = task;
+                *len += 1;
+            }
+            WaiterQueue::Inline { .. } => {
+                self.spill().push(task);
+            }
+            WaiterQueue::Heap(v) => v.push(task),
+        }
+    }
+
+    fn insert(&mut self, pos: usize, task: u32) {
+        match self {
+            WaiterQueue::Inline { buf, len } if (*len as usize) < WAITER_INLINE => {
+                let n = *len as usize;
+                buf.copy_within(pos..n, pos + 1);
+                buf[pos] = task;
+                *len += 1;
+            }
+            WaiterQueue::Inline { .. } => {
+                self.spill().insert(pos, task);
+            }
+            WaiterQueue::Heap(v) => v.insert(pos, task),
+        }
+    }
+
+    fn remove(&mut self, pos: usize) -> u32 {
+        match self {
+            WaiterQueue::Inline { buf, len } => {
+                let n = *len as usize;
+                let out = buf[pos];
+                buf.copy_within(pos + 1..n, pos);
+                *len -= 1;
+                out
+            }
+            WaiterQueue::Heap(v) => v.remove(pos),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            WaiterQueue::Inline { len, .. } => *len = 0,
+            WaiterQueue::Heap(v) => v.clear(),
+        }
+    }
+
+    /// Moves an exactly-full inline buffer onto the heap and returns the
+    /// spilled `Vec` for the caller to mutate.
+    fn spill(&mut self) -> &mut Vec<u32> {
+        if let WaiterQueue::Inline { buf, len } = self {
+            let mut v = Vec::with_capacity(WAITER_INLINE * 2);
+            v.extend_from_slice(&buf[..*len as usize]);
+            *self = WaiterQueue::Heap(v);
+        }
+        match self {
+            WaiterQueue::Heap(v) => v,
+            WaiterQueue::Inline { .. } => unreachable!("just spilled"),
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum TaskState {
     /// Dependencies not yet satisfied (unknown to the pool's queues).
@@ -54,11 +165,17 @@ pub struct ChannelPool {
     /// [`Arbitration::ChunkPriority`] it is kept sorted ascending by
     /// arbitration key, so the best waiter is always the front — no
     /// per-round scan.
-    waiters: Vec<Vec<u32>>,
-    /// Every task currently in `Ready`, sorted ascending by
-    /// arbitration key. Replaces the collect-and-sort
-    /// [`ChannelPool::force_start`] historically paid per stall round.
-    ready_by_key: Vec<u32>,
+    waiters: Vec<WaiterQueue>,
+    /// Cleared path buffers recycled by [`ChannelPool::reset`], handed
+    /// back out by [`ChannelPool::add_task_path`] so a reused pool
+    /// re-registers its tasks without reallocating every route.
+    spare_paths: Vec<Vec<ChannelId>>,
+    /// Scratch buffer for [`ChannelPool::force_start`]'s key-sorted scan
+    /// of the ready set. Built lazily per stall round: stalls are rare,
+    /// so paying a collect-and-sort there beats the O(tasks) sorted
+    /// insert/remove an eagerly maintained ready list costs on *every*
+    /// readiness change (quadratic over deep tree schedules).
+    force_scratch: Vec<u32>,
     /// Count of active link-down faults per channel: a down channel
     /// rejects every new grant (force-starts included) until every
     /// overlapping fault has lifted.
@@ -81,8 +198,9 @@ impl ChannelPool {
             enqueued_at: Vec::new(),
             started_at: Vec::new(),
             free: vec![true; num_channels],
-            waiters: vec![Vec::new(); num_channels],
-            ready_by_key: Vec::new(),
+            waiters: vec![WaiterQueue::new(); num_channels],
+            spare_paths: Vec::new(),
+            force_scratch: Vec::new(),
             link_down: vec![0; num_channels],
             busy: vec![Seconds::ZERO; num_channels],
             intervals: vec![Vec::new(); num_channels],
@@ -122,6 +240,60 @@ impl ChannelPool {
         id
     }
 
+    /// Registers a task from a borrowed path, recycling a path buffer
+    /// freed by [`ChannelPool::reset`] when one is available — the
+    /// zero-alloc re-registration path for arena-reused pools. Identical
+    /// to [`ChannelPool::add_task`] in every observable way.
+    ///
+    /// # Panics
+    ///
+    /// As [`ChannelPool::add_task`].
+    pub fn add_task_path(&mut self, path: &[ChannelId], key: (u32, u32)) -> u32 {
+        let mut buf = self.spare_paths.pop().unwrap_or_default();
+        buf.extend_from_slice(path);
+        self.add_task(buf, key)
+    }
+
+    /// Drains the pool back to the observable state of
+    /// `ChannelPool::new(num_channels, arbitration)` while keeping its
+    /// allocations: per-task vectors keep their capacity, spilled waiter
+    /// queues stay spilled, and every registered path buffer is cleared
+    /// and recycled into the pool [`ChannelPool::add_task_path`] draws
+    /// from. A reset pool behaves bit-identically to a fresh one — the
+    /// arena-reuse half of the prep-cache equivalence contract.
+    pub fn reset(&mut self, num_channels: usize, arbitration: Arbitration) {
+        self.arbitration = arbitration;
+        for mut p in self.paths.drain(..) {
+            p.clear();
+            self.spare_paths.push(p);
+        }
+        self.keys.clear();
+        self.state.clear();
+        self.enqueued_at.clear();
+        self.started_at.clear();
+        self.free.clear();
+        self.free.resize(num_channels, true);
+        self.waiters.truncate(num_channels);
+        for w in &mut self.waiters {
+            w.clear();
+        }
+        self.waiters.resize_with(num_channels, WaiterQueue::new);
+        self.force_scratch.clear();
+        self.link_down.clear();
+        self.link_down.resize(num_channels, 0);
+        self.busy.clear();
+        self.busy.resize(num_channels, Seconds::ZERO);
+        self.intervals.truncate(num_channels);
+        for iv in &mut self.intervals {
+            iv.clear();
+        }
+        self.intervals.resize_with(num_channels, Vec::new);
+        self.queue_wait.clear();
+        self.queue_wait.resize(num_channels, Seconds::ZERO);
+        self.max_waiting = 0;
+        self.force_starts = 0;
+    }
+
     /// Number of registered tasks.
     pub fn num_tasks(&self) -> usize {
         self.paths.len()
@@ -139,8 +311,6 @@ impl ChannelPool {
     pub fn mark_ready(&mut self, task: u32, now: Seconds, trace: &mut SimTrace) -> bool {
         debug_assert_eq!(self.state[task as usize], TaskState::Pending);
         self.state[task as usize] = TaskState::Ready;
-        let pos = self.key_position(&self.ready_by_key, task);
-        self.ready_by_key.insert(pos, task);
         self.try_start(task, now, false, trace)
     }
 
@@ -200,7 +370,7 @@ impl ChannelPool {
         started: &mut Vec<u32>,
     ) {
         let ci = channel.index();
-        while let Some(&head) = self.waiters[ci].first() {
+        while let Some(head) = self.waiters[ci].first() {
             if self.try_start(head, now, false, trace) {
                 started.push(head);
             } else {
@@ -214,19 +384,26 @@ impl ChannelPool {
     /// Returns the started task, or `None` if nothing can run (a true
     /// deadlock).
     pub fn force_start(&mut self, now: Seconds, trace: &mut SimTrace) -> Option<u32> {
-        // `ready_by_key` is maintained in ascending key order, so this
-        // replaces the historical collect-and-sort over every task with
-        // a single in-order scan of the ready set.
-        let mut i = 0;
-        while i < self.ready_by_key.len() {
-            let t = self.ready_by_key[i];
+        // The ready set is collected and key-sorted here, per stall
+        // round, rather than maintained eagerly: keys are unique, so the
+        // ascending-key scan order is exactly the one a sorted ready
+        // list would give.
+        let mut scratch = std::mem::take(&mut self.force_scratch);
+        scratch.clear();
+        scratch.extend(
+            (0..self.state.len() as u32).filter(|&t| self.state[t as usize] == TaskState::Ready),
+        );
+        scratch.sort_unstable_by_key(|&t| self.keys[t as usize]);
+        let mut found = None;
+        for &t in &scratch {
             if self.try_start(t, now, true, trace) {
                 self.force_starts += 1;
-                return Some(t);
+                found = Some(t);
+                break;
             }
-            i += 1;
         }
-        None
+        self.force_scratch = scratch;
+        found
     }
 
     fn try_start(&mut self, task: u32, now: Seconds, force: bool, trace: &mut SimTrace) -> bool {
@@ -250,7 +427,7 @@ impl ChannelPool {
                         .iter()
                         .all(|c| match self.waiters[c.index()].first() {
                             None => true,
-                            Some(&w) => w == task || self.keys[w as usize] >= self.keys[t],
+                            Some(w) => w == task || self.keys[w as usize] >= self.keys[t],
                         })
                 }
             };
@@ -277,9 +454,6 @@ impl ChannelPool {
                 at: now,
             });
         }
-        let pos = self.key_position(&self.ready_by_key, task);
-        debug_assert_eq!(self.ready_by_key.get(pos), Some(&task));
-        self.ready_by_key.remove(pos);
         if let Some(enqueued) = self.enqueued_at[t].take() {
             let wait = now - enqueued;
             for ci in self.paths[t].iter().map(|c| c.index()) {
@@ -303,7 +477,7 @@ impl ChannelPool {
         match self.arbitration {
             Arbitration::FifoHol => self.waiters[ci].push(task),
             Arbitration::ChunkPriority => {
-                let pos = self.key_position(&self.waiters[ci], task);
+                let pos = self.key_position(self.waiters[ci].as_slice(), task);
                 self.waiters[ci].insert(pos, task);
             }
         }
@@ -312,10 +486,10 @@ impl ChannelPool {
     /// Removes `task` from channel `ci`'s waiter queue if present.
     fn remove_waiter(&mut self, ci: usize, task: u32) {
         let pos = match self.arbitration {
-            Arbitration::FifoHol => self.waiters[ci].iter().position(|&x| x == task),
+            Arbitration::FifoHol => self.waiters[ci].as_slice().iter().position(|&x| x == task),
             Arbitration::ChunkPriority => {
-                let pos = self.key_position(&self.waiters[ci], task);
-                (self.waiters[ci].get(pos) == Some(&task)).then_some(pos)
+                let pos = self.key_position(self.waiters[ci].as_slice(), task);
+                (self.waiters[ci].get(pos) == Some(task)).then_some(pos)
             }
         };
         if let Some(pos) = pos {
@@ -414,6 +588,14 @@ impl ChannelPool {
     /// Busy intervals per channel, in completion order.
     pub fn into_intervals(self) -> Vec<Vec<BusyInterval>> {
         self.intervals
+    }
+
+    /// Takes the per-channel busy intervals out of the pool without
+    /// consuming it, leaving an empty interval table behind (rebuilt by
+    /// the next [`ChannelPool::reset`]). The arena path's replacement
+    /// for [`ChannelPool::into_intervals`].
+    pub fn take_intervals(&mut self) -> Vec<Vec<BusyInterval>> {
+        std::mem::take(&mut self.intervals)
     }
 
     /// Total queue wait charged to each channel: every started task that

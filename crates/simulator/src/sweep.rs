@@ -98,13 +98,21 @@ where
                         }
                         local.push((i, f(i, &points[i])));
                     }
-                    local
+                    // Each worker thread has its own preparation cache
+                    // (results never flow through it — only hit/miss
+                    // counters leave the thread, merged by the
+                    // coordinator so `prep_cache_stats()` reflects the
+                    // whole sweep).
+                    (local, crate::prep::take_stats())
                 })
             })
             .collect();
         for handle in handles {
             match handle.join() {
-                Ok(local) => collected.extend(local),
+                Ok((local, stats)) => {
+                    collected.extend(local);
+                    crate::prep::absorb_stats(stats);
+                }
                 Err(panic) => std::panic::resume_unwind(panic),
             }
         }

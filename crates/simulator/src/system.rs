@@ -26,7 +26,7 @@ use crate::kernel::Kernel;
 use crate::report::SimStats;
 use crate::resource::{ChannelPool, ComputeStream};
 use crate::trace::{SimTrace, TraceRecord};
-use ccube_collectives::{lower_schedule, Embedding, Schedule, TransferId, TransferSpec};
+use ccube_collectives::{Embedding, Schedule, TransferId, TransferSpec};
 use ccube_topology::{ChannelId, GpuId, Seconds, Topology};
 use std::collections::HashMap;
 
@@ -228,34 +228,35 @@ pub fn simulate_system_with_slowdowns(
     let nc = job.compute.len();
     let num_channels = topo.channels().len();
 
-    // Same structural gate as `simulate` (DAG + route validity only).
-    #[cfg(debug_assertions)]
-    {
-        let lint = ccube_collectives::analyze::gate(&job.schedule, embedding, topo);
-        debug_assert!(
-            lint.is_clean(),
-            "schedule/embedding failed the static gate:\n{lint}"
-        );
-    }
-
-    let mut specs = lower_schedule(&job.schedule, embedding, topo, &opts.link_timing())?;
+    // Same structural gate as `simulate` (DAG + route validity only),
+    // and the same lowering — both through the preparation cache.
+    let prep = crate::prep::gate_and_lower(topo, &job.schedule, embedding, &opts.link_timing())?;
 
     // Under the switch-fabric model transfers occupy port paths (with
     // any uplink hops) instead of channels, and durations follow the
-    // fabric's port bandwidths/latencies.
+    // fabric's port bandwidths/latencies — that path rewrites durations,
+    // so it clones the cached specs; the channel approximation shares
+    // them untouched.
     let fabric = crate::fabric::FabricMap::for_options(topo, opts);
-    let res_paths: Vec<Vec<ChannelId>> = match &fabric {
+    let owned: Vec<TransferSpec>;
+    let mut res_paths: Option<Vec<Vec<ChannelId>>> = None;
+    let specs: &[TransferSpec] = match &fabric {
         Some(f) => {
             let timing = opts.link_timing();
-            specs
-                .iter_mut()
-                .map(|s| {
-                    s.duration = f.duration(&s.path, s.bytes, s.via.is_some(), &timing);
-                    f.resource_path(&s.path)
-                })
-                .collect()
+            let mut cloned = (*prep.specs).clone();
+            res_paths = Some(
+                cloned
+                    .iter_mut()
+                    .map(|s| {
+                        s.duration = f.duration(&s.path, s.bytes, s.via.is_some(), &timing);
+                        f.resource_path(&s.path)
+                    })
+                    .collect(),
+            );
+            owned = cloned;
+            &owned
         }
-        None => specs.iter().map(|s| s.path.clone()).collect(),
+        None => &prep.specs,
     };
 
     // Unified dependency counts and reverse edges over both node kinds.
@@ -292,8 +293,17 @@ pub fn simulate_system_with_slowdowns(
     let num_resources = fabric.as_ref().map_or(num_channels, |f| f.num_ports());
     let mut pool = ChannelPool::new(num_resources, opts.arbitration);
     pool.reserve_tasks(nt);
-    for (s, path) in specs.iter().zip(res_paths) {
-        pool.add_task(path, (s.chunk.0, s.id.0));
+    match res_paths {
+        Some(paths) => {
+            for (s, path) in specs.iter().zip(paths) {
+                pool.add_task(path, (s.chunk.0, s.id.0));
+            }
+        }
+        None => {
+            for s in specs {
+                pool.add_task_path(&s.path, (s.chunk.0, s.id.0));
+            }
+        }
     }
     let mut streams: HashMap<GpuId, ComputeStream> = HashMap::new();
     for c in &job.compute {
@@ -306,12 +316,12 @@ pub fn simulate_system_with_slowdowns(
     // bound the number of in-flight completion events.
     let in_flight = (num_resources + streams.len()).min(node_count);
     let mut st = SystemState {
-        specs: &specs,
+        specs,
         compute: &job.compute,
         pool,
         streams,
         kernel: Kernel::with_capacity(in_flight),
-        trace: opts.make_trace(),
+        trace: opts.make_trace_for(nt.saturating_mul(4) + nc.saturating_mul(2)),
         ready: vec![false; node_count],
     };
 

@@ -191,9 +191,18 @@ impl SimTrace {
 
     /// A trace holding at most `capacity` records (at least 1).
     pub fn bounded(capacity: usize) -> Self {
+        SimTrace::bounded_for(capacity, 4096)
+    }
+
+    /// A trace holding at most `capacity` records, pre-allocated for an
+    /// `expected` record count so an engine that can bound its event
+    /// population up front (transfers × records-per-transfer, say)
+    /// never regrows the ring mid-run. Behaviorally identical to
+    /// [`SimTrace::bounded`] — only the initial allocation differs.
+    pub fn bounded_for(capacity: usize, expected: usize) -> Self {
         let capacity = capacity.max(1);
         SimTrace {
-            records: VecDeque::with_capacity(capacity.min(4096)),
+            records: VecDeque::with_capacity(capacity.min(expected.max(16))),
             capacity,
             dropped: 0,
         }
@@ -327,6 +336,11 @@ impl SimTrace {
     /// permanent link-down) is closed at the last recorded timestamp.
     /// Timestamps are microseconds, as the format requires.
     ///
+    /// When the trace carries grant slices, pid 3 ("utilization") adds
+    /// a Perfetto counter track (`"C"` events): the mean lane
+    /// utilization over time, binned by [`utilization_bins`], so the
+    /// step plot reads directly against the slices that produce it.
+    ///
     /// Every lane also gets a `thread_name` metadata row (channels as
     /// `ch <n>`), so Perfetto shows names instead of bare tids. Traces
     /// from the switch-fabric engines grant *ports*, not channels — use
@@ -388,6 +402,10 @@ impl SimTrace {
         let mut open_grants: BTreeMap<u32, Vec<(u32, Seconds)>> = BTreeMap::new();
         let mut open_compute: BTreeMap<u32, (u32, Seconds)> = BTreeMap::new();
         let mut open_faults: BTreeMap<u32, Seconds> = BTreeMap::new();
+        // Completed occupancy spans per lane, feeding the pid-3
+        // utilization counter track below (BTreeMap: the bin averages
+        // sum lanes in a fixed order).
+        let mut channel_busy: BTreeMap<u32, Vec<BusyInterval>> = BTreeMap::new();
         let slice = |name: &str, pid: u32, tid: u32, start: Seconds, end: Seconds| {
             format!(
                 "{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\
@@ -412,6 +430,10 @@ impl SimTrace {
                 TraceRecord::TransferEnd { id, at } => {
                     for (ch, start) in open_grants.remove(&id.0).unwrap_or_default() {
                         events.push(slice(&format!("t{}", id.0), 0, ch, start, at));
+                        channel_busy
+                            .entry(ch)
+                            .or_default()
+                            .push(BusyInterval { start, end: at });
                     }
                 }
                 TraceRecord::QueueWait { id, granted, .. } => {
@@ -443,6 +465,42 @@ impl SimTrace {
         }
         for (fault, start) in open_faults {
             events.push(slice(&format!("fault{fault}"), 2, fault, start, horizon));
+        }
+        // Counter track: mean utilization across the pid-0 lanes, one
+        // "C" sample per bin edge plus a closing zero at the horizon so
+        // the step plot ends where the trace does.
+        if !channel_busy.is_empty() && !horizon.is_zero() {
+            const NBINS: usize = 64;
+            events.push(
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":3,\"tid\":0,\
+                 \"args\":{\"name\":\"utilization\"}}"
+                    .to_string(),
+            );
+            let mut mean = vec![0.0f64; NBINS];
+            for intervals in channel_busy.values() {
+                for (m, u) in mean
+                    .iter_mut()
+                    .zip(utilization_bins(intervals, horizon, NBINS))
+                {
+                    *m += u;
+                }
+            }
+            let lanes = channel_busy.len() as f64;
+            let bin_width = horizon.as_secs_f64() / NBINS as f64;
+            for (b, m) in mean.iter().enumerate() {
+                let ts = Seconds::new(bin_width * b as f64);
+                events.push(format!(
+                    "{{\"name\":\"{lane} busy\",\"ph\":\"C\",\"pid\":3,\"tid\":0,\
+                     \"ts\":{:.3},\"args\":{{\"busy\":{:.6}}}}}",
+                    ts.as_micros(),
+                    m / lanes
+                ));
+            }
+            events.push(format!(
+                "{{\"name\":\"{lane} busy\",\"ph\":\"C\",\"pid\":3,\"tid\":0,\
+                 \"ts\":{:.3},\"args\":{{\"busy\":0.000000}}}}",
+                horizon.as_micros()
+            ));
         }
         let mut out = String::from("{\"traceEvents\":[");
         out.push_str(&events.join(","));
@@ -754,5 +812,54 @@ mod tests {
         assert!(json.starts_with("{\"traceEvents\":["));
         assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}"));
         assert!(json.contains("\"process_name\""));
+    }
+
+    #[test]
+    fn chrome_json_emits_utilization_counter_track() {
+        use ccube_collectives::TransferId;
+        let mut t = SimTrace::default();
+        t.push(TraceRecord::ChannelGrant {
+            channel: ChannelId(0),
+            id: TransferId(0),
+            at: Seconds::from_micros(2.0),
+        });
+        t.push(TraceRecord::TransferEnd {
+            id: TransferId(0),
+            at: Seconds::from_micros(5.0),
+        });
+        t.push(TraceRecord::ComputeEnd {
+            id: 1,
+            gpu: GpuId(0),
+            at: Seconds::from_micros(8.0),
+        });
+        let json = t.to_chrome_json();
+        // pid 3 hosts the counter track, named after the lane label.
+        assert!(json.contains(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":3,\"tid\":0,\
+             \"args\":{\"name\":\"utilization\"}}"
+        ));
+        // 64 bins over an 8µs horizon: bin width 0.125µs. The lane is
+        // idle at t=0, fully busy inside [2µs, 5µs), and the track
+        // closes with a zero sample at the horizon.
+        assert!(json.contains(
+            "{\"name\":\"ch busy\",\"ph\":\"C\",\"pid\":3,\"tid\":0,\
+             \"ts\":0.000,\"args\":{\"busy\":0.000000}}"
+        ));
+        assert!(json.contains(
+            "{\"name\":\"ch busy\",\"ph\":\"C\",\"pid\":3,\"tid\":0,\
+             \"ts\":2.000,\"args\":{\"busy\":1.000000}}"
+        ));
+        assert!(json.contains(
+            "{\"name\":\"ch busy\",\"ph\":\"C\",\"pid\":3,\"tid\":0,\
+             \"ts\":8.000,\"args\":{\"busy\":0.000000}}"
+        ));
+        // A trace with no grants gets no counter process.
+        let mut empty = SimTrace::default();
+        empty.push(TraceRecord::ComputeEnd {
+            id: 0,
+            gpu: GpuId(0),
+            at: Seconds::from_micros(1.0),
+        });
+        assert!(!empty.to_chrome_json().contains("\"ph\":\"C\""));
     }
 }

@@ -25,6 +25,16 @@ cargo test -q -p ccube-sim --test faults
 echo "==> network-model equivalence suite (fabric passthrough == approx)"
 cargo test -q -p ccube-sim --test fabric_equivalence
 
+echo "==> preparation-cache equivalence suite (cache on == off, arena reuse)"
+cargo test -q -p ccube-sim --test prep_equivalence
+
+echo "==> ccube figures --no-prep-cache reproduces the cached CSVs"
+rm -rf target/check-prep-cached target/check-prep-cold
+cargo run -q --release -p ccube --bin ccube -- figures --threads 2 target/check-prep-cached > /dev/null
+cargo run -q --release -p ccube --bin ccube -- figures --threads 2 --no-prep-cache target/check-prep-cold > /dev/null
+diff -r target/check-prep-cached target/check-prep-cold
+rm -rf target/check-prep-cached target/check-prep-cold
+
 echo "==> static schedule analyzer (ccube lint)"
 cargo run -q --release -p ccube --bin ccube -- lint all > /dev/null
 
