@@ -12,10 +12,11 @@
 //! ccube rings                      DGX-1 Hamiltonian ring decomposition
 //! ccube faults [out] [--seed N] [--smoke]
 //!                                  resilience sweep under sampled fault plans
+//! ccube faults --shrink <seed>     1-minimal reproducer of the seed's plan
 //! ccube trace [out] [--json] [--seed N]
 //!                                  faulted C1 trace (CSV or Chrome trace_event)
-//! ccube trace --diff a.csv b.csv   compare two trace CSVs (first divergence,
-//!                                  per-kind deltas, busy drift)
+//! ccube trace --diff <a> <b>       compare two traces (CSV paths or live-run
+//!                                  seeds; first divergence, per-kind deltas)
 //! ccube lint [case|all] [--json]   static schedule analyzer (CC001.. lints)
 //! ```
 //!
@@ -26,7 +27,10 @@
 //! {approx,switch}` to pick the network model: `approx` (default) is the
 //! channel approximation, `switch` runs the componentized switch fabric
 //! (explicit NIC/switch agents with per-port queues); at the passthrough
-//! configuration the two produce identical results.
+//! configuration the two produce identical results. The spine/leaf shape
+//! of the switch fabric is set with `--radix N`, `--spines N`,
+//! `--uplinks N` and `--uplink-policy {hash,least-queued,failover}`
+//! (each implies `--fabric switch`).
 
 use ccube::experiments;
 use ccube::pipeline::{Mode, TrainingPipeline};
@@ -48,14 +52,17 @@ fn usage() -> ExitCode {
          \x20 train [iterations]               threaded C-Cube training loop\n\
          \x20 rings                            DGX-1 Hamiltonian ring decomposition\n\
          \x20 faults [out] [--seed N] [--smoke] resilience sweep under sampled fault plans\n\
+         \x20 faults --shrink <seed>           1-minimal reproducer of the seed's plan\n\
          \x20 trace [out] [--json] [--seed N]  faulted C1 trace (CSV or Chrome JSON)\n\
-         \x20 trace --diff a.csv b.csv         compare two trace CSVs\n\
+         \x20 trace --diff <a> <b>             compare two traces (CSV paths or seeds)\n\
          \x20 lint [case|all] [--json]         static schedule analyzer (CC001.. lints)\n\
          \n\
          figures/scaleout/search/faults take --threads N (default: all cores);\n\
          results are bit-identical at any worker count.\n\
          figures/scaleout/faults/trace take --fabric {{approx,switch}}:\n\
          the channel approximation (default) or the componentized switch fabric.\n\
+         the spine/leaf fabric is shaped with --radix N, --spines N, --uplinks N\n\
+         and --uplink-policy {{hash,least-queued,failover}} (imply --fabric switch).\n\
          every command takes --no-prep-cache: disable the sweep-wide\n\
          preparation cache (same results, cold lowering every point)."
     );
@@ -272,35 +279,93 @@ fn cmd_train(args: &[String]) -> ExitCode {
     }
 }
 
-/// Splits a `--fabric approx|switch` / `--fabric=...` flag out of
-/// `args`, defaulting to the channel approximation. `switch` selects the
-/// componentized switch fabric at its passthrough configuration, which
-/// reproduces the approximation exactly — the flag is both an
-/// end-to-end equivalence check and the hook for fabric experiments.
-fn fabric_from_args(args: &[String]) -> Result<(Vec<String>, ccube_sim::NetworkModel), String> {
+/// Splits one `--name value` / `--name=value` flag out of `args`,
+/// returning the remaining args and the (last) value if present.
+fn split_flag(args: &[String], name: &str) -> Result<(Vec<String>, Option<String>), String> {
     let mut rest = Vec::with_capacity(args.len());
-    let mut model = ccube_sim::NetworkModel::ChannelApprox;
+    let mut value = None;
+    let eq = format!("{name}=");
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
-        let value = if arg == "--fabric" {
-            Some(
-                iter.next()
-                    .ok_or_else(|| "--fabric requires a value (approx | switch)".to_string())?
-                    .as_str(),
-            )
+        if arg == name {
+            let v = iter
+                .next()
+                .ok_or_else(|| format!("{name} requires a value"))?;
+            value = Some(v.clone());
+        } else if let Some(v) = arg.strip_prefix(&eq) {
+            value = Some(v.to_string());
         } else {
-            arg.strip_prefix("--fabric=")
-        };
-        match value {
-            Some("approx") => model = ccube_sim::NetworkModel::ChannelApprox,
-            Some("switch") => {
-                model = ccube_sim::NetworkModel::SwitchFabric(ccube_sim::FabricSpec::passthrough());
-            }
-            Some(v) => return Err(format!("--fabric: unknown model {v:?} (approx | switch)")),
-            None => rest.push(arg.clone()),
+            rest.push(arg.clone());
         }
     }
-    Ok((rest, model))
+    Ok((rest, value))
+}
+
+/// Splits the network-model flags out of `args`, defaulting to the
+/// channel approximation. `--fabric switch` selects the componentized
+/// switch fabric — at its passthrough configuration it reproduces the
+/// approximation exactly, so the flag is both an end-to-end equivalence
+/// check and the hook for fabric experiments. The shaping flags
+/// `--radix N`, `--spines N`, `--uplinks N` and `--uplink-policy
+/// {hash,least-queued,failover}` configure the spine/leaf fabric (and
+/// imply `--fabric switch` when it is not stated); `--uplinks N` or
+/// `--spines N` above 1 without `--radix` defaults the radix to 4 so
+/// the fabric actually has leaves to uplink.
+fn fabric_from_args(args: &[String]) -> Result<(Vec<String>, ccube_sim::NetworkModel), String> {
+    let (args, fabric) = split_flag(args, "--fabric")?;
+    let (args, radix) = split_flag(&args, "--radix")?;
+    let (args, spines) = split_flag(&args, "--spines")?;
+    let (args, uplinks) = split_flag(&args, "--uplinks")?;
+    let (args, policy) = split_flag(&args, "--uplink-policy")?;
+
+    let shaped = radix.is_some() || spines.is_some() || uplinks.is_some() || policy.is_some();
+    let parse_pos = |v: &String, what: &str| -> Result<usize, String> {
+        match v.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(format!("{what}: {v:?} is not a positive integer")),
+        }
+    };
+    let mut spec = ccube_sim::FabricSpec::passthrough();
+    if let Some(v) = &radix {
+        spec.radix = Some(parse_pos(v, "--radix")?);
+    }
+    if let Some(v) = &uplinks {
+        spec.uplinks = parse_pos(v, "--uplinks")?;
+    }
+    spec.spines = match &spines {
+        Some(v) => parse_pos(v, "--spines")?,
+        // One spine per slot unless stated: the homogeneous spine/leaf
+        // shape the fabric-resilience study uses.
+        None => spec.uplinks,
+    };
+    if let Some(v) = &policy {
+        spec.uplink_policy = match v.as_str() {
+            "hash" => ccube_sim::UplinkPolicy::Hash,
+            "least-queued" => ccube_sim::UplinkPolicy::LeastQueued,
+            "failover" => ccube_sim::UplinkPolicy::Failover,
+            other => {
+                return Err(format!(
+                    "--uplink-policy: unknown policy {other:?} (hash | least-queued | failover)"
+                ))
+            }
+        };
+    }
+    match fabric.as_deref() {
+        Some("approx") if shaped => Err(
+            "--radix/--spines/--uplinks/--uplink-policy shape the switch fabric; \
+             they cannot combine with --fabric approx"
+                .to_string(),
+        ),
+        None if !shaped => Ok((args, ccube_sim::NetworkModel::ChannelApprox)),
+        Some("approx") => Ok((args, ccube_sim::NetworkModel::ChannelApprox)),
+        None | Some("switch") => {
+            if (spec.uplinks > 1 || spec.spines > 1) && spec.radix.is_none() {
+                spec.radix = Some(4);
+            }
+            Ok((args, ccube_sim::NetworkModel::SwitchFabric(spec)))
+        }
+        Some(v) => Err(format!("--fabric: unknown model {v:?} (approx | switch)")),
+    }
 }
 
 /// Splits a `--seed N` / `--seed=N` flag out of `args`, defaulting to
@@ -359,6 +424,20 @@ fn cmd_faults(args: &[String], threads: usize) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let (args, shrink) = match split_flag(&args, "--shrink") {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("faults: {e} (the seed of the plan to shrink)");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(v) = shrink {
+        let Ok(seed) = v.parse::<u64>() else {
+            eprintln!("faults --shrink: {v:?} is not a valid u64 seed");
+            return ExitCode::from(2);
+        };
+        return cmd_faults_shrink(seed, fabric);
+    }
     let (args, seed) = match seed_from_args(&args, resilience::DEFAULT_SEED) {
         Ok(parsed) => parsed,
         Err(e) => {
@@ -382,62 +461,164 @@ fn cmd_faults(args: &[String], threads: usize) -> ExitCode {
     write_or_print(out, &resilience::to_csv(&rows))
 }
 
-/// `ccube trace --diff a.csv b.csv`: compare two trace CSVs and report
-/// the first diverging line, per-record-kind count deltas, and busy /
-/// horizon drift. Exit code 0 when identical, 1 when they differ.
-fn cmd_trace_diff(paths: &[&String]) -> ExitCode {
-    let [left_path, right_path] = paths else {
-        eprintln!("trace --diff: expected exactly two CSV paths");
-        return ExitCode::from(2);
-    };
-    let read = |path: &String| match std::fs::read_to_string(path) {
-        Ok(s) => Some(s),
-        Err(e) => {
-            eprintln!("trace --diff: failed to read {path}: {e}");
-            None
+/// Renders one fault event as a human-readable line.
+fn describe_event(e: &ccube_sim::FaultEvent) -> String {
+    use ccube_sim::FaultEvent as E;
+    use ccube_topology::Seconds;
+    let window = |from: Seconds, until: Seconds| {
+        if until.as_secs_f64().is_infinite() {
+            format!("[{from}, forever)")
+        } else {
+            format!("[{from}, {until})")
         }
     };
-    let (Some(left), Some(right)) = (read(left_path), read(right_path)) else {
-        return ExitCode::FAILURE;
-    };
-    let diff = ccube_sim::diff_csv(&left, &right);
-    if diff.is_identical() {
-        println!("traces are identical");
-        ExitCode::SUCCESS
-    } else {
-        print!("{diff}");
-        ExitCode::FAILURE
+    match *e {
+        E::LinkDown {
+            channel,
+            from,
+            until,
+        } => format!("link-down    channel {} {}", channel.0, window(from, until)),
+        E::Degraded {
+            channel,
+            from,
+            until,
+            rate,
+        } => format!(
+            "degraded     channel {} rate {:.2} {}",
+            channel.0,
+            rate,
+            window(from, until)
+        ),
+        E::Straggler {
+            gpu,
+            from,
+            until,
+            slowdown,
+        } => format!(
+            "straggler    gpu {} x{:.2} {}",
+            gpu.0,
+            slowdown,
+            window(from, until)
+        ),
+        E::UplinkDown {
+            leaf,
+            uplink,
+            from,
+            until,
+        } => format!(
+            "uplink-down  leaf {leaf} slot {uplink} {}",
+            window(from, until)
+        ),
+        E::SwitchDown { spine, from, until } => {
+            format!("switch-down  spine {spine} {}", window(from, until))
+        }
     }
 }
 
-fn cmd_trace(args: &[String]) -> ExitCode {
+/// `ccube faults --shrink <seed>`: sample the severity-3 plan of `seed`
+/// on the hierarchical C1 workload (plus uplink outages when the fabric
+/// is a multi-leaf spine/leaf), replay it, and delta-debug the plan down
+/// to a 1-minimal reproducer — removing any single remaining event no
+/// longer reproduces the faulted outcome (the typed failure, or the full
+/// faulted makespan).
+fn cmd_faults_shrink(seed: u64, fabric: ccube_sim::NetworkModel) -> ExitCode {
+    use ccube_collectives::{tree_allreduce, Chunking, DoubleBinaryTree, Embedding, Overlap};
+    use ccube_sim::{simulate_faulted, FaultModel, FaultPlan, SimError, SimOptions, SimRng};
+    use ccube_topology::hierarchical;
+
+    // The C1 collective on hierarchical(16): the same workload the
+    // resilience grid stresses, so a shrunk plan maps straight onto a
+    // grid row.
+    let topo = hierarchical(16);
+    let dt = DoubleBinaryTree::new(16).expect("16 ranks");
+    let s = tree_allreduce(
+        dt.trees(),
+        &Chunking::even(ByteSize::mib(16), 16),
+        Overlap::ReductionBroadcast,
+    );
+    let e = Embedding::nic(&topo, &s).expect("embeds");
+    let opts = SimOptions::scale_out().with_network(fabric);
+    let healthy =
+        simulate_faulted(&topo, &s, &e, &opts, &FaultPlan::empty()).expect("healthy run simulates");
+    let h = healthy.makespan;
+
+    let mut events = FaultPlan::sample(&FaultModel::severity(3, h), &topo, &SimRng::new(seed))
+        .events()
+        .to_vec();
+    if let ccube_sim::NetworkModel::SwitchFabric(spec) = fabric {
+        if let Some(radix) = spec.radix {
+            let leaves = topo.num_gpus().div_ceil(radix);
+            events.extend_from_slice(
+                FaultPlan::sample_uplinks(
+                    leaves,
+                    spec.uplinks,
+                    h * 0.5,
+                    h * 0.25,
+                    h,
+                    &SimRng::new(seed),
+                )
+                .events(),
+            );
+        }
+    }
+    let full = match FaultPlan::new(events) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("faults --shrink: sampled plan is invalid: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let run = |p: &FaultPlan| simulate_faulted(&topo, &s, &e, &opts, p);
+    let minimal = match run(&full) {
+        Ok(r) => {
+            let target = r.makespan;
+            println!(
+                "seed {seed}: {} sampled events, faulted makespan {} (slowdown {:.3})",
+                full.len(),
+                target,
+                target / h
+            );
+            // Keep an event iff dropping it no longer reaches the full
+            // faulted makespan; a plan that turns unroutable without one
+            // of its repairs still "fails".
+            full.shrink(|p| run(p).map(|r| r.makespan >= target).unwrap_or(true))
+        }
+        Err(SimError::Unroutable { .. }) => {
+            println!(
+                "seed {seed}: {} sampled events, outcome: unroutable",
+                full.len()
+            );
+            full.shrink(|p| matches!(run(p), Err(SimError::Unroutable { .. })))
+        }
+        Err(err) => {
+            eprintln!("faults --shrink: full plan failed unexpectedly: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "1-minimal reproducer: {} of {} events",
+        minimal.len(),
+        full.len()
+    );
+    for ev in minimal.events() {
+        println!("  {}", describe_event(ev));
+    }
+    ExitCode::SUCCESS
+}
+
+/// Simulates the faulted C1 trace for `seed`: the DGX-1 double tree
+/// under a severity-2 fault plan sampled from the seed. The trace shows
+/// transfers, queue waits, detours, re-routes, failovers and fault
+/// intervals.
+fn faulted_trace(
+    seed: u64,
+    fabric: ccube_sim::NetworkModel,
+) -> Result<ccube_sim::SystemReport, String> {
     use ccube_collectives::{tree_allreduce, Chunking, DoubleBinaryTree, Embedding, Overlap};
     use ccube_sim::{simulate_faulted, FaultModel, FaultPlan, SimOptions, SimRng};
     use ccube_topology::dgx1;
 
-    if args.iter().any(|a| a == "--diff") {
-        let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
-        return cmd_trace_diff(&paths);
-    }
-    let (args, fabric) = match fabric_from_args(args) {
-        Ok(parsed) => parsed,
-        Err(e) => {
-            eprintln!("trace: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    let (args, seed) = match seed_from_args(&args, ccube::experiments::resilience::DEFAULT_SEED) {
-        Ok(parsed) => parsed,
-        Err(e) => {
-            eprintln!("trace: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    let json = args.iter().any(|a| a == "--json");
-    let out = args.iter().find(|a| !a.starts_with("--"));
-
-    // The C1 configuration under a severity-2 fault plan: the trace shows
-    // transfers, queue waits, detours, re-routes and fault intervals.
     let topo = dgx1();
     let dt = DoubleBinaryTree::new(8).expect("8 ranks");
     let s = tree_allreduce(
@@ -451,10 +632,79 @@ fn cmd_trace(args: &[String]) -> ExitCode {
         simulate_faulted(&topo, &s, &e, &opts, &FaultPlan::empty()).expect("healthy run simulates");
     let model = FaultModel::severity(2, healthy.makespan);
     let plan = FaultPlan::sample(&model, &topo, &SimRng::new(seed));
-    let report = match simulate_faulted(&topo, &s, &e, &opts, &plan) {
+    simulate_faulted(&topo, &s, &e, &opts, &plan).map_err(|e| format!("faulted run failed: {e}"))
+}
+
+/// `ccube trace --diff <a> <b>`: compare two traces and report the first
+/// diverging line, per-record-kind count deltas, and busy / horizon
+/// drift. Each side is either a trace-CSV path, or a seed (any u64) —
+/// seeds are re-simulated in-process, so `ccube trace --diff 7 8`
+/// compares two live runs without temp files, and `ccube trace --diff 7
+/// before.csv` checks a live run against a saved baseline. Exit code 0
+/// when identical, 1 when they differ.
+fn cmd_trace_diff(sides: &[&String], fabric: ccube_sim::NetworkModel) -> ExitCode {
+    let [left, right] = sides else {
+        eprintln!("trace --diff: expected exactly two sides (trace-CSV paths or seeds)");
+        return ExitCode::from(2);
+    };
+    // A side that parses as a u64 is a seed: re-simulate it in-process.
+    let side = |arg: &String| -> Option<String> {
+        if let Ok(seed) = arg.parse::<u64>() {
+            match faulted_trace(seed, fabric) {
+                Ok(report) => Some(report.trace.to_csv()),
+                Err(e) => {
+                    eprintln!("trace --diff: seed {seed}: {e}");
+                    None
+                }
+            }
+        } else {
+            match std::fs::read_to_string(arg) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!("trace --diff: failed to read {arg}: {e}");
+                    None
+                }
+            }
+        }
+    };
+    let (Some(left), Some(right)) = (side(left), side(right)) else {
+        return ExitCode::FAILURE;
+    };
+    let diff = ccube_sim::diff_csv(&left, &right);
+    if diff.is_identical() {
+        println!("traces are identical");
+        ExitCode::SUCCESS
+    } else {
+        print!("{diff}");
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let (args, fabric) = match fabric_from_args(args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("trace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.iter().any(|a| a == "--diff") {
+        let sides: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+        return cmd_trace_diff(&sides, fabric);
+    }
+    let (args, seed) = match seed_from_args(&args, ccube::experiments::resilience::DEFAULT_SEED) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("trace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let json = args.iter().any(|a| a == "--json");
+    let out = args.iter().find(|a| !a.starts_with("--"));
+    let report = match faulted_trace(seed, fabric) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("trace: faulted run failed: {e}");
+            eprintln!("trace: {e}");
             return ExitCode::FAILURE;
         }
     };

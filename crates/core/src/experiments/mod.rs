@@ -111,6 +111,9 @@ const FIGURES: &[Figure] = &[
             net,
         ))
     }),
+    ("ext_fabric_resilience.csv", |_| {
+        resilience::fabric_to_csv(&resilience::run_fabric())
+    }),
     ("ext_scaleout_fabric.csv", |_| {
         scaleout_fabric::fabric_to_csv(&scaleout_fabric::fabric_study())
     }),
@@ -182,7 +185,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("ccube_run_all_test_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let paths = run_all(&dir).unwrap();
-        assert_eq!(paths.len(), 19);
+        assert_eq!(paths.len(), 20);
         for p in &paths {
             let content = std::fs::read_to_string(p).unwrap();
             assert!(content.lines().count() >= 2, "{p:?} has no data rows");

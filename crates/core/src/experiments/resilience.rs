@@ -25,8 +25,8 @@ use ccube_collectives::{
     ring_allreduce, tree_allreduce, Chunking, DoubleBinaryTree, Embedding, Overlap, Schedule,
 };
 use ccube_sim::{
-    simulate_system_faulted, FaultModel, FaultPlan, NetworkModel, SimError, SimOptions, SimRng,
-    SystemJob, SystemReport,
+    simulate_system_faulted, FabricSpec, FaultModel, FaultPlan, NetworkModel, SimError, SimOptions,
+    SimRng, SystemJob, SystemReport, UplinkPolicy,
 };
 use ccube_topology::{dgx1, hierarchical, ByteSize, Seconds, Topology};
 use std::fmt;
@@ -252,6 +252,162 @@ fn row_ok(p: &Point, healthy: &SystemReport, report: &SystemReport) -> Row {
     }
 }
 
+/// One cell of the fabric-failover study: the C1 collective on a
+/// radix-4 spine/leaf fabric over `hierarchical(16)`, under the *same*
+/// seeded uplink-outage plan, across uplink counts and steering
+/// policies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricRow {
+    /// Uplink slots per leaf.
+    pub uplinks: usize,
+    /// Steering policy across the slots.
+    pub policy: UplinkPolicy,
+    /// `ok` or `unroutable`.
+    pub status: &'static str,
+    /// Faulted makespan (zero when unroutable).
+    pub makespan: Seconds,
+    /// Faulted / own-healthy makespan — the cross-fabric comparable
+    /// (zero when unroutable).
+    pub slowdown: f64,
+    /// Adaptive uplink reroutes the engine recorded.
+    pub failovers: u64,
+    /// Fault events that activated during the run.
+    pub faults_injected: u64,
+}
+
+impl fmt::Display for FabricRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "k={} {:<12} {:<10} slowdown={:.3} failovers={}",
+            self.uplinks,
+            self.policy.label(),
+            self.status,
+            self.slowdown,
+            self.failovers
+        )
+    }
+}
+
+/// The radix-4 spine/leaf spec of the fabric study: total uplink
+/// capacity held constant across slot counts, one spine per slot.
+fn fabric_spec(uplinks: usize, policy: UplinkPolicy) -> FabricSpec {
+    FabricSpec {
+        radix: Some(4),
+        spines: uplinks,
+        uplinks,
+        uplink_policy: policy,
+        ..FabricSpec::default()
+    }
+}
+
+/// The fabric study's grid: uplink counts × steering policies.
+fn fabric_grid() -> Vec<(usize, UplinkPolicy)> {
+    let mut points = Vec::new();
+    for uplinks in [1usize, 2] {
+        for policy in [
+            UplinkPolicy::Hash,
+            UplinkPolicy::LeastQueued,
+            UplinkPolicy::Failover,
+        ] {
+            points.push((uplinks, policy));
+        }
+    }
+    points
+}
+
+/// Runs the fabric-failover study with the default seed, serially.
+pub fn run_fabric() -> Vec<FabricRow> {
+    run_fabric_with(DEFAULT_SEED, 1)
+}
+
+/// Runs the fabric-failover study from `seed` over `threads` workers.
+///
+/// Every cell replays the **same** seeded plan — uplink outages sampled
+/// with [`FaultPlan::sample_uplinks`] at one slot per leaf, so every
+/// event targets slot 0 and the plan is valid on both the single- and
+/// the multi-uplink fabric. The plan's horizon and rates derive from
+/// the single-uplink healthy baseline (recomputed point-locally, so
+/// cells stay independent under work stealing); slowdown is each cell's
+/// makespan over its *own* healthy baseline. Rows are byte-identical at
+/// any worker count.
+pub fn run_fabric_with(seed: u64, threads: usize) -> Vec<FabricRow> {
+    let points = fabric_grid();
+    ccube_sim::sweep_seeded(&points, seed, threads, |_, &(uplinks, policy), _| {
+        fabric_cell(uplinks, policy, seed)
+    })
+}
+
+fn fabric_cell(uplinks: usize, policy: UplinkPolicy, seed: u64) -> FabricRow {
+    let topo = hierarchical(16);
+    let job = compute_less(tree_schedule(16, Overlap::ReductionBroadcast));
+    let emb = Embedding::nic(&topo, &job.schedule).expect("embeds");
+    let opts_of = |u: usize, p: UplinkPolicy| {
+        SimOptions::scale_out().with_network(NetworkModel::SwitchFabric(fabric_spec(u, p)))
+    };
+    // The shared fault horizon comes from the single-uplink reference,
+    // so every cell samples the identical plan from the same stream.
+    let reference = simulate_system_faulted(
+        &topo,
+        &job,
+        &emb,
+        &opts_of(1, UplinkPolicy::Hash),
+        &FaultPlan::empty(),
+    )
+    .expect("reference baseline simulates");
+    let plan = FaultPlan::sample_uplinks(
+        4,
+        1,
+        reference.makespan * 0.5,
+        reference.makespan * 0.25,
+        reference.makespan,
+        &SimRng::new(seed),
+    );
+    let opts = opts_of(uplinks, policy);
+    let healthy = simulate_system_faulted(&topo, &job, &emb, &opts, &FaultPlan::empty())
+        .expect("healthy run simulates");
+    match simulate_system_faulted(&topo, &job, &emb, &opts, &plan) {
+        Ok(report) => FabricRow {
+            uplinks,
+            policy,
+            status: "ok",
+            makespan: report.makespan,
+            slowdown: report.makespan / healthy.makespan,
+            failovers: report.stats.failovers,
+            faults_injected: report.stats.faults_injected,
+        },
+        Err(SimError::Unroutable { .. }) => FabricRow {
+            uplinks,
+            policy,
+            status: "unroutable",
+            makespan: Seconds::ZERO,
+            slowdown: 0.0,
+            failovers: 0,
+            faults_injected: 0,
+        },
+        Err(e) => panic!("fabric cell k={uplinks} {}: {e}", policy.label()),
+    }
+}
+
+/// Renders fabric-study rows as CSV.
+pub fn fabric_to_csv(rows: &[FabricRow]) -> String {
+    let mut out =
+        String::from("uplinks,policy,status,makespan_us,slowdown,failovers,faults_injected\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{:.3},{:.4},{},{}\n",
+            r.uplinks,
+            r.policy.label(),
+            r.status,
+            r.makespan.as_micros(),
+            r.slowdown,
+            r.failovers,
+            r.faults_injected
+        ));
+    }
+    out
+}
+
 /// Renders rows as CSV.
 pub fn to_csv(rows: &[Row]) -> String {
     let mut out = String::from(
@@ -334,6 +490,44 @@ mod tests {
         let rows = run_smoke();
         assert_eq!(rows.len(), 2);
         assert!(rows.iter().all(|r| r.severity == 1 && r.mode == "C1"));
+    }
+
+    #[test]
+    fn fabric_study_shows_failover_recovery() {
+        let rows = run_fabric();
+        assert_eq!(rows.len(), 6);
+        let find = |uplinks: usize, policy: UplinkPolicy| {
+            rows.iter()
+                .find(|r| r.uplinks == uplinks && r.policy == policy)
+                .expect("grid covers the cell")
+        };
+        // The same seeded plan stalls the single-uplink fabric but is
+        // absorbed by the 2-uplink failover fabric: at least one
+        // recorded failover reroute and strictly lower slowdown.
+        let single = find(1, UplinkPolicy::Failover);
+        let multi = find(2, UplinkPolicy::Failover);
+        assert_eq!(single.status, "ok");
+        assert_eq!(multi.status, "ok");
+        assert_eq!(single.failovers, 0, "one slot has nowhere to fail over");
+        assert!(
+            multi.failovers >= 1,
+            "2-uplink failover must reroute: {multi}"
+        );
+        assert!(
+            multi.slowdown < single.slowdown,
+            "failover must recover: {multi} vs {single}"
+        );
+        // With one uplink every policy degenerates to hash striping.
+        assert_eq!(single.slowdown, find(1, UplinkPolicy::Hash).slowdown);
+        // Faults bite everywhere (the plan's windows overlap traffic).
+        assert!(rows.iter().all(|r| r.faults_injected >= 1));
+    }
+
+    #[test]
+    fn fabric_study_replays_byte_identically_across_workers() {
+        let a = fabric_to_csv(&run_fabric_with(DEFAULT_SEED, 1));
+        let b = fabric_to_csv(&run_fabric_with(DEFAULT_SEED, 2));
+        assert_eq!(a, b, "worker count must not change the rows");
     }
 
     #[test]

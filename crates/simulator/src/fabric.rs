@@ -29,7 +29,8 @@ use crate::resource::ChannelPool;
 use crate::trace::{BusyInterval, SimTrace, TraceRecord};
 use ccube_collectives::{Embedding, LinkTiming, Schedule, TransferSpec};
 use ccube_topology::{
-    ByteSize, ChannelId, FabricConfig, FabricGraph, GpuId, PortId, Seconds, SwitchId, Topology,
+    ByteSize, ChannelId, FabricConfig, FabricGraph, GpuId, PortId, PortKind, Seconds, SwitchId,
+    Topology,
 };
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -51,6 +52,42 @@ pub enum HopMode {
     StoreForward,
 }
 
+/// How a transfer's uplink slot is (re)chosen when a leaf has more than
+/// one uplink toward the spines.
+///
+/// The static default baked into cached port routes is hash striping by
+/// source node ([`FabricGraph::port_route`]); the adaptive policies
+/// revise that choice per transfer at grant time from the live per-port
+/// state. Adaptive revision applies under [`HopMode::CutThrough`] (where
+/// a transfer owns its whole port path and the up/down pair can move
+/// jointly); store-and-forward hops keep the static striping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UplinkPolicy {
+    /// Keep the static hash-striped slot. Zero adaptivity: a downed
+    /// uplink stalls its striped traffic until repair. With one uplink
+    /// per leaf every policy degenerates to this.
+    #[default]
+    Hash,
+    /// Score every surviving slot by live occupancy plus waiter-queue
+    /// depth of its up/down pair and move on strict improvement
+    /// (smallest slot wins ties).
+    LeastQueued,
+    /// Keep the assigned slot while it is alive; when a fault downs it,
+    /// move to the first surviving slot (scanning upward, wrapping).
+    Failover,
+}
+
+impl UplinkPolicy {
+    /// Stable lowercase label (CSV columns, CLI round-trip).
+    pub fn label(&self) -> &'static str {
+        match self {
+            UplinkPolicy::Hash => "hash",
+            UplinkPolicy::LeastQueued => "least-queued",
+            UplinkPolicy::Failover => "failover",
+        }
+    }
+}
+
 /// Configuration of the [`NetworkModel::SwitchFabric`] model.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FabricSpec {
@@ -64,6 +101,15 @@ pub struct FabricSpec {
     pub uplink_latency: Seconds,
     /// Per-hop latency accounting.
     pub hop_mode: HopMode,
+    /// Number of spine switches behind the leaves (uplink slot `j`
+    /// attaches to spine `j % spines`).
+    pub spines: usize,
+    /// Uplink up/down pairs per leaf. The leaf's aggregate uplink
+    /// capacity is split evenly across them, so `1` reproduces the
+    /// single-uplink fabric exactly.
+    pub uplinks: usize,
+    /// How transfers are steered across the uplink slots.
+    pub uplink_policy: UplinkPolicy,
 }
 
 impl Default for FabricSpec {
@@ -73,6 +119,9 @@ impl Default for FabricSpec {
             oversubscription: 1.0,
             uplink_latency: Seconds::ZERO,
             hop_mode: HopMode::CutThrough,
+            spines: 1,
+            uplinks: 1,
+            uplink_policy: UplinkPolicy::Hash,
         }
     }
 }
@@ -90,6 +139,8 @@ impl FabricSpec {
             radix: self.radix,
             oversubscription: self.oversubscription,
             uplink_latency: self.uplink_latency,
+            spines: self.spines,
+            uplinks_per_leaf: self.uplinks,
         }
     }
 }
@@ -118,6 +169,7 @@ pub(crate) struct FabricMap {
     /// repeated runs on the same `(topology, fabric spec)` reuse it.
     pub(crate) graph: Rc<FabricGraph>,
     pub(crate) hop_mode: HopMode,
+    pub(crate) policy: UplinkPolicy,
 }
 
 impl FabricMap {
@@ -128,6 +180,7 @@ impl FabricMap {
             NetworkModel::SwitchFabric(spec) => Some(FabricMap {
                 graph: crate::prep::fabric_graph_for(topo, &spec),
                 hop_mode: spec.hop_mode,
+                policy: spec.uplink_policy,
             }),
         }
     }
@@ -217,6 +270,85 @@ impl FabricMap {
     }
 }
 
+/// Revises the uplink slots of an expanded port path (given as pool
+/// resource indices) under `policy`, from the pool's live down/free/
+/// queue-depth state. Each adjacent `(uplink-up, uplink-down)` pair is
+/// rescored independently; both legs move jointly so the route stays on
+/// one spine. Slot substitution never changes a cut-through duration —
+/// the slots of a leaf are homogeneous by construction — so callers can
+/// keep their cached timings. Returns the revised path and the first
+/// revised uplink-up port, or `None` if every crossing keeps its slot
+/// (including when no surviving slot exists: exhausted diversity
+/// degrades to stall-until-repair, never to an invalid route).
+pub(crate) fn choose_uplinks(
+    graph: &FabricGraph,
+    pool: &ChannelPool,
+    path: &[ChannelId],
+    policy: UplinkPolicy,
+) -> Option<(Vec<ChannelId>, ChannelId)> {
+    if policy == UplinkPolicy::Hash {
+        return None;
+    }
+    let mut out: Option<Vec<ChannelId>> = None;
+    let mut moved_to: Option<ChannelId> = None;
+    let mut i = 0;
+    while i + 1 < path.len() {
+        let up = graph.port(PortId(path[i].0));
+        let down = graph.port(PortId(path[i + 1].0));
+        let cur = match (up.kind(), down.kind(), up.uplink(), down.uplink()) {
+            (PortKind::UplinkUp, PortKind::UplinkDown, Some(a), Some(b)) if a == b => a as usize,
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        let ups = graph.uplinks_up(up.switch());
+        let downs = graph.uplinks_down(down.switch());
+        let k = ups.len().min(downs.len());
+        let alive = |s: usize| {
+            !pool.is_link_down(ChannelId(ups[s].0)) && !pool.is_link_down(ChannelId(downs[s].0))
+        };
+        let chosen = match policy {
+            UplinkPolicy::Hash => cur,
+            UplinkPolicy::Failover => {
+                if alive(cur) {
+                    cur
+                } else {
+                    (1..k)
+                        .map(|d| (cur + d) % k)
+                        .find(|&s| alive(s))
+                        .unwrap_or(cur)
+                }
+            }
+            UplinkPolicy::LeastQueued => {
+                let score = |s: usize| {
+                    let u = ChannelId(ups[s].0);
+                    let d = ChannelId(downs[s].0);
+                    pool.waiting_on(u)
+                        + pool.waiting_on(d)
+                        + usize::from(!pool.is_free(u))
+                        + usize::from(!pool.is_free(d))
+                };
+                let best = (0..k).filter(|&s| alive(s)).min_by_key(|&s| (score(s), s));
+                match best {
+                    Some(b) if !alive(cur) || score(b) < score(cur) => b,
+                    _ => cur,
+                }
+            }
+        };
+        if chosen != cur {
+            let revised = out.get_or_insert_with(|| path.to_vec());
+            revised[i] = ChannelId(ups[chosen].0);
+            revised[i + 1] = ChannelId(downs[chosen].0);
+            if moved_to.is_none() {
+                moved_to = Some(ChannelId(ups[chosen].0));
+            }
+        }
+        i += 2;
+    }
+    out.map(|p| (p, moved_to.expect("a revised path has a revised slot")))
+}
+
 /// One schedulable unit of a transfer in the fabric engine: the whole
 /// port path under cut-through, a single port under store-and-forward.
 #[derive(Debug, Clone, Copy)]
@@ -244,6 +376,14 @@ struct HopDone(u32);
 /// other components directly).
 struct FabricCore {
     pool: ChannelPool,
+    /// The port graph, for adaptive uplink revision at grant time.
+    graph: Rc<FabricGraph>,
+    /// Revision policy; [`UplinkPolicy::Hash`] means never revise.
+    policy: UplinkPolicy,
+    /// Whether grant-time revision is active (an adaptive policy under
+    /// cut-through; store-and-forward keeps the static striping).
+    adaptive: bool,
+    failovers: u64,
     hops: Vec<HopTask>,
     /// First hop of each transfer, indexed by transfer id.
     first_hop: Vec<u32>,
@@ -287,8 +427,23 @@ impl FabricCore {
     }
 
     /// Declares hop `h` ready; starts it if its ports are free, records
-    /// the congestion it observed otherwise.
+    /// the congestion it observed otherwise. Under an adaptive uplink
+    /// policy the hop's uplink slots are rescored first, from the live
+    /// queue depths at this instant — the grant-time choice.
     fn try_ready_hop(&mut self, h: u32, now: Seconds) {
+        if self.adaptive {
+            if let Some((revised, port)) =
+                choose_uplinks(&self.graph, &self.pool, self.pool.path(h), self.policy)
+            {
+                self.pool.reroute(h, revised);
+                self.failovers += 1;
+                self.trace.push(TraceRecord::Failover {
+                    id: self.specs[self.hops[h as usize].transfer as usize].id,
+                    port,
+                    at: now,
+                });
+            }
+        }
         if self.pool.mark_ready(h, now, &mut self.trace) {
             self.begin_hop(h, now);
         } else {
@@ -432,6 +587,18 @@ impl Component<HopDone> for SwitchAgent {
     }
 }
 
+/// Extracts the busy time of every uplink port from a per-port busy
+/// vector, in port-id order — the [`SimStats::uplink_busy`] view shared
+/// by the fabric and fault engines.
+pub(crate) fn uplink_busy_of(graph: &FabricGraph, port_busy: &[Seconds]) -> Vec<Seconds> {
+    graph
+        .ports()
+        .iter()
+        .filter(|p| p.uplink().is_some())
+        .map(|p| port_busy[p.id().index()])
+        .collect()
+}
+
 /// [`simulate`](crate::simulate) on the explicit switch fabric: the
 /// dispatch target for [`NetworkModel::SwitchFabric`].
 pub(crate) fn simulate_fabric(
@@ -447,6 +614,7 @@ pub(crate) fn simulate_fabric(
     let map = FabricMap {
         graph: crate::prep::fabric_graph_for(topo, spec),
         hop_mode: spec.hop_mode,
+        policy: spec.uplink_policy,
     };
     let num_ports = map.num_ports();
     let num_gpus = topo.num_gpus();
@@ -539,6 +707,10 @@ pub(crate) fn simulate_fabric(
 
     let core = Rc::new(RefCell::new(FabricCore {
         pool,
+        graph: Rc::clone(&map.graph),
+        policy: spec.uplink_policy,
+        adaptive: spec.uplink_policy != UplinkPolicy::Hash && spec.hop_mode == HopMode::CutThrough,
+        failovers: 0,
         hops,
         first_hop,
         dst_node,
@@ -616,6 +788,7 @@ pub(crate) fn simulate_fabric(
     let kstats = sim.stats();
     drop(sim); // the agents' Rc clones die here, leaving `core` unique
     let mut c = core.borrow_mut();
+    let failovers = c.failovers;
     let timings = std::mem::take(&mut c.timings);
     let trace = std::mem::take(&mut c.trace);
     let forwarding_busy = std::mem::take(&mut c.forwarding_busy);
@@ -652,6 +825,7 @@ pub(crate) fn simulate_fabric(
         }
     }
 
+    let uplink_busy = uplink_busy_of(&map.graph, &port_busy);
     let stats = SimStats {
         events_scheduled: kstats.events_scheduled,
         events_processed: kstats.events_processed,
@@ -661,6 +835,8 @@ pub(crate) fn simulate_fabric(
         force_starts,
         port_busy,
         switch_queue_depth,
+        failovers,
+        uplink_busy,
         ..SimStats::default()
     };
 

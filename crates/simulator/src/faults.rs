@@ -45,7 +45,7 @@ use crate::resource::{ChannelPool, ComputeStream};
 use crate::system::{simulate_system, SystemJob, SystemReport};
 use crate::trace::{SimTrace, TraceRecord};
 use ccube_collectives::{Embedding, Schedule, TransferSpec};
-use ccube_topology::{ChannelClass, ChannelId, GpuId, Router, Seconds, Topology};
+use ccube_topology::{ChannelClass, ChannelId, GpuId, Router, Seconds, SwitchId, Topology};
 use std::collections::HashMap;
 
 /// The sentinel end time of a permanent fault: the event never lifts.
@@ -94,6 +94,37 @@ pub enum FaultEvent {
         /// Compute-time multiplier, at least `1.0`.
         slowdown: f64,
     },
+    /// An uplink outage on the switch fabric: the up/down port pair of
+    /// slot `uplink` on leaf `leaf` rejects every new grant in the
+    /// window. In-flight wormholes drain normally — the outage is
+    /// detected at grant time — and queued port paths fail over to the
+    /// leaf's surviving slots under an adaptive
+    /// [`UplinkPolicy`](crate::UplinkPolicy); exhausted diversity
+    /// degrades to stall-until-repair. Requires the `SwitchFabric`
+    /// network model.
+    UplinkDown {
+        /// The leaf switch whose uplink goes down.
+        leaf: u32,
+        /// The uplink slot on that leaf.
+        uplink: u32,
+        /// When it goes down.
+        from: Seconds,
+        /// When it comes back up ([`forever`] = never).
+        until: Seconds,
+    },
+    /// A spine-switch outage: every uplink slot attached to the spine
+    /// (slots `j` with `j % spines == spine`) goes down on **every**
+    /// leaf for the window — the correlated analogue of
+    /// [`FaultEvent::UplinkDown`]. Requires the `SwitchFabric` network
+    /// model.
+    SwitchDown {
+        /// The spine switch that goes down.
+        spine: u32,
+        /// When it goes down.
+        from: Seconds,
+        /// When it comes back up ([`forever`] = never).
+        until: Seconds,
+    },
 }
 
 impl FaultEvent {
@@ -102,7 +133,9 @@ impl FaultEvent {
         match *self {
             FaultEvent::LinkDown { from, .. }
             | FaultEvent::Degraded { from, .. }
-            | FaultEvent::Straggler { from, .. } => from,
+            | FaultEvent::Straggler { from, .. }
+            | FaultEvent::UplinkDown { from, .. }
+            | FaultEvent::SwitchDown { from, .. } => from,
         }
     }
 
@@ -111,7 +144,9 @@ impl FaultEvent {
         match *self {
             FaultEvent::LinkDown { until, .. }
             | FaultEvent::Degraded { until, .. }
-            | FaultEvent::Straggler { until, .. } => until,
+            | FaultEvent::Straggler { until, .. }
+            | FaultEvent::UplinkDown { until, .. }
+            | FaultEvent::SwitchDown { until, .. } => until,
         }
     }
 
@@ -170,7 +205,9 @@ impl FaultPlan {
                         )));
                     }
                 }
-                FaultEvent::LinkDown { .. } => {}
+                FaultEvent::LinkDown { .. }
+                | FaultEvent::UplinkDown { .. }
+                | FaultEvent::SwitchDown { .. } => {}
             }
         }
         Ok(FaultPlan { events })
@@ -265,6 +302,44 @@ impl FaultPlan {
         FaultPlan { events }
     }
 
+    /// Samples uplink-outage windows over a spine/leaf fabric of
+    /// `num_leaves` leaves with `uplinks_per_leaf` slots each: per
+    /// `(leaf, slot)` pair, outages arrive as a Poisson process
+    /// (exponential inter-arrival with mean `mtbf`, exponential
+    /// durations with mean `mttr`) within `[0, horizon)`.
+    ///
+    /// Like [`FaultPlan::sample`], one RNG stream is forked per target
+    /// from `rng`, so the plan is a pure function of the seed. Sampling
+    /// with `uplinks_per_leaf` *smaller* than a fabric's actual slot
+    /// count yields a plan valid on every fabric with at least that many
+    /// slots — the trick the resilience study uses to replay the *same*
+    /// seeded plan against single- and multi-uplink fabrics.
+    pub fn sample_uplinks(
+        num_leaves: usize,
+        uplinks_per_leaf: usize,
+        mtbf: Seconds,
+        mttr: Seconds,
+        horizon: Seconds,
+        rng: &SimRng,
+    ) -> FaultPlan {
+        let mut events = Vec::new();
+        for leaf in 0..num_leaves as u32 {
+            for slot in 0..uplinks_per_leaf as u32 {
+                let key = 0x0002_0000 + u64::from(leaf) * uplinks_per_leaf as u64 + u64::from(slot);
+                let mut r = rng.fork(key);
+                sample_windows(&mut r, mtbf, mttr, horizon, |from, until| {
+                    events.push(FaultEvent::UplinkDown {
+                        leaf,
+                        uplink: slot,
+                        from,
+                        until,
+                    });
+                });
+            }
+        }
+        FaultPlan { events }
+    }
+
     /// Greedy delta-debugging shrinker: repeatedly drops single events
     /// while `still_fails` keeps returning `true`, until no single
     /// removal preserves the failure. The result is 1-minimal — every
@@ -312,6 +387,58 @@ impl FaultPlan {
                         )));
                     }
                 }
+                // Fabric targets are validated against the derived port
+                // graph in validate_fabric_events, once the network
+                // model is known.
+                FaultEvent::UplinkDown { .. } | FaultEvent::SwitchDown { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates the plan's fabric-native targets against the derived
+    /// port graph (`None` under the channel approximation, where no
+    /// fabric exists to fault).
+    fn validate_fabric_events(
+        &self,
+        graph: Option<&ccube_topology::FabricGraph>,
+    ) -> Result<(), SimError> {
+        for (i, e) in self.events.iter().enumerate() {
+            match *e {
+                FaultEvent::UplinkDown { leaf, uplink, .. } => {
+                    let Some(g) = graph else {
+                        return Err(SimError::FaultPlanInvalid(format!(
+                            "event {i}: UplinkDown requires the switch-fabric network model"
+                        )));
+                    };
+                    if leaf as usize >= g.num_switches() {
+                        return Err(SimError::FaultPlanInvalid(format!(
+                            "event {i}: leaf {leaf} outside the fabric"
+                        )));
+                    }
+                    let slots = g.uplinks_up(ccube_topology::SwitchId(leaf)).len();
+                    if uplink as usize >= slots {
+                        return Err(SimError::FaultPlanInvalid(format!(
+                            "event {i}: uplink {uplink} outside leaf {leaf} \
+                             ({slots} uplinks)"
+                        )));
+                    }
+                }
+                FaultEvent::SwitchDown { spine, .. } => {
+                    let Some(g) = graph else {
+                        return Err(SimError::FaultPlanInvalid(format!(
+                            "event {i}: SwitchDown requires the switch-fabric network model"
+                        )));
+                    };
+                    if spine as usize >= g.num_spines() {
+                        return Err(SimError::FaultPlanInvalid(format!(
+                            "event {i}: spine {spine} outside the fabric \
+                             ({} spines)",
+                            g.num_spines()
+                        )));
+                    }
+                }
+                _ => {}
             }
         }
         Ok(())
@@ -524,6 +651,7 @@ struct Engine<'a> {
     in_flight: usize,
     faults_injected: u64,
     reroutes_taken: u64,
+    failovers: u64,
 }
 
 impl Engine<'_> {
@@ -658,6 +786,15 @@ impl Engine<'_> {
             }
             FaultEvent::Degraded { channel, .. } => self.rescale_channel(channel, now),
             FaultEvent::Straggler { gpu, .. } => self.rescale_gpu(gpu, now),
+            ev @ (FaultEvent::UplinkDown { .. } | FaultEvent::SwitchDown { .. }) => {
+                for r in self.fault_ports(&ev) {
+                    self.pool.set_link_down(r);
+                }
+                // Downed ports drain their in-flight wormholes (the
+                // completion events stay scheduled); queued port paths
+                // fail over to surviving uplinks right away.
+                self.failover_pass(now);
+            }
         }
     }
 
@@ -681,7 +818,121 @@ impl Engine<'_> {
             }
             FaultEvent::Degraded { channel, .. } => self.rescale_channel(channel, now),
             FaultEvent::Straggler { gpu, .. } => self.rescale_gpu(gpu, now),
+            ev @ (FaultEvent::UplinkDown { .. } | FaultEvent::SwitchDown { .. }) => {
+                let ports = self.fault_ports(&ev);
+                for &r in &ports {
+                    self.pool.set_link_up(r);
+                }
+                // Transfers stranded on a slot that is STILL down (they
+                // had no survivor to fail over to) revise onto the
+                // repaired one before its waiter queues are served.
+                self.failover_pass(now);
+                for r in ports {
+                    if !self.pool.is_link_down(r) {
+                        let mut started = Vec::new();
+                        self.pool
+                            .serve_channel(r, now, &mut self.trace, &mut started);
+                        for s in started {
+                            self.begin_transfer(s, now);
+                        }
+                    }
+                }
+            }
         }
+    }
+
+    /// The pool port resources a fabric-native fault event downs: both
+    /// legs of the uplink crossing (a transfer that cannot reach the
+    /// spine cannot come back down it either), or every crossing homed
+    /// on a downed spine.
+    fn fault_ports(&self, e: &FaultEvent) -> Vec<ChannelId> {
+        let Some(f) = &self.fabric else {
+            return Vec::new(); // validated away under ChannelApprox
+        };
+        match *e {
+            FaultEvent::UplinkDown { leaf, uplink, .. } => {
+                let sw = SwitchId(leaf);
+                let up = f.graph.uplinks_up(sw)[uplink as usize];
+                let down = f.graph.uplinks_down(sw)[uplink as usize];
+                vec![ChannelId(up.0), ChannelId(down.0)]
+            }
+            FaultEvent::SwitchDown { spine, .. } => {
+                let mut out = Vec::new();
+                for leaf in 0..f.graph.num_switches() {
+                    let sw = SwitchId(leaf as u32);
+                    let ups = f.graph.uplinks_up(sw);
+                    let downs = f.graph.uplinks_down(sw);
+                    for (slot, (&u, &d)) in ups.iter().zip(downs).enumerate() {
+                        if f.graph.spine_of_uplink(slot as u32) == spine {
+                            out.push(ChannelId(u.0));
+                            out.push(ChannelId(d.0));
+                        }
+                    }
+                }
+                out
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Re-slots every waiting transfer's spine crossings onto surviving
+    /// (or less-queued) uplinks. Unlike [`Self::reroute_pass`] this
+    /// never changes the channel-level route — slot substitution is
+    /// duration-invariant by construction, so specs and cached timings
+    /// stay untouched. A crossing with no surviving slot keeps its
+    /// current one and stalls until repair; permanent total severance
+    /// surfaces as [`SimError::Unroutable`] when the queue drains.
+    fn failover_pass(&mut self, now: Seconds) {
+        let Some(f) = &self.fabric else { return };
+        if f.policy == crate::fabric::UplinkPolicy::Hash {
+            return;
+        }
+        let graph = std::rc::Rc::clone(&f.graph);
+        let policy = f.policy;
+        for tid in 0..self.nt as u32 {
+            if self.pool.is_done(tid) || self.pool.is_running(tid) {
+                continue;
+            }
+            let Some((revised, port)) =
+                crate::fabric::choose_uplinks(&graph, &self.pool, self.pool.path(tid), policy)
+            else {
+                continue;
+            };
+            self.pool.reroute(tid, revised);
+            self.failovers += 1;
+            self.trace.push(TraceRecord::Failover {
+                id: self.specs[tid as usize].id,
+                port,
+                at: now,
+            });
+            if self.pool.poke(tid, now, &mut self.trace) {
+                self.begin_transfer(tid, now);
+            }
+        }
+    }
+
+    /// Marks `tid` ready, first revising its spine crossings under an
+    /// adaptive uplink policy — the grant-time choice from live queue
+    /// depths the fabric's healthy engine makes too.
+    fn adapt_and_mark_ready(&mut self, tid: u32, now: Seconds) -> bool {
+        if let Some(f) = &self.fabric {
+            if f.policy != crate::fabric::UplinkPolicy::Hash {
+                let graph = std::rc::Rc::clone(&f.graph);
+                let policy = f.policy;
+                if let Some((revised, port)) =
+                    crate::fabric::choose_uplinks(&graph, &self.pool, self.pool.path(tid), policy)
+                {
+                    self.pool.reroute(tid, revised);
+                    self.failovers += 1;
+                    self.trace.push(TraceRecord::Failover {
+                        id: self.specs[tid as usize].id,
+                        port,
+                        at: now,
+                    });
+                }
+            }
+        }
+        self.pool.mark_ready(tid, now, &mut self.trace)
     }
 
     /// Re-routes every waiting transfer whose path crosses a down
@@ -830,7 +1081,14 @@ impl Engine<'_> {
             if self.pool.is_done(tid) {
                 continue;
             }
-            if self.specs[t].path.iter().any(|&c| self.is_channel_down(c)) {
+            let stuck = self.specs[t].path.iter().any(|&c| self.is_channel_down(c))
+                || (self.fabric.is_some()
+                    && self
+                        .pool
+                        .path(tid)
+                        .iter()
+                        .any(|&r| self.pool.is_link_down(r)));
+            if stuck {
                 return SimError::Unroutable {
                     src: self.embedding.gpu_of(transfers[t].src),
                     dst: self.embedding.gpu_of(transfers[t].dst),
@@ -898,14 +1156,22 @@ pub fn simulate_system_faulted(
     // durations follow the fabric; specs keep their channel-level paths
     // (fault events are declared per channel).
     let fabric = crate::fabric::FabricMap::for_options(topo, opts);
+    plan.validate_fabric_events(fabric.as_ref().map(|f| f.graph.as_ref()))?;
     let res_paths: Vec<Vec<ChannelId>> = match &fabric {
         Some(f) => {
+            let crate::fabric::NetworkModel::SwitchFabric(spec) = opts.network else {
+                unreachable!("FabricMap exists only under SwitchFabric")
+            };
             let timing = opts.link_timing();
+            // Port expansions come through the preparation cache (keyed
+            // by the full fabric spec, spine/uplink config included).
+            let ports = crate::prep::ports_for(&prep, &spec, &f.graph);
             specs
                 .iter_mut()
-                .map(|s| {
-                    s.duration = f.duration(&s.path, s.bytes, s.via.is_some(), &timing);
-                    f.resource_path(&s.path)
+                .zip(ports.iter())
+                .map(|(s, route)| {
+                    s.duration = f.duration_on(route, s.bytes, s.via.is_some(), &timing);
+                    route.iter().map(|p| ChannelId(p.0)).collect()
                 })
                 .collect()
         }
@@ -968,6 +1234,7 @@ pub fn simulate_system_faulted(
         in_flight: 0,
         faults_injected: 0,
         reroutes_taken: 0,
+        failovers: 0,
     };
 
     // Faults active from t = 0 apply BEFORE seeding, so no transfer can
@@ -988,9 +1255,7 @@ pub fn simulate_system_faulted(
 
     // Seed: dependency-free nodes, transfers first (historical order).
     for t in transfers {
-        if deps_remaining[t.id.index()] == 0
-            && eng.pool.mark_ready(t.id.0, Seconds::ZERO, &mut eng.trace)
-        {
+        if deps_remaining[t.id.index()] == 0 && eng.adapt_and_mark_ready(t.id.0, Seconds::ZERO) {
             eng.begin_transfer(t.id.0, Seconds::ZERO);
         }
     }
@@ -1105,7 +1370,7 @@ pub fn simulate_system_faulted(
                     if ok {
                         eng.begin_compute(dep_id, now);
                     }
-                } else if eng.pool.mark_ready(dep_id, now, &mut eng.trace) {
+                } else if eng.adapt_and_mark_ready(dep_id, now) {
                     eng.begin_transfer(dep_id, now);
                 }
             }
@@ -1148,7 +1413,11 @@ pub fn simulate_system_faulted(
                 per_channel.entry(channel).or_default().push((lo, hi));
             }
             FaultEvent::Degraded { .. } => degraded.push((lo, hi)),
-            FaultEvent::Straggler { .. } => {}
+            // Fabric-port downtime has no channel to charge; it shows up
+            // in the failover counter and per-uplink busy time instead.
+            FaultEvent::Straggler { .. }
+            | FaultEvent::UplinkDown { .. }
+            | FaultEvent::SwitchDown { .. } => {}
         }
     }
     for (channel, windows) in per_channel {
@@ -1171,15 +1440,17 @@ pub fn simulate_system_faulted(
         .unwrap_or(0);
     // Per-port quantities fold back to channels under the fabric model;
     // the raw per-port busy vector stays visible in the stats.
-    let (channel_busy, queue_wait, port_busy) = match &eng.fabric {
+    let (channel_busy, queue_wait, port_busy, uplink_busy) = match &eng.fabric {
         Some(f) => (
             f.channel_values(eng.pool.busy(), num_channels),
             f.channel_values(eng.pool.queue_wait(), num_channels),
             eng.pool.busy().to_vec(),
+            crate::fabric::uplink_busy_of(&f.graph, eng.pool.busy()),
         ),
         None => (
             eng.pool.busy().to_vec(),
             eng.pool.queue_wait().to_vec(),
+            Vec::new(),
             Vec::new(),
         ),
     };
@@ -1192,9 +1463,11 @@ pub fn simulate_system_faulted(
         force_starts: eng.pool.force_starts(),
         faults_injected: eng.faults_injected,
         reroutes_taken: eng.reroutes_taken,
+        failovers: eng.failovers,
         time_degraded,
         channel_downtime,
         port_busy,
+        uplink_busy,
         ..SimStats::default()
     };
 

@@ -56,7 +56,7 @@ pub mod trace;
 
 pub use engine::{simulate, Arbitration, SimOptions};
 pub use error::SimError;
-pub use fabric::{FabricSpec, HopMode, NetworkModel};
+pub use fabric::{FabricSpec, HopMode, NetworkModel, UplinkPolicy};
 pub use faults::{
     forever, simulate_faulted, simulate_system_faulted, FaultDriver, FaultEvent, FaultModel,
     FaultPlan, FaultSignal,

@@ -280,6 +280,16 @@ fn fp_fabric(spec: &FabricSpec) -> u128 {
         crate::fabric::HopMode::CutThrough => 0,
         crate::fabric::HopMode::StoreForward => 1,
     });
+    // The spine shape changes both the derived graph and the cached port
+    // paths; the policy changes neither but keeps distinct sweep points
+    // from sharing a fingerprint in stats.
+    h.push(spec.spines as u64);
+    h.push(spec.uplinks as u64);
+    h.push(match spec.uplink_policy {
+        crate::fabric::UplinkPolicy::Hash => 0,
+        crate::fabric::UplinkPolicy::LeastQueued => 1,
+        crate::fabric::UplinkPolicy::Failover => 2,
+    });
     h.finish()
 }
 

@@ -53,6 +53,15 @@ pub struct SimStats {
     /// switch's ports — the congestion signal for policy search.
     /// Populated only by the `SwitchFabric` network model.
     pub switch_queue_depth: Vec<usize>,
+    /// Transfers steered onto a different uplink slot — by an adaptive
+    /// uplink policy at grant time, or by the fault driver failing them
+    /// away from a downed uplink. `SwitchFabric` network model only.
+    pub failovers: u64,
+    /// Busy time of every uplink port, in port-id order (the same order
+    /// [`FabricGraph`](ccube_topology::FabricGraph) enumerates them:
+    /// leaf-major, up before down within a slot). Populated only by the
+    /// `SwitchFabric` network model on fabrics with a spine level.
+    pub uplink_busy: Vec<Seconds>,
 }
 
 impl SimStats {

@@ -520,6 +520,17 @@ impl ChannelPool {
         self.link_down[channel.index()] > 0
     }
 
+    /// Whether `channel` is currently unoccupied — the live congestion
+    /// signal (together with [`ChannelPool::waiting_on`]) that adaptive
+    /// uplink policies score candidate slots by.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn is_free(&self, channel: ChannelId) -> bool {
+        self.free[channel.index()]
+    }
+
     /// Moves a waiting (not running, not done) task onto a new channel
     /// path, preserving its enqueue timestamp so time spent waiting out
     /// a fault still counts as queue wait. If the task was queued it is

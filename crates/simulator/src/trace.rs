@@ -133,6 +133,17 @@ pub enum TraceRecord {
         /// When the new route was chosen.
         at: Seconds,
     },
+    /// A transfer's port path was steered onto a different uplink slot —
+    /// by an adaptive uplink policy at grant time, or by the fault
+    /// driver failing it away from a downed uplink. Fabric engines only.
+    Failover {
+        /// The transfer whose path moved.
+        id: TransferId,
+        /// Pool resource index of the uplink-up port now carrying it.
+        port: ChannelId,
+        /// When the new slot was chosen.
+        at: Seconds,
+    },
 }
 
 impl TraceRecord {
@@ -147,7 +158,8 @@ impl TraceRecord {
             | TraceRecord::DetourHop { at, .. }
             | TraceRecord::FaultStart { at, .. }
             | TraceRecord::FaultEnd { at, .. }
-            | TraceRecord::Reroute { at, .. } => at,
+            | TraceRecord::Reroute { at, .. }
+            | TraceRecord::Failover { at, .. } => at,
             TraceRecord::QueueWait { granted, .. } => granted,
         }
     }
@@ -317,6 +329,9 @@ impl SimTrace {
                 TraceRecord::Reroute { id, at } => {
                     writeln!(out, "reroute,{},,{:.3},", id.0, at.as_micros())
                 }
+                TraceRecord::Failover { id, port, at } => {
+                    writeln!(out, "failover,{},{},{:.3},", id.0, port.0, at.as_micros())
+                }
             };
         }
         out
@@ -371,7 +386,9 @@ impl SimTrace {
                 TraceRecord::ChannelGrant { channel, .. } => {
                     lanes.insert((0, channel.0, format!("{lane} {}", channel.0)));
                 }
-                TraceRecord::QueueWait { .. } | TraceRecord::Reroute { .. } => {
+                TraceRecord::QueueWait { .. }
+                | TraceRecord::Reroute { .. }
+                | TraceRecord::Failover { .. } => {
                     lanes.insert((0, 0, format!("{lane} 0")));
                 }
                 TraceRecord::ComputeStart { gpu, .. } | TraceRecord::ComputeEnd { gpu, .. } => {
@@ -460,6 +477,9 @@ impl SimTrace {
                 }
                 TraceRecord::Reroute { id, at } => {
                     events.push(instant(&format!("reroute t{}", id.0), 0, 0, at));
+                }
+                TraceRecord::Failover { id, at, .. } => {
+                    events.push(instant(&format!("failover t{}", id.0), 0, 0, at));
                 }
             }
         }

@@ -1,0 +1,417 @@
+//! Fault tolerance of the multi-uplink spine/leaf fabric: adaptive
+//! failover onto surviving uplinks, stall-until-repair when diversity
+//! is exhausted, typed `Unroutable` on permanent total severance, and
+//! the validation edges of fabric-native fault targets.
+
+use ccube_collectives::{tree_allreduce, Chunking, DoubleBinaryTree, Embedding, Overlap, Schedule};
+use ccube_sim::{
+    forever, simulate_system, simulate_system_faulted, FabricSpec, FaultEvent, FaultPlan,
+    NetworkModel, SimError, SimOptions, SimRng, SystemJob, TraceRecord, UplinkPolicy,
+};
+use ccube_topology::{hierarchical, ByteSize, ChannelId, Seconds};
+use proptest::prelude::*;
+
+fn compute_less(schedule: Schedule) -> SystemJob {
+    SystemJob {
+        schedule,
+        compute: vec![],
+        transfer_gates: vec![],
+    }
+}
+
+/// A radix-4 spine/leaf spec over `hierarchical(16)`: 4 leaves with
+/// `uplinks` slots each, total uplink capacity held constant so the
+/// healthy makespan is invariant in `uplinks`.
+fn spec(uplinks: usize, policy: UplinkPolicy) -> FabricSpec {
+    FabricSpec {
+        radix: Some(4),
+        spines: uplinks.max(1),
+        uplinks,
+        uplink_policy: policy,
+        ..FabricSpec::default()
+    }
+}
+
+fn opts_for(uplinks: usize, policy: UplinkPolicy) -> SimOptions {
+    SimOptions::scale_out().with_network(NetworkModel::SwitchFabric(spec(uplinks, policy)))
+}
+
+/// The C1 double tree on `hierarchical(16)`: its cross-leaf edges have
+/// both even and odd source nodes, so hash striping spreads them over
+/// both uplink slots (a unidirectional ring would put every leaf
+/// crossing on one slot and leave the other idle).
+fn setup() -> (ccube_topology::Topology, SystemJob, Embedding) {
+    let topo = hierarchical(16);
+    let dt = DoubleBinaryTree::new(16).expect("16 ranks");
+    let s = tree_allreduce(
+        dt.trees(),
+        &Chunking::even(ByteSize::mib(8), 16),
+        Overlap::ReductionBroadcast,
+    );
+    let e = Embedding::nic(&topo, &s).expect("nic embedding");
+    (topo, compute_less(s), e)
+}
+
+#[test]
+fn two_uplinks_fail_over_and_beat_the_single_uplink_fabric() {
+    let (topo, job, e) = setup();
+    let one = opts_for(1, UplinkPolicy::Failover);
+    let two = opts_for(2, UplinkPolicy::Failover);
+    let healthy1 = simulate_system(&topo, &job, &e, &one).expect("healthy 1-uplink");
+    let healthy2 = simulate_system(&topo, &job, &e, &two).expect("healthy 2-uplink");
+
+    // Slot 0 of every leaf down for most of the healthy run — valid on
+    // both fabrics (every leaf has a slot 0).
+    let window = healthy1.makespan * 0.75;
+    let plan = FaultPlan::new(
+        (0..4)
+            .map(|leaf| FaultEvent::UplinkDown {
+                leaf,
+                uplink: 0,
+                from: Seconds::ZERO,
+                until: window,
+            })
+            .collect(),
+    )
+    .expect("valid plan");
+
+    let r1 = simulate_system_faulted(&topo, &job, &e, &one, &plan).expect("1-uplink recovers");
+    let r2 = simulate_system_faulted(&topo, &job, &e, &two, &plan).expect("2-uplink recovers");
+
+    // One uplink: no diversity, every crossing stalls out the window.
+    assert_eq!(r1.stats.failovers, 0, "k=1 has nowhere to fail over");
+    assert!(r1.makespan > healthy1.makespan);
+    // Two uplinks: slot-0 traffic moves to slot 1 and the run recovers.
+    assert!(r2.stats.failovers >= 1, "k=2 must record failover reroutes");
+    // Slowdown (faulted over own healthy makespan) is the cross-fabric
+    // comparable: the 2-uplink fabric must degrade strictly less.
+    let slow1 = r1.makespan.as_secs_f64() / healthy1.makespan.as_secs_f64();
+    let slow2 = r2.makespan.as_secs_f64() / healthy2.makespan.as_secs_f64();
+    assert!(
+        slow2 < slow1,
+        "failover must strictly beat the stalled single-uplink fabric: {slow2} vs {slow1}"
+    );
+    // Every recorded failover appears in the trace.
+    let traced = r2
+        .trace
+        .records()
+        .filter(|rec| matches!(rec, TraceRecord::Failover { .. }))
+        .count() as u64;
+    assert_eq!(traced, r2.stats.failovers);
+    // Replay is bit-identical.
+    let again = simulate_system_faulted(&topo, &job, &e, &two, &plan).expect("replay");
+    assert_eq!(r2, again);
+}
+
+#[test]
+fn hash_policy_stalls_until_repair_instead_of_failing_over() {
+    let (topo, job, e) = setup();
+    let opts = opts_for(2, UplinkPolicy::Hash);
+    let healthy = simulate_system(&topo, &job, &e, &opts).expect("healthy");
+    let plan = FaultPlan::new(vec![FaultEvent::UplinkDown {
+        leaf: 0,
+        uplink: 0,
+        from: Seconds::ZERO,
+        until: healthy.makespan * 0.5,
+    }])
+    .expect("valid");
+    let r = simulate_system_faulted(&topo, &job, &e, &opts, &plan).expect("completes");
+    assert_eq!(r.stats.failovers, 0, "hash striping never revises");
+    assert!(r.makespan > healthy.makespan, "striped traffic stalls");
+}
+
+#[test]
+fn switch_down_takes_a_whole_spine_and_failover_recovers() {
+    let (topo, job, e) = setup();
+    let opts = opts_for(2, UplinkPolicy::Failover);
+    let healthy = simulate_system(&topo, &job, &e, &opts).expect("healthy");
+    // Spine 0 serves slot 0 of every leaf (2 spines, slot j -> spine j).
+    let plan = FaultPlan::new(vec![FaultEvent::SwitchDown {
+        spine: 0,
+        from: Seconds::ZERO,
+        until: healthy.makespan * 0.75,
+    }])
+    .expect("valid");
+    let r = simulate_system_faulted(&topo, &job, &e, &opts, &plan).expect("recovers");
+    assert!(r.stats.failovers >= 1, "spine loss must trigger failover");
+    // Per-uplink busy time is reported: 2 slots x 2 legs x 4 leaves.
+    assert_eq!(r.stats.uplink_busy.len(), 16);
+    // Surviving-spine ports carried traffic during the outage.
+    assert!(r.stats.uplink_busy.iter().any(|b| !b.is_zero()));
+}
+
+#[test]
+fn permanent_total_severance_is_unroutable_not_deadlock() {
+    let (topo, job, e) = setup();
+    let opts = opts_for(2, UplinkPolicy::Failover);
+    // Both slots of leaf 0 permanently down: exhausted diversity.
+    let plan = FaultPlan::new(
+        (0..2)
+            .map(|slot| FaultEvent::UplinkDown {
+                leaf: 0,
+                uplink: slot,
+                from: Seconds::ZERO,
+                until: forever(),
+            })
+            .collect(),
+    )
+    .expect("valid");
+    match simulate_system_faulted(&topo, &job, &e, &opts, &plan) {
+        Err(SimError::Unroutable { .. }) => {}
+        other => panic!("expected Unroutable, got {other:?}"),
+    }
+}
+
+#[test]
+fn forever_fault_on_the_last_surviving_uplink_is_unroutable() {
+    let (topo, job, e) = setup();
+    let opts = opts_for(2, UplinkPolicy::Failover);
+    let healthy = simulate_system(&topo, &job, &e, &opts).expect("healthy");
+    // Slot 0 dies at t=0 and repairs late; slot 1 — the last survivor
+    // while slot 0 is out — dies forever mid-run. After slot 0 repairs
+    // the fabric is routable again, so the run completes; but if slot 0
+    // is ALSO permanent, it cannot.
+    let transient_then_fatal = |slot0_until: Seconds| {
+        FaultPlan::new(vec![
+            FaultEvent::UplinkDown {
+                leaf: 0,
+                uplink: 0,
+                from: Seconds::ZERO,
+                until: slot0_until,
+            },
+            FaultEvent::UplinkDown {
+                leaf: 0,
+                uplink: 1,
+                from: healthy.makespan * 0.25,
+                until: forever(),
+            },
+        ])
+        .expect("valid")
+    };
+    let recovers = transient_then_fatal(healthy.makespan * 0.5);
+    let r = simulate_system_faulted(&topo, &job, &e, &opts, &recovers)
+        .expect("slot 0 repair restores routability");
+    assert!(r.makespan >= healthy.makespan);
+    let fatal = transient_then_fatal(forever());
+    match simulate_system_faulted(&topo, &job, &e, &opts, &fatal) {
+        Err(SimError::Unroutable { .. }) => {}
+        other => panic!("expected Unroutable, got {other:?}"),
+    }
+}
+
+#[test]
+fn overlapping_uplink_windows_on_one_slot_compose_like_counters() {
+    let (topo, job, e) = setup();
+    let opts = opts_for(2, UplinkPolicy::Hash);
+    let healthy = simulate_system(&topo, &job, &e, &opts).expect("healthy");
+    let m = healthy.makespan;
+    // Two overlapping windows on the same slot: the port is down until
+    // the LATER repair, equivalent to one merged window.
+    let overlapping = FaultPlan::new(vec![
+        FaultEvent::UplinkDown {
+            leaf: 0,
+            uplink: 0,
+            from: Seconds::ZERO,
+            until: m * 0.4,
+        },
+        FaultEvent::UplinkDown {
+            leaf: 0,
+            uplink: 0,
+            from: m * 0.2,
+            until: m * 0.6,
+        },
+    ])
+    .expect("valid");
+    let merged = FaultPlan::new(vec![FaultEvent::UplinkDown {
+        leaf: 0,
+        uplink: 0,
+        from: Seconds::ZERO,
+        until: m * 0.6,
+    }])
+    .expect("valid");
+    let a = simulate_system_faulted(&topo, &job, &e, &opts, &overlapping).expect("runs");
+    let b = simulate_system_faulted(&topo, &job, &e, &opts, &merged).expect("runs");
+    assert_eq!(
+        a.makespan, b.makespan,
+        "overlapping windows must compose to their union"
+    );
+}
+
+#[test]
+fn uplink_and_link_down_overlap_on_the_same_leaf_without_deadlock() {
+    let (topo, job, e) = setup();
+    let opts = opts_for(2, UplinkPolicy::Failover);
+    let healthy = simulate_system(&topo, &job, &e, &opts).expect("healthy");
+    let m = healthy.makespan;
+    // An uplink outage on leaf 0 overlapping a NIC link flap on node 0
+    // (which lives on leaf 0): two independent fault mechanisms on the
+    // same corner of the fabric, both transient.
+    let plan = FaultPlan::new(vec![
+        FaultEvent::UplinkDown {
+            leaf: 0,
+            uplink: 0,
+            from: Seconds::ZERO,
+            until: m * 0.5,
+        },
+        FaultEvent::LinkDown {
+            channel: ChannelId(0),
+            from: m * 0.25,
+            until: m * 0.75,
+        },
+    ])
+    .expect("valid");
+    let r = simulate_system_faulted(&topo, &job, &e, &opts, &plan).expect("completes");
+    assert!(r.makespan > healthy.makespan);
+    let again = simulate_system_faulted(&topo, &job, &e, &opts, &plan).expect("replay");
+    assert_eq!(r, again, "mixed fault kinds must replay bit-identically");
+}
+
+#[test]
+fn repair_exactly_at_the_horizon_boundary_completes() {
+    let (topo, job, e) = setup();
+    let opts = opts_for(2, UplinkPolicy::Hash);
+    let healthy = simulate_system(&topo, &job, &e, &opts).expect("healthy");
+    // The repair lands exactly on the healthy makespan: stalled traffic
+    // resumes at that instant and the run still terminates.
+    let plan = FaultPlan::new(vec![FaultEvent::UplinkDown {
+        leaf: 0,
+        uplink: 0,
+        from: Seconds::ZERO,
+        until: healthy.makespan,
+    }])
+    .expect("valid");
+    let r = simulate_system_faulted(&topo, &job, &e, &opts, &plan).expect("completes");
+    assert!(r.makespan >= healthy.makespan);
+}
+
+#[test]
+fn fabric_targets_are_rejected_under_the_channel_approximation() {
+    let (topo, job, e) = setup();
+    let plan = FaultPlan::new(vec![FaultEvent::UplinkDown {
+        leaf: 0,
+        uplink: 0,
+        from: Seconds::ZERO,
+        until: forever(),
+    }])
+    .expect("valid as a plan");
+    match simulate_system_faulted(&topo, &job, &e, &SimOptions::scale_out(), &plan) {
+        Err(SimError::FaultPlanInvalid(msg)) => {
+            assert!(msg.contains("switch-fabric"), "got: {msg}")
+        }
+        other => panic!("expected FaultPlanInvalid, got {other:?}"),
+    }
+}
+
+#[test]
+fn out_of_range_fabric_targets_are_rejected() {
+    let (topo, job, e) = setup();
+    let opts = opts_for(2, UplinkPolicy::Hash);
+    let cases = [
+        FaultEvent::UplinkDown {
+            leaf: 99,
+            uplink: 0,
+            from: Seconds::ZERO,
+            until: forever(),
+        },
+        FaultEvent::UplinkDown {
+            leaf: 0,
+            uplink: 2,
+            from: Seconds::ZERO,
+            until: forever(),
+        },
+        FaultEvent::SwitchDown {
+            spine: 2,
+            from: Seconds::ZERO,
+            until: forever(),
+        },
+    ];
+    for ev in cases {
+        let plan = FaultPlan::new(vec![ev]).expect("structurally valid");
+        match simulate_system_faulted(&topo, &job, &e, &opts, &plan) {
+            Err(SimError::FaultPlanInvalid(_)) => {}
+            other => panic!("expected FaultPlanInvalid for {ev:?}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn sampled_uplink_plans_are_pure_functions_of_the_seed() {
+    let rng = SimRng::new(0xF0);
+    let a = FaultPlan::sample_uplinks(
+        4,
+        2,
+        Seconds::from_micros(500.0),
+        Seconds::from_micros(200.0),
+        Seconds::from_micros(2_000.0),
+        &rng,
+    );
+    let b = FaultPlan::sample_uplinks(
+        4,
+        2,
+        Seconds::from_micros(500.0),
+        Seconds::from_micros(200.0),
+        Seconds::from_micros(2_000.0),
+        &rng,
+    );
+    assert_eq!(a.events(), b.events());
+    assert!(!a.is_empty(), "these rates produce outages");
+    // Sampling with fewer slots yields a prefix-compatible plan: every
+    // event targets slot 0, so it is valid on ANY fabric.
+    let narrow = FaultPlan::sample_uplinks(
+        4,
+        1,
+        Seconds::from_micros(500.0),
+        Seconds::from_micros(200.0),
+        Seconds::from_micros(2_000.0),
+        &rng,
+    );
+    assert!(narrow
+        .events()
+        .iter()
+        .all(|e| matches!(e, FaultEvent::UplinkDown { uplink: 0, .. })));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// No sampled k-uplink fault plan deadlocks the fabric engine: every
+    /// run either completes (all transient windows eventually repair) or
+    /// is impossible — and with finite windows, impossibility is ruled
+    /// out, so completion is guaranteed and replayable, converging to a
+    /// makespan no better than the no-fault run.
+    #[test]
+    fn sampled_uplink_plans_never_deadlock_and_converge_after_repair(
+        seed in 0u64..5_000,
+        uplinks in 1usize..4,
+        policy_ix in 0usize..3,
+    ) {
+        let policy = [UplinkPolicy::Hash, UplinkPolicy::LeastQueued, UplinkPolicy::Failover]
+            [policy_ix];
+        let (topo, job, e) = setup();
+        let opts = opts_for(uplinks, policy);
+        let healthy = simulate_system(&topo, &job, &e, &opts).expect("healthy");
+        let plan = FaultPlan::sample_uplinks(
+            4,
+            uplinks,
+            healthy.makespan * 0.5,
+            healthy.makespan * 0.25,
+            healthy.makespan,
+            &SimRng::new(seed),
+        );
+        let first = simulate_system_faulted(&topo, &job, &e, &opts, &plan);
+        match first {
+            Ok(r) => {
+                // Transient faults only: the run converges after repair.
+                prop_assert!(r.makespan >= healthy.makespan - Seconds::new(1e-12));
+                prop_assert_eq!(r.transfer_complete.len(), healthy.transfer_complete.len());
+                let replay = simulate_system_faulted(&topo, &job, &e, &opts, &plan)
+                    .expect("replay outcome matches");
+                prop_assert_eq!(r, replay, "seed {} must replay bit-identically", seed);
+            }
+            Err(SimError::Deadlock { .. }) => {
+                prop_assert!(false, "a transient uplink plan must never deadlock");
+            }
+            Err(e) => prop_assert!(false, "unexpected error: {:?}", e),
+        }
+    }
+}

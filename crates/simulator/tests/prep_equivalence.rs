@@ -121,6 +121,7 @@ fn fabric_runs_are_bit_identical_with_cache_toggled() {
             oversubscription: 2.0,
             uplink_latency: Seconds::from_micros(1.0),
             hop_mode,
+            ..FabricSpec::default()
         };
         let opts =
             SimOptions::scale_out().with_network(ccube_sim::NetworkModel::SwitchFabric(spec));

@@ -101,6 +101,9 @@ pub struct FabricPort {
     /// The topology channel this port carries, for endpoint ports; uplink
     /// ports carry traffic from many channels and have none.
     channel: Option<ChannelId>,
+    /// For uplink ports: the uplink slot on the leaf (`0..k`). Endpoint
+    /// ports have none.
+    uplink: Option<u32>,
     bandwidth: Bandwidth,
     latency: Seconds,
 }
@@ -126,6 +129,12 @@ impl FabricPort {
         self.channel
     }
 
+    /// The uplink slot this port occupies on its leaf (uplink ports
+    /// only): the up/down pair of slot `j` attaches to spine `j % S`.
+    pub fn uplink(&self) -> Option<u32> {
+        self.uplink
+    }
+
     /// The port's peak bandwidth.
     pub fn bandwidth(&self) -> Bandwidth {
         self.bandwidth
@@ -136,11 +145,12 @@ impl FabricPort {
         self.latency
     }
 
-    /// A short, stable label for traces (e.g. `"sw0.in3"`, `"sw2.up"`).
+    /// A short, stable label for traces (e.g. `"sw0.inc3"`, `"sw2.up0"`).
     pub fn label(&self) -> String {
-        match (self.kind, self.channel) {
-            (k, Some(c)) => format!("{}.{}c{}", self.switch, k, c.0),
-            (k, None) => format!("{}.{}", self.switch, k),
+        match (self.kind, self.channel, self.uplink) {
+            (k, Some(c), _) => format!("{}.{}c{}", self.switch, k, c.0),
+            (k, None, Some(j)) => format!("{}.{}{}", self.switch, k, j),
+            (k, None, None) => format!("{}.{}", self.switch, k),
         }
     }
 }
@@ -186,6 +196,16 @@ pub struct FabricConfig {
     /// endpoint ports inherit their channel's latency, so zero here keeps
     /// end-to-end latency identical to the channel approximation.
     pub uplink_latency: Seconds,
+    /// Number of spine switches behind the leaves. Uplink slot `j` of
+    /// every leaf attaches to spine `j % spines`, so a cross-leaf message
+    /// must use the same slot on both leaves to stay on one spine.
+    pub spines: usize,
+    /// Uplink up/down pairs per leaf (`k`). The leaf's aggregate uplink
+    /// capacity is fixed by the oversubscription ratio and split evenly
+    /// across the `k` slots, so `k = 1` reproduces the single-uplink
+    /// fabric exactly and the end-to-end duration of a transfer is
+    /// independent of which slot carries it.
+    pub uplinks_per_leaf: usize,
 }
 
 impl Default for FabricConfig {
@@ -194,6 +214,8 @@ impl Default for FabricConfig {
             radix: None,
             oversubscription: 1.0,
             uplink_latency: Seconds::ZERO,
+            spines: 1,
+            uplinks_per_leaf: 1,
         }
     }
 }
@@ -232,11 +254,15 @@ pub struct FabricGraph {
     /// Leaf switch of each node (switched fabrics only; in degenerate
     /// fabrics node `i` maps to switch `i`).
     leaf_of_node: Vec<SwitchId>,
-    /// Per-switch uplink transmit port, if the fabric has a spine level.
-    uplink_up: Vec<Option<PortId>>,
-    /// Per-switch uplink receive port, if the fabric has a spine level.
-    uplink_down: Vec<Option<PortId>>,
+    /// Per-switch uplink transmit ports by slot, empty if the fabric has
+    /// no spine level.
+    uplink_up: Vec<Vec<PortId>>,
+    /// Per-switch uplink receive ports by slot, empty if the fabric has
+    /// no spine level.
+    uplink_down: Vec<Vec<PortId>>,
     oversubscription: f64,
+    spines: usize,
+    uplinks_per_leaf: usize,
     switched: bool,
 }
 
@@ -251,8 +277,8 @@ impl FabricGraph {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg.oversubscription` is not positive or a requested
-    /// radix is zero.
+    /// Panics if `cfg.oversubscription` is not positive, a requested
+    /// radix is zero, or the spine/uplink counts are zero.
     pub fn from_topology(topo: &Topology, cfg: &FabricConfig) -> FabricGraph {
         assert!(
             cfg.oversubscription > 0.0 && cfg.oversubscription.is_finite(),
@@ -261,6 +287,11 @@ impl FabricGraph {
         if let Some(r) = cfg.radix {
             assert!(r > 0, "leaf radix must be positive");
         }
+        assert!(cfg.spines > 0, "spine count must be positive");
+        assert!(
+            cfg.uplinks_per_leaf > 0,
+            "uplinks per leaf must be positive"
+        );
         if is_nic_layout(topo) {
             build_switched(topo, cfg)
         } else {
@@ -326,7 +357,7 @@ impl FabricGraph {
 
     /// True if this fabric has an explicit spine level (uplink ports).
     pub fn has_uplinks(&self) -> bool {
-        self.uplink_up.iter().any(Option::is_some)
+        self.uplink_up.iter().any(|u| !u.is_empty())
     }
 
     /// The configured uplink oversubscription ratio.
@@ -334,12 +365,55 @@ impl FabricGraph {
         self.oversubscription
     }
 
+    /// Number of spine switches behind the leaves.
+    pub fn num_spines(&self) -> usize {
+        self.spines
+    }
+
+    /// Uplink up/down pairs per leaf (`k`); `1` for fabrics without an
+    /// explicit spine level.
+    pub fn uplinks_per_leaf(&self) -> usize {
+        self.uplinks_per_leaf
+    }
+
+    /// The spine switch that uplink slot `uplink` attaches to.
+    pub fn spine_of_uplink(&self, uplink: u32) -> u32 {
+        uplink % self.spines.max(1) as u32
+    }
+
+    /// The leaf-to-spine transmit ports of `leaf`, by uplink slot (empty
+    /// when the fabric has no spine level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf` is out of range.
+    pub fn uplinks_up(&self, leaf: SwitchId) -> &[PortId] {
+        &self.uplink_up[leaf.index()]
+    }
+
+    /// The spine-to-leaf receive ports of `leaf`, by uplink slot (empty
+    /// when the fabric has no spine level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf` is out of range.
+    pub fn uplinks_down(&self, leaf: SwitchId) -> &[PortId] {
+        &self.uplink_down[leaf.index()]
+    }
+
     /// Expands a transfer's channel path into the ordered port path it
     /// occupies in this fabric. Endpoint ports come from the channels
     /// themselves; when two consecutive channels attach to different leaf
-    /// switches, the sender leaf's uplink-up port and the receiver leaf's
-    /// uplink-down port are inserted between them (the spine crossbar
-    /// itself is non-blocking and contributes no port).
+    /// switches, one of the sender leaf's uplink-up ports and the
+    /// receiver leaf's uplink-down port of the *same slot* are inserted
+    /// between them (both attach to the same spine, and the spine
+    /// crossbar itself is non-blocking and contributes no port).
+    ///
+    /// With `k > 1` uplinks per leaf the slot is chosen by hash striping
+    /// on the crossing's source channel — the static default that the
+    /// simulator's `Hash` uplink policy keeps and its adaptive policies
+    /// revise at grant time. `k = 1` always picks slot 0, reproducing the
+    /// single-uplink route exactly.
     ///
     /// # Panics
     ///
@@ -360,11 +434,15 @@ impl FabricGraph {
                 None => continue,
             };
             if here != next {
-                if let Some(up) = self.uplink_up[here.index()] {
-                    out.push(up);
-                }
-                if let Some(down) = self.uplink_down[next.index()] {
-                    out.push(down);
+                let ups = &self.uplink_up[here.index()];
+                let downs = &self.uplink_down[next.index()];
+                if !ups.is_empty() && !downs.is_empty() {
+                    // NIC-layout injection channels are `2i` for source
+                    // node `i`, so striping on `c.0 / 2` spreads sources
+                    // round-robin across the uplink slots.
+                    let slot = (c.0 / 2) as usize % ups.len().min(downs.len());
+                    out.push(ups[slot]);
+                    out.push(downs[slot]);
                 }
             }
         }
@@ -431,8 +509,8 @@ fn build_switched(topo: &Topology, cfg: &FabricConfig) -> FabricGraph {
     let mut ports_of_channel: Vec<Vec<PortId>> = vec![Vec::new(); topo.channels().len()];
     let mut switches: Vec<FabricSwitch> = Vec::new();
     let mut leaf_of_node: Vec<SwitchId> = Vec::with_capacity(n);
-    let mut uplink_up: Vec<Option<PortId>> = Vec::with_capacity(num_leaves);
-    let mut uplink_down: Vec<Option<PortId>> = Vec::with_capacity(num_leaves);
+    let mut uplink_up: Vec<Vec<PortId>> = Vec::with_capacity(num_leaves);
+    let mut uplink_down: Vec<Vec<PortId>> = Vec::with_capacity(num_leaves);
     for leaf in 0..num_leaves {
         let sid = SwitchId(leaf as u32);
         let members: Vec<GpuId> = (leaf * radix..((leaf + 1) * radix).min(n))
@@ -452,6 +530,7 @@ fn build_switched(topo: &Topology, cfg: &FabricConfig) -> FabricGraph {
                 switch: sid,
                 kind: PortKind::Ingress,
                 channel: Some(inj),
+                uplink: None,
                 bandwidth: ch.bandwidth(),
                 latency: ch.latency(),
             });
@@ -466,6 +545,7 @@ fn build_switched(topo: &Topology, cfg: &FabricConfig) -> FabricGraph {
                 switch: sid,
                 kind: PortKind::Egress,
                 channel: Some(ej),
+                uplink: None,
                 bandwidth: ch.bandwidth(),
                 latency: ch.latency(),
             });
@@ -473,37 +553,48 @@ fn build_switched(topo: &Topology, cfg: &FabricConfig) -> FabricGraph {
             sw_ports.push(pid);
         }
         if num_leaves > 1 {
-            // Uplink pair toward the (non-blocking) spine crossbar. Fully
-            // provisioned, the uplink matches the leaf's aggregate ingress
-            // bandwidth; oversubscription divides it down.
+            // Uplink pairs toward the spine switches. Fully provisioned,
+            // the leaf's *aggregate* uplink capacity matches its aggregate
+            // ingress bandwidth; oversubscription divides it down and the
+            // `k` slots split it evenly, so the total is invariant in `k`
+            // and slot choice never changes a transfer's serialization.
+            let k = cfg.uplinks_per_leaf;
             let bw = Bandwidth::bytes_per_sec(
-                (ingress_bw / cfg.oversubscription).max(f64::MIN_POSITIVE),
+                (ingress_bw / (cfg.oversubscription * k as f64)).max(f64::MIN_POSITIVE),
             );
-            let up = PortId(ports.len() as u32);
-            ports.push(FabricPort {
-                id: up,
-                switch: sid,
-                kind: PortKind::UplinkUp,
-                channel: None,
-                bandwidth: bw,
-                latency: cfg.uplink_latency,
-            });
-            sw_ports.push(up);
-            let down = PortId(ports.len() as u32);
-            ports.push(FabricPort {
-                id: down,
-                switch: sid,
-                kind: PortKind::UplinkDown,
-                channel: None,
-                bandwidth: bw,
-                latency: cfg.uplink_latency,
-            });
-            sw_ports.push(down);
-            uplink_up.push(Some(up));
-            uplink_down.push(Some(down));
+            let mut ups = Vec::with_capacity(k);
+            let mut downs = Vec::with_capacity(k);
+            for slot in 0..k as u32 {
+                let up = PortId(ports.len() as u32);
+                ports.push(FabricPort {
+                    id: up,
+                    switch: sid,
+                    kind: PortKind::UplinkUp,
+                    channel: None,
+                    uplink: Some(slot),
+                    bandwidth: bw,
+                    latency: cfg.uplink_latency,
+                });
+                sw_ports.push(up);
+                ups.push(up);
+                let down = PortId(ports.len() as u32);
+                ports.push(FabricPort {
+                    id: down,
+                    switch: sid,
+                    kind: PortKind::UplinkDown,
+                    channel: None,
+                    uplink: Some(slot),
+                    bandwidth: bw,
+                    latency: cfg.uplink_latency,
+                });
+                sw_ports.push(down);
+                downs.push(down);
+            }
+            uplink_up.push(ups);
+            uplink_down.push(downs);
         } else {
-            uplink_up.push(None);
-            uplink_down.push(None);
+            uplink_up.push(Vec::new());
+            uplink_down.push(Vec::new());
         }
         switches.push(FabricSwitch {
             id: sid,
@@ -519,6 +610,8 @@ fn build_switched(topo: &Topology, cfg: &FabricConfig) -> FabricGraph {
         uplink_up,
         uplink_down,
         oversubscription: cfg.oversubscription,
+        spines: cfg.spines,
+        uplinks_per_leaf: cfg.uplinks_per_leaf,
         switched: true,
     }
 }
@@ -544,6 +637,7 @@ fn build_degenerate(topo: &Topology) -> FabricGraph {
             switch: sid,
             kind: PortKind::Egress,
             channel: Some(ch.id()),
+            uplink: None,
             bandwidth: ch.bandwidth(),
             latency: ch.latency(),
         });
@@ -555,9 +649,11 @@ fn build_degenerate(topo: &Topology) -> FabricGraph {
         ports,
         ports_of_channel,
         leaf_of_node: (0..n).map(|i| SwitchId(i as u32)).collect(),
-        uplink_up: vec![None; n],
-        uplink_down: vec![None; n],
+        uplink_up: vec![Vec::new(); n],
+        uplink_down: vec![Vec::new(); n],
         oversubscription: 1.0,
+        spines: 1,
+        uplinks_per_leaf: 1,
         switched: false,
     }
 }
@@ -694,8 +790,98 @@ mod tests {
         let fab = FabricGraph::from_topology(&topo, &cfg);
         let labels: Vec<String> = fab.ports().iter().map(FabricPort::label).collect();
         assert!(labels.contains(&"sw0.inc0".to_string()));
-        assert!(labels.contains(&"sw1.up".to_string()));
-        assert!(labels.contains(&"sw1.down".to_string()));
+        assert!(labels.contains(&"sw1.up0".to_string()));
+        assert!(labels.contains(&"sw1.down0".to_string()));
+    }
+
+    #[test]
+    fn multi_uplink_ports_split_leaf_capacity() {
+        let topo = hierarchical(16);
+        let one = FabricConfig {
+            radix: Some(4),
+            ..FabricConfig::default()
+        };
+        let two = FabricConfig {
+            radix: Some(4),
+            spines: 2,
+            uplinks_per_leaf: 2,
+            ..FabricConfig::default()
+        };
+        let f1 = FabricGraph::from_topology(&topo, &one);
+        let f2 = FabricGraph::from_topology(&topo, &two);
+        // 16 nodes x 2 endpoint ports + 4 leaves x 2 slots x 2 ports.
+        assert_eq!(f2.num_ports(), 48);
+        assert_eq!(f2.uplinks_per_leaf(), 2);
+        assert_eq!(f2.num_spines(), 2);
+        assert_eq!(f2.uplinks_up(SwitchId(0)).len(), 2);
+        assert_eq!(f2.uplinks_down(SwitchId(3)).len(), 2);
+        assert_eq!(f2.spine_of_uplink(0), 0);
+        assert_eq!(f2.spine_of_uplink(1), 1);
+        // Aggregate uplink capacity is invariant in k: each of the two
+        // slots carries half the single uplink's bandwidth.
+        let bw1 = f1.port(f1.uplinks_up(SwitchId(0))[0]).bandwidth();
+        let bw2 = f2.port(f2.uplinks_up(SwitchId(0))[0]).bandwidth();
+        assert!((bw1.as_bytes_per_sec() / bw2.as_bytes_per_sec() - 2.0).abs() < 1e-9);
+        for p in f2.ports() {
+            match p.kind() {
+                PortKind::UplinkUp | PortKind::UplinkDown => assert!(p.uplink().is_some()),
+                _ => assert_eq!(p.uplink(), None),
+            }
+        }
+    }
+
+    #[test]
+    fn multi_uplink_routes_stripe_by_source_and_stay_on_one_spine() {
+        let topo = hierarchical(16);
+        let cfg = FabricConfig {
+            radix: Some(4),
+            spines: 2,
+            uplinks_per_leaf: 2,
+            ..FabricConfig::default()
+        };
+        let fab = FabricGraph::from_topology(&topo, &cfg);
+        // Source node 0 -> slot 0, source node 1 -> slot 1.
+        for (src, slot) in [(GpuId(0), 0), (GpuId(1), 1)] {
+            let route = fab.port_route(&nic_path(src, GpuId(9)));
+            assert_eq!(route.len(), 4);
+            let up = fab.port(route[1]);
+            let down = fab.port(route[2]);
+            assert_eq!(up.kind(), PortKind::UplinkUp);
+            assert_eq!(down.kind(), PortKind::UplinkDown);
+            assert_eq!(up.uplink(), Some(slot));
+            // Up and down legs share the slot, hence the spine.
+            assert_eq!(up.uplink(), down.uplink());
+        }
+        // Intra-leaf traffic still bypasses the spine entirely.
+        assert_eq!(fab.port_route(&nic_path(GpuId(0), GpuId(3))).len(), 2);
+    }
+
+    #[test]
+    fn single_uplink_config_matches_legacy_shape() {
+        let topo = hierarchical(16);
+        let cfg = FabricConfig {
+            radix: Some(4),
+            ..FabricConfig::default()
+        };
+        let fab = FabricGraph::from_topology(&topo, &cfg);
+        // k = 1 keeps the legacy port count and always picks slot 0.
+        assert_eq!(fab.num_ports(), 40);
+        assert_eq!(fab.uplinks_per_leaf(), 1);
+        for src in 0..4 {
+            let route = fab.port_route(&nic_path(GpuId(src), GpuId(9)));
+            assert_eq!(fab.port(route[1]).uplink(), Some(0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "uplinks per leaf")]
+    fn zero_uplinks_per_leaf_panics() {
+        let topo = hierarchical(4);
+        let cfg = FabricConfig {
+            uplinks_per_leaf: 0,
+            ..FabricConfig::default()
+        };
+        let _ = FabricGraph::from_topology(&topo, &cfg);
     }
 
     #[test]

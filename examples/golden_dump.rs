@@ -69,6 +69,15 @@ fn main() {
     )
     .unwrap();
 
+    // The fabric-failover fixture: the same seeded uplink-outage plan
+    // replayed across uplink counts and steering policies — its rows
+    // witness the failover-recovery property the tests assert.
+    std::fs::write(
+        "tests/data/ext_fabric_resilience_golden.csv",
+        resilience::fabric_to_csv(&resilience::run_fabric()),
+    )
+    .unwrap();
+
     // The switch-fabric fixtures are rendered CSVs too: byte-for-byte
     // reproducible (pure drivers, sweep contract), and the passthrough
     // rows double as an end-to-end record of the fabric ≡ approximation

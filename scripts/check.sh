@@ -44,6 +44,15 @@ cargo run -q --release -p ccube --bin ccube -- faults --smoke
 echo "==> resilience smoke run on the switch fabric (--fabric switch)"
 cargo run -q --release -p ccube --bin ccube -- faults --smoke --fabric switch
 
+echo "==> resilience smoke run on the 2-uplink spine/leaf fabric"
+cargo run -q --release -p ccube --bin ccube -- faults --smoke --fabric switch --uplinks 2
+
+echo "==> fabric fault-injection suite (failover, uplink/switch outages)"
+cargo test -q -p ccube-sim --test fabric_faults
+
+echo "==> fabric-resilience golden stays byte-identical"
+cargo test -q -p ccube --test golden_regression ext_fabric_resilience_csv_matches_golden_byte_for_byte
+
 echo "==> cargo bench --no-run (benches stay buildable)"
 cargo bench --workspace --no-run
 

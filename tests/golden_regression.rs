@@ -55,6 +55,21 @@ fn ext_resilience_csv_matches_golden_byte_for_byte() {
     );
 }
 
+#[test]
+fn ext_fabric_resilience_csv_matches_golden_byte_for_byte() {
+    // The multi-uplink failover study: the same seeded uplink-outage
+    // plan replayed across slot counts and steering policies. Beyond
+    // byte-identity, the fixture itself must witness the recovery
+    // property — the 2-uplink failover row records reroutes and a
+    // strictly lower slowdown than the single-uplink fabric.
+    let actual = resilience::fabric_to_csv(&resilience::run_fabric());
+    assert_eq!(
+        actual,
+        load_csv_fixture("ext_fabric_resilience_golden.csv"),
+        "ext_fabric_resilience.csv drifted from the golden fixture"
+    );
+}
+
 /// Loads a rendered-CSV fixture from `tests/data/`.
 fn load_csv_fixture(name: &str) -> String {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

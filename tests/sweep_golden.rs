@@ -29,7 +29,7 @@ fn run_all_is_byte_identical_across_worker_counts() {
     for threads in [1usize, 2, 8] {
         let dir = base.join(format!("t{threads}"));
         let paths = experiments::run_all_with(&dir, threads).unwrap();
-        assert_eq!(paths.len(), 19);
+        assert_eq!(paths.len(), 20);
         let contents = dir_contents(&dir);
         match &reference {
             None => reference = Some(contents),
@@ -84,6 +84,16 @@ fn resilience_rows_are_identical_across_worker_counts_and_replays() {
         resilience::to_csv(&replay),
         "seed replay is not byte-identical"
     );
+    // The fabric-failover study holds to the same contract.
+    let fabric_serial = resilience::run_fabric_with(resilience::DEFAULT_SEED, 1);
+    for threads in [2usize, 8] {
+        let parallel = resilience::run_fabric_with(resilience::DEFAULT_SEED, threads);
+        assert_eq!(
+            resilience::fabric_to_csv(&fabric_serial),
+            resilience::fabric_to_csv(&parallel),
+            "fabric study: {threads} workers diverged"
+        );
+    }
 }
 
 #[test]
