@@ -210,12 +210,33 @@ fn main() {
         split_events as f64 / t_split
     );
 
+    // --- Policy-search bound pruning: DES runs paid with and without
+    // the certified lower bounds (surviving rows provably identical).
+    let full_start = Instant::now();
+    let full = ccube::experiments::policy_search::run_full(1);
+    let t_search_full = full_start.elapsed().as_secs_f64();
+    let bounded_start = Instant::now();
+    let bounded = ccube::experiments::policy_search::run_bounded();
+    let t_search_bounded = bounded_start.elapsed().as_secs_f64();
+    assert!(
+        bounded.rows.iter().all(|r| full.rows.contains(r)),
+        "bounded search rows diverged from the full grid"
+    );
+    println!(
+        "search bound-pruning  {} candidates  full {} sims {:>6.2} s  bounded {} sims {:>6.2} s",
+        bounded.candidates,
+        full.rows.len(),
+        t_search_full,
+        bounded.simulated,
+        t_search_bounded
+    );
+
     // --- Machine-readable record at the repository root. --------------
     // The host block makes the "no speedup on a 1-core box" caveat
     // self-documenting: speedups are meaningless without the
     // parallelism the run actually had available.
     let json = format!(
-        "{{\n  \"host\": {{\n    \"available_parallelism\": {},\n    \"sweep_workers\": {},\n    \"threads_benchmarked\": [1,2,4,8]\n  }},\n  \"sweep\": {{\n    \"grid\": \"fig14 {}x{}\",\n    \"points\": {},\n    \"serial_secs\": {},\n    \"serial_points_per_sec\": {},\n    \"parallel\": [{}]\n  }},\n  \"prep_cache\": {{\n    \"grid\": \"fig14 serial\",\n    \"cold_secs\": {},\n    \"cold_points_per_sec\": {},\n    \"cold_allocs_per_point\": {},\n    \"warm_secs\": {},\n    \"warm_points_per_sec\": {},\n    \"warm_allocs_per_point\": {},\n    \"speedup_warm_vs_cold\": {},\n    \"misses_first_pass\": {},\n    \"hits_after_priming\": {}\n  }},\n  \"kernel\": {{\n    \"workload\": \"hier64 ring 16MiB\",\n    \"events\": {},\n    \"trace_on_secs\": {},\n    \"trace_on_events_per_sec\": {},\n    \"trace_off_secs\": {},\n    \"trace_off_events_per_sec\": {},\n    \"speedup_trace_off\": {}\n  }},\n  \"fabric\": {{\n    \"workload\": \"hier64 ring 16MiB\",\n    \"passthrough_events\": {},\n    \"passthrough_secs\": {},\n    \"passthrough_events_per_sec\": {},\n    \"split_spec\": \"radix 8, oversubscription 2.0, uplink 1us\",\n    \"split_events\": {},\n    \"split_secs\": {},\n    \"split_events_per_sec\": {}\n  }}\n}}\n",
+        "{{\n  \"host\": {{\n    \"available_parallelism\": {},\n    \"sweep_workers\": {},\n    \"threads_benchmarked\": [1,2,4,8]\n  }},\n  \"sweep\": {{\n    \"grid\": \"fig14 {}x{}\",\n    \"points\": {},\n    \"serial_secs\": {},\n    \"serial_points_per_sec\": {},\n    \"parallel\": [{}]\n  }},\n  \"prep_cache\": {{\n    \"grid\": \"fig14 serial\",\n    \"cold_secs\": {},\n    \"cold_points_per_sec\": {},\n    \"cold_allocs_per_point\": {},\n    \"warm_secs\": {},\n    \"warm_points_per_sec\": {},\n    \"warm_allocs_per_point\": {},\n    \"speedup_warm_vs_cold\": {},\n    \"misses_first_pass\": {},\n    \"hits_after_priming\": {}\n  }},\n  \"kernel\": {{\n    \"workload\": \"hier64 ring 16MiB\",\n    \"events\": {},\n    \"trace_on_secs\": {},\n    \"trace_on_events_per_sec\": {},\n    \"trace_off_secs\": {},\n    \"trace_off_events_per_sec\": {},\n    \"speedup_trace_off\": {}\n  }},\n  \"fabric\": {{\n    \"workload\": \"hier64 ring 16MiB\",\n    \"passthrough_events\": {},\n    \"passthrough_secs\": {},\n    \"passthrough_events_per_sec\": {},\n    \"split_spec\": \"radix 8, oversubscription 2.0, uplink 1us\",\n    \"split_events\": {},\n    \"split_secs\": {},\n    \"split_events_per_sec\": {}\n  }},\n  \"bound_pruning\": {{\n    \"grid\": \"policy_search\",\n    \"candidates\": {},\n    \"simulated_full\": {},\n    \"simulated_bounded\": {},\n    \"skipped_by_bound\": {},\n    \"full_secs\": {},\n    \"bounded_secs\": {},\n    \"rows_identical\": true\n  }}\n}}\n",
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         ccube_sim::available_threads(),
         ps.len(),
@@ -244,7 +265,13 @@ fn main() {
         json_f(events as f64 / t_pass),
         split_events,
         json_f(t_split),
-        json_f(split_events as f64 / t_split)
+        json_f(split_events as f64 / t_split),
+        bounded.candidates,
+        full.rows.len(),
+        bounded.simulated,
+        bounded.skipped.len(),
+        json_f(t_search_full),
+        json_f(t_search_bounded)
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
     std::fs::write(path, json).expect("write BENCH_sweep.json");

@@ -131,6 +131,36 @@ pub enum LintCode {
     /// `CC014` — an analysis was skipped (e.g. the race check on an
     /// oversized schedule); absence of findings is not proof.
     AnalysisTruncated,
+    /// `CC015` — several logical edges pile onto one physical port (an
+    /// NVLink or host-bridge lane); the embedding serializes there.
+    LinkContention,
+    /// `CC016` — cross-leaf transfers stripe unevenly over the uplink
+    /// slots of a multi-uplink leaf (the `source_node % k` hazard:
+    /// static hashing can leave whole slots idle).
+    UplinkStripingSkew,
+    /// `CC017` — the offered cross-leaf load drains slower through a
+    /// leaf's uplink pool than through any endpoint port; the
+    /// oversubscribed uplinks are the static bottleneck.
+    OversubscriptionHotspot,
+    /// `CC018` — a lowered route has no physical port path on the
+    /// fabric (fabric/topology mismatch, a channel with no port, or a
+    /// leaf crossing with no uplinks).
+    UnreachablePortPath,
+    /// `CC019` — certified channel-level makespan lower bound
+    /// (max of dependency critical path and bottleneck congestion).
+    MakespanLowerBound,
+    /// `CC020` — certified port-level makespan lower bound on the
+    /// switch fabric (endpoint ports exact, uplink pools amortized).
+    FabricLowerBound,
+    /// `CC021` — a fault window is survivable: every affected transfer
+    /// has a fallback route or a surviving uplink slot.
+    FaultReroutable,
+    /// `CC022` — a fault window stalls traffic until repair (no
+    /// fallback while down, but the outage is finite).
+    FaultStall,
+    /// `CC023` — a permanent fault severs live routes with no fallback;
+    /// the fault engine would drain `Unroutable`.
+    FaultSevered,
 }
 
 impl LintCode {
@@ -151,6 +181,15 @@ impl LintCode {
             LintCode::HostBridgeRoute => "CC012",
             LintCode::StepBoundExceeded => "CC013",
             LintCode::AnalysisTruncated => "CC014",
+            LintCode::LinkContention => "CC015",
+            LintCode::UplinkStripingSkew => "CC016",
+            LintCode::OversubscriptionHotspot => "CC017",
+            LintCode::UnreachablePortPath => "CC018",
+            LintCode::MakespanLowerBound => "CC019",
+            LintCode::FabricLowerBound => "CC020",
+            LintCode::FaultReroutable => "CC021",
+            LintCode::FaultStall => "CC022",
+            LintCode::FaultSevered => "CC023",
         }
     }
 
@@ -171,6 +210,15 @@ impl LintCode {
             LintCode::HostBridgeRoute => "host-bridge-route",
             LintCode::StepBoundExceeded => "step-bound-exceeded",
             LintCode::AnalysisTruncated => "analysis-truncated",
+            LintCode::LinkContention => "link-contention",
+            LintCode::UplinkStripingSkew => "uplink-striping-skew",
+            LintCode::OversubscriptionHotspot => "oversubscription-hotspot",
+            LintCode::UnreachablePortPath => "unreachable-port-path",
+            LintCode::MakespanLowerBound => "makespan-lower-bound",
+            LintCode::FabricLowerBound => "fabric-lower-bound",
+            LintCode::FaultReroutable => "fault-reroutable",
+            LintCode::FaultStall => "fault-stall",
+            LintCode::FaultSevered => "fault-severed",
         }
     }
 
@@ -184,13 +232,22 @@ impl LintCode {
             | LintCode::DataflowRace
             | LintCode::MissingRoute
             | LintCode::InvalidRoute
-            | LintCode::ChannelConflict => Severity::Error,
+            | LintCode::ChannelConflict
+            | LintCode::UnreachablePortPath
+            | LintCode::FaultSevered => Severity::Error,
             LintCode::OutOfOrderDelivery
             | LintCode::Oversubscription
-            | LintCode::StepBoundExceeded => Severity::Warn,
-            LintCode::NicFanIn | LintCode::HostBridgeRoute | LintCode::AnalysisTruncated => {
-                Severity::Info
-            }
+            | LintCode::StepBoundExceeded
+            | LintCode::LinkContention
+            | LintCode::UplinkStripingSkew
+            | LintCode::OversubscriptionHotspot
+            | LintCode::FaultStall => Severity::Warn,
+            LintCode::NicFanIn
+            | LintCode::HostBridgeRoute
+            | LintCode::AnalysisTruncated
+            | LintCode::MakespanLowerBound
+            | LintCode::FabricLowerBound
+            | LintCode::FaultReroutable => Severity::Info,
         }
     }
 }
@@ -230,7 +287,10 @@ pub struct Diagnostic {
 }
 
 impl Diagnostic {
-    fn new(code: LintCode, message: String, span: Span) -> Self {
+    /// Builds a diagnostic. Public so downstream analyzer passes (the
+    /// physical analyzer, the simulator's severance pass) can report
+    /// through the same machinery.
+    pub fn new(code: LintCode, message: String, span: Span) -> Self {
         Diagnostic {
             code,
             message,
@@ -290,11 +350,15 @@ impl LintReport {
         self.errors().next().is_none()
     }
 
-    fn push(&mut self, code: LintCode, message: String, span: Span) {
+    /// Appends a finding. Public for downstream analyzer passes; call
+    /// [`LintReport::finish`] before handing the report out.
+    pub fn push(&mut self, code: LintCode, message: String, span: Span) {
         self.diagnostics.push(Diagnostic::new(code, message, span));
     }
 
-    fn finish(mut self) -> Self {
+    /// Seals a report: sorts diagnostics into the stable
+    /// (code, discovery) order every renderer relies on.
+    pub fn finish(mut self) -> Self {
         // Stable sort: diagnostics group by code, discovery order within.
         self.diagnostics.sort_by_key(|d| d.code);
         self

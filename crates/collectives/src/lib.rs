@@ -55,6 +55,7 @@ mod chunk;
 pub mod cost;
 pub mod embedding;
 pub mod lowering;
+pub mod physical;
 pub mod primitives;
 mod rank;
 mod ring;
@@ -68,6 +69,10 @@ pub use chunk::{ChunkId, Chunking};
 pub use embedding::{EdgeKey, Embedding, EmbeddingError};
 pub use lowering::{
     lower_schedule, lower_to_ports, LinkTiming, LowerError, PreparedLowering, TransferSpec,
+};
+pub use physical::{
+    analyze_physical, fabric_lower_bound, gate_physical, makespan_lower_bound,
+    PhysicalAnalyzeOptions,
 };
 pub use rank::Rank;
 pub use ring::{ring_allreduce, ring_allreduce_multi};

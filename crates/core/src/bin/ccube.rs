@@ -47,7 +47,8 @@ fn usage() -> ExitCode {
          \x20 figures [out_dir]                regenerate every paper figure (CSV)\n\
          \x20 compare <network> [batch] [--low] mode table for zfnet|vgg16|resnet50\n\
          \x20 scaleout [max_p] [mib...]        Fig. 14 sweep on the switch fabric\n\
-         \x20 search                           best schedule per topology (policy search)\n\
+         \x20 search [--bounds]                best schedule per topology (policy search;\n\
+         \x20                                  --bounds: skip candidates by lower bound)\n\
          \x20 timeline [mib]                   ASCII Fig. 7 timelines on the DGX-1\n\
          \x20 train [iterations]               threaded C-Cube training loop\n\
          \x20 rings                            DGX-1 Hamiltonian ring decomposition\n\
@@ -56,6 +57,8 @@ fn usage() -> ExitCode {
          \x20 trace [out] [--json] [--seed N]  faulted C1 trace (CSV or Chrome JSON)\n\
          \x20 trace --diff <a> <b>             compare two traces (CSV paths or seeds)\n\
          \x20 lint [case|all] [--json]         static schedule analyzer (CC001.. lints)\n\
+         \x20 lint --physical [case|all]       physical-layer analyzer (CC015.. lints:\n\
+         \x20                                  fabric hazards, bounds, fault severance)\n\
          \n\
          figures/scaleout/search/faults take --threads N (default: all cores);\n\
          results are bit-identical at any worker count.\n\
@@ -175,17 +178,39 @@ fn cmd_scaleout(args: &[String], threads: usize) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_search(threads: usize) -> ExitCode {
-    let outcome = experiments::policy_search::run_full(threads);
+fn cmd_search(args: &[String], threads: usize) -> ExitCode {
+    let bounds = args.iter().any(|a| a == "--bounds");
     println!("schedule policy search: topology x tree shape x arbitration x chunks");
-    println!(
-        "static gate pruned {} invalid candidate(s) before simulation:",
-        outcome.pruned.len()
-    );
-    for p in &outcome.pruned {
-        println!("  {p}");
-    }
-    let rows = outcome.rows;
+    let rows = if bounds {
+        let outcome = experiments::policy_search::run_bounded();
+        println!(
+            "static gate pruned {} invalid candidate(s) before simulation:",
+            outcome.pruned.len()
+        );
+        for p in &outcome.pruned {
+            println!("  {p}");
+        }
+        println!(
+            "lower bounds skipped {} of {} candidate(s) ({} simulated):",
+            outcome.skipped.len(),
+            outcome.candidates,
+            outcome.simulated
+        );
+        for s in &outcome.skipped {
+            println!("  {s}");
+        }
+        outcome.rows
+    } else {
+        let outcome = experiments::policy_search::run_full(threads);
+        println!(
+            "static gate pruned {} invalid candidate(s) before simulation:",
+            outcome.pruned.len()
+        );
+        for p in &outcome.pruned {
+            println!("  {p}");
+        }
+        outcome.rows
+    };
     for row in &rows {
         println!("{row}");
     }
@@ -725,34 +750,57 @@ fn cmd_trace(args: &[String]) -> ExitCode {
 fn cmd_lint(args: &[String]) -> ExitCode {
     use ccube::lint;
     let json = args.iter().any(|a| a == "--json");
+    let physical = args.iter().any(|a| a == "--physical");
     let which = args
         .iter()
         .find(|a| !a.starts_with("--"))
         .map(String::as_str);
+    // An explicitly named case gates on its own findings — DEMO or not —
+    // so CI can assert a specific hazard. `all` exempts the DEMO cases,
+    // whose errors are the point.
+    let named = !matches!(which, None | Some("all"));
     let reports = match which {
-        None | Some("all") => lint::run_all(),
-        Some(name) => match lint::run_case(name) {
-            Some(r) => vec![r],
-            None => {
-                eprintln!("lint: unknown case {name:?}; available cases:");
-                for (n, d) in lint::CASES {
-                    eprintln!("  {n:<18} {d}");
-                }
-                return ExitCode::from(2);
+        None | Some("all") => {
+            if physical {
+                lint::run_physical_all()
+            } else {
+                lint::run_all()
             }
-        },
+        }
+        Some(name) => {
+            let case = if physical {
+                lint::run_physical_case(name)
+            } else {
+                lint::run_case(name)
+            };
+            match case {
+                Some(r) => vec![r],
+                None => {
+                    eprintln!("lint: unknown case {name:?}; available cases:");
+                    let cases: &[(&str, &str)] = if physical {
+                        &lint::PHYSICAL_CASES
+                    } else {
+                        &lint::CASES
+                    };
+                    for (n, d) in cases {
+                        eprintln!("  {n:<20} {d}");
+                    }
+                    return ExitCode::from(2);
+                }
+            }
+        }
     };
     if json {
         println!("{}", lint::to_json(&reports));
     } else {
         print!("{}", lint::to_text(&reports));
     }
-    // Demo cases are expected to carry errors; the exit code reflects
-    // only the shipped configurations (non-DEMO cases).
-    let shipped_dirty = reports
+    // Demo cases are expected to carry errors; the exit code of a full
+    // run reflects only the shipped configurations (non-DEMO cases).
+    let dirty = reports
         .iter()
-        .any(|r| !r.description.starts_with("DEMO") && !r.report.is_clean());
-    if shipped_dirty {
+        .any(|r| (named || !r.description.starts_with("DEMO")) && !r.report.is_clean());
+    if dirty {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
@@ -798,7 +846,7 @@ fn main() -> ExitCode {
         "figures" => cmd_figures(rest, threads),
         "compare" => cmd_compare(rest),
         "scaleout" => cmd_scaleout(rest, threads),
-        "search" => cmd_search(threads),
+        "search" => cmd_search(rest, threads),
         "timeline" => cmd_timeline(rest),
         "train" => cmd_train(rest),
         "rings" => cmd_rings(),

@@ -190,17 +190,15 @@ pub fn run_with_threads(threads: usize) -> Vec<SearchRow> {
     run_full(threads).rows
 }
 
-/// [`run_with_threads`] plus the static pre-simulation gate's log: the
-/// grid is extended with the naive-placement candidate class, every
-/// candidate is linted first, and candidates with error-severity
-/// diagnostics are pruned (never simulated) and reported.
-pub fn run_full(threads: usize) -> SearchOutcome {
-    let n = ByteSize::mib(64);
-    let machines: [(&'static str, usize, Topology); 2] =
-        [("dgx1", 8, dgx1()), ("hier16", 16, hierarchical(16))];
+/// The machines the search covers.
+fn machines() -> [(&'static str, usize, Topology); 2] {
+    [("dgx1", 8, dgx1()), ("hier16", 16, hierarchical(16))]
+}
 
+/// The full candidate grid, in stable grid order.
+fn grid_points(machines: &[(&'static str, usize, Topology)]) -> Vec<Point> {
     let mut points = Vec::new();
-    for (name, _, _) in &machines {
+    for (name, _, _) in machines {
         for shape in SHAPES {
             for arbitration in [Arbitration::FifoHol, Arbitration::ChunkPriority] {
                 for k in CHUNKS {
@@ -228,7 +226,16 @@ pub fn run_full(threads: usize) -> SearchOutcome {
             });
         }
     }
+    points
+}
 
+/// Runs the static analyzer gate over `points`, splitting them into
+/// survivors (simulable) and pruned candidates, both in grid order.
+fn static_gate(
+    machines: &[(&'static str, usize, Topology)],
+    points: Vec<Point>,
+    n: ByteSize,
+) -> (Vec<Point>, Vec<PrunedCandidate>) {
     // The static gate, in grid order (serial: linting is cheap relative
     // to a DES run, and order determinism keeps the log stable).
     let lint_opts = AnalyzeOptions {
@@ -259,6 +266,32 @@ pub fn run_full(threads: usize) -> SearchOutcome {
             });
         }
     }
+    (survivors, pruned)
+}
+
+/// Marks the winner per topology: lowest makespan, ties by congestion,
+/// then by grid order (the index the rows already preserve).
+fn mark_winners(rows: &mut [SearchRow], machines: &[(&'static str, usize, Topology)]) {
+    for (name, _, _) in machines {
+        let best = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.topology == *name)
+            .min_by(|(_, a), (_, b)| (a.makespan, a.queue_wait).cmp(&(b.makespan, b.queue_wait)))
+            .map(|(i, _)| i)
+            .expect("topology has rows");
+        rows[best].best = true;
+    }
+}
+
+/// [`run_with_threads`] plus the static pre-simulation gate's log: the
+/// grid is extended with the naive-placement candidate class, every
+/// candidate is linted first, and candidates with error-severity
+/// diagnostics are pruned (never simulated) and reported.
+pub fn run_full(threads: usize) -> SearchOutcome {
+    let n = ByteSize::mib(64);
+    let machines = machines();
+    let (survivors, pruned) = static_gate(&machines, grid_points(&machines), n);
 
     let mut rows = ccube_sim::sweep(&survivors, threads, |_, point| {
         let (_, ranks, topo) = machines
@@ -276,20 +309,147 @@ pub fn run_full(threads: usize) -> SearchOutcome {
             best: false,
         }
     });
-
-    // Winner per topology: lowest makespan, ties by congestion, then by
-    // grid order (the index the sweep already preserves).
-    for (name, _, _) in &machines {
-        let best = rows
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.topology == *name)
-            .min_by(|(_, a), (_, b)| (a.makespan, a.queue_wait).cmp(&(b.makespan, b.queue_wait)))
-            .map(|(i, _)| i)
-            .expect("topology has rows");
-        rows[best].best = true;
-    }
+    mark_winners(&mut rows, &machines);
     SearchOutcome { rows, pruned }
+}
+
+/// A candidate the certified lower bound skipped (never simulated): its
+/// bound already exceeded an incumbent's *simulated* makespan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundSkipped {
+    /// Topology name.
+    pub topology: &'static str,
+    /// Tree shape.
+    pub shape: &'static str,
+    /// Channel arbitration policy.
+    pub arbitration: Arbitration,
+    /// Chunk count.
+    pub k: usize,
+    /// The certified lower bound that proved the skip safe.
+    pub bound: Seconds,
+}
+
+impl fmt::Display for BoundSkipped {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<6} {:<11} {:<13} K={:<4} skipped: bound {} exceeds incumbent",
+            self.topology,
+            self.shape,
+            arbitration_name(self.arbitration),
+            self.k,
+            self.bound,
+        )
+    }
+}
+
+/// The bound-pruned search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundedOutcome {
+    /// Simulated rows in grid order, winners marked. Each row is
+    /// byte-identical to the corresponding [`run_full`] row; skipped
+    /// candidates are absent.
+    pub rows: Vec<SearchRow>,
+    /// Candidates rejected by the static analyzer, in grid order
+    /// (identical to [`run_full`]'s).
+    pub pruned: Vec<PrunedCandidate>,
+    /// Candidates the lower bound skipped, in grid order.
+    pub skipped: Vec<BoundSkipped>,
+    /// Candidates that survived the static gate (the simulation count
+    /// [`run_full`] would have paid).
+    pub candidates: usize,
+    /// Candidates actually simulated (`candidates - skipped.len()`).
+    pub simulated: usize,
+}
+
+/// [`run_full`] with certified-lower-bound pruning: per topology, the
+/// static-gate survivors are simulated in ascending order of their
+/// [`makespan_lower_bound`](ccube_collectives::makespan_lower_bound),
+/// and a candidate whose bound strictly exceeds the best makespan
+/// simulated so far is skipped outright.
+///
+/// The skip is provably winner-preserving: a skipped candidate's true
+/// makespan is at least its bound (the property-tested certificate),
+/// which strictly exceeds the incumbent, which is at least the final
+/// minimum — so the winner, its tie-break, and every simulated row are
+/// identical to [`run_full`]'s, only fewer DES runs are paid.
+pub fn run_bounded() -> BoundedOutcome {
+    let n = ByteSize::mib(64);
+    let machines = machines();
+    let (survivors, pruned) = static_gate(&machines, grid_points(&machines), n);
+    let candidates = survivors.len();
+
+    // The certified bound per survivor. The default `LinkTiming` is the
+    // timing `evaluate`'s default `SimOptions` lowers with, so the
+    // certificate matches the simulation it prunes.
+    let bounds: Vec<Seconds> = survivors
+        .iter()
+        .map(|point| {
+            let (_, ranks, topo) = machines
+                .iter()
+                .find(|(name, _, _)| *name == point.topology)
+                .expect("known topology");
+            let (schedule, emb) = build_candidate(topo, *ranks, point, n);
+            ccube_collectives::makespan_lower_bound(
+                &schedule,
+                &emb,
+                topo,
+                &ccube_collectives::LinkTiming::default(),
+            )
+            .expect("gate survivor lowers")
+        })
+        .collect();
+
+    let mut results: Vec<Option<SearchRow>> = vec![None; survivors.len()];
+    let mut skipped_at: Vec<usize> = Vec::new();
+    for (name, ranks, topo) in &machines {
+        // Bound-ascending order (ties by grid index) maximizes the
+        // chance of meeting the eventual winner early.
+        let mut order: Vec<usize> = (0..survivors.len())
+            .filter(|&i| survivors[i].topology == *name)
+            .collect();
+        order.sort_by_key(|&i| (bounds[i], i));
+        let mut incumbent: Option<Seconds> = None;
+        for i in order {
+            if incumbent.is_some_and(|inc| bounds[i] > inc) {
+                skipped_at.push(i);
+                continue;
+            }
+            let (makespan, queue_wait) = evaluate(topo, *ranks, &survivors[i], n);
+            incumbent = Some(incumbent.map_or(makespan, |inc| inc.min(makespan)));
+            results[i] = Some(SearchRow {
+                topology: survivors[i].topology,
+                shape: survivors[i].shape,
+                arbitration: survivors[i].arbitration,
+                k: survivors[i].k,
+                makespan,
+                queue_wait,
+                best: false,
+            });
+        }
+    }
+
+    let mut rows: Vec<SearchRow> = results.into_iter().flatten().collect();
+    mark_winners(&mut rows, &machines);
+    skipped_at.sort_unstable();
+    let skipped: Vec<BoundSkipped> = skipped_at
+        .into_iter()
+        .map(|i| BoundSkipped {
+            topology: survivors[i].topology,
+            shape: survivors[i].shape,
+            arbitration: survivors[i].arbitration,
+            k: survivors[i].k,
+            bound: bounds[i],
+        })
+        .collect();
+    let simulated = candidates - skipped.len();
+    BoundedOutcome {
+        rows,
+        pruned,
+        skipped,
+        candidates,
+        simulated,
+    }
 }
 
 /// The winning row for a topology.
@@ -365,6 +525,66 @@ mod tests {
         }
         // The surviving rows are exactly the original grid.
         assert_eq!(outcome.rows, run_with_threads(1));
+    }
+
+    #[test]
+    fn bounded_search_matches_full_while_simulating_fewer() {
+        let full = run_full(1);
+        let bounded = run_bounded();
+        // The static gate is shared: identical pruning log.
+        assert_eq!(bounded.pruned, full.pruned);
+        assert_eq!(bounded.candidates, full.rows.len());
+        // The bound must actually pay for itself.
+        assert!(
+            bounded.simulated < bounded.candidates,
+            "bound pruning skipped nothing ({} of {})",
+            bounded.simulated,
+            bounded.candidates
+        );
+        assert_eq!(bounded.rows.len(), bounded.simulated);
+        assert_eq!(
+            bounded.simulated + bounded.skipped.len(),
+            bounded.candidates
+        );
+        // Every simulated row is byte-identical to run_full's row for
+        // the same candidate — best flags included.
+        let full_csv = to_csv(&full.rows);
+        for r in &bounded.rows {
+            let twin = full
+                .rows
+                .iter()
+                .find(|f| {
+                    f.topology == r.topology
+                        && f.shape == r.shape
+                        && f.arbitration == r.arbitration
+                        && f.k == r.k
+                })
+                .expect("bounded row exists in the full grid");
+            assert_eq!(r, twin);
+        }
+        for line in to_csv(&bounded.rows).lines().skip(1) {
+            assert!(full_csv.contains(line), "CSV line diverged: {line}");
+        }
+        // Winners are unchanged.
+        for topo in ["dgx1", "hier16"] {
+            assert_eq!(best_for(&bounded.rows, topo), best_for(&full.rows, topo));
+        }
+        // The certificate held on everything it skipped: the skipped
+        // candidate's full-grid makespan really is above its bound.
+        for s in &bounded.skipped {
+            let twin = full
+                .rows
+                .iter()
+                .find(|f| {
+                    f.topology == s.topology
+                        && f.shape == s.shape
+                        && f.arbitration == s.arbitration
+                        && f.k == s.k
+                })
+                .expect("skipped row exists in the full grid");
+            assert!(twin.makespan >= s.bound, "{s}: sim {}", twin.makespan);
+            assert!(!twin.best, "bound pruning skipped the winner: {s}");
+        }
     }
 
     #[test]

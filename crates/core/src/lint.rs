@@ -9,11 +9,15 @@
 
 use ccube_collectives::analyze::{self, AnalyzeOptions, LintReport};
 use ccube_collectives::{
-    ring_allreduce, tree_allreduce, BinaryTree, ChunkId, Chunking, DoubleBinaryTree, EdgeKey,
-    Embedding, Overlap, Phase, Rank, Schedule, Transfer, TransferId, TreeIndex,
+    analyze_physical, ring_allreduce, tree_allreduce, BinaryTree, ChunkId, Chunking,
+    DoubleBinaryTree, EdgeKey, Embedding, Overlap, Phase, PhysicalAnalyzeOptions, Rank, Schedule,
+    Transfer, TransferId, TreeIndex,
 };
 use ccube_runtime::protocol::{DEFAULT_RING_MAILBOX_CAPACITY, DEFAULT_TREE_MAILBOX_CAPACITY};
-use ccube_topology::{dgx1, hierarchical, ByteSize, Route, Topology};
+use ccube_sim::{analyze_severance, forever, FaultEvent, FaultPlan, SimOptions};
+use ccube_topology::{
+    dgx1, hierarchical, ByteSize, ChannelId, FabricConfig, FabricGraph, Route, Seconds, Topology,
+};
 
 /// The named lint cases, in report order.
 pub const CASES: [(&str, &str); 8] = [
@@ -292,6 +296,179 @@ pub fn run_all() -> Vec<CaseReport> {
         .collect()
 }
 
+/// The named physical (fabric-level) lint cases, in report order.
+///
+/// The first group covers shipped configurations (clean apart from the
+/// analyzer's Info-severity lower-bound certificates); the second group
+/// contains deliberately hazardous demonstrations, including the
+/// one-slot uplink-striping skew that PR 8 could only find by running
+/// the DES.
+pub const PHYSICAL_CASES: [(&str, &str); 5] = [
+    (
+        "dgx1-cc-physical",
+        "overlapped double tree on the DGX-1's single-switch fabric (bounds only)",
+    ),
+    (
+        "hier16-physical",
+        "overlapped double tree across four radix-4 leaves, two uplink slots",
+    ),
+    (
+        "hier16-ring-uplinks",
+        "DEMO: ring across four radix-4 leaves, two hash-striped uplink slots — every crossing lands on slot 1",
+    ),
+    (
+        "hier16-oversub",
+        "DEMO: ring across four radix-4 leaves at 8:1 uplink oversubscription",
+    ),
+    (
+        "severed-ring",
+        "DEMO: fault-plan severance of the hierarchical ring (permanent NIC outage vs. a finite one)",
+    ),
+];
+
+/// The multi-uplink leaf/spine fabric the physical demos run on: four
+/// radix-4 leaves, two uplink slots per leaf, two spines.
+fn striped_fabric(topo: &Topology, oversubscription: f64) -> FabricGraph {
+    FabricGraph::from_topology(
+        topo,
+        &FabricConfig {
+            radix: Some(4),
+            oversubscription,
+            uplink_latency: Seconds::from_micros(1.0),
+            spines: 2,
+            uplinks_per_leaf: 2,
+        },
+    )
+}
+
+fn lint_physical(
+    name: &'static str,
+    description: &'static str,
+    topology: &'static str,
+    topo: &Topology,
+    schedule: &Schedule,
+    embedding: &Embedding,
+    fabric: &FabricGraph,
+) -> CaseReport {
+    CaseReport {
+        name,
+        description,
+        algorithm: schedule.algorithm().to_string(),
+        topology,
+        report: analyze_physical(
+            schedule,
+            embedding,
+            topo,
+            fabric,
+            &PhysicalAnalyzeOptions::default(),
+        ),
+    }
+}
+
+/// Runs one named physical case, or `None` if the name is unknown.
+pub fn run_physical_case(name: &str) -> Option<CaseReport> {
+    let description = PHYSICAL_CASES.iter().find(|(n, _)| *n == name)?.1;
+    let report = match name {
+        "dgx1-cc-physical" => {
+            let topo = dgx1();
+            let s = double_tree(8, 32, Overlap::ReductionBroadcast);
+            let e = Embedding::dgx1_double_tree(&topo, &s).expect("embeddable");
+            let fabric = FabricGraph::from_topology(&topo, &FabricConfig::default());
+            lint_physical(
+                "dgx1-cc-physical",
+                description,
+                "dgx1",
+                &topo,
+                &s,
+                &e,
+                &fabric,
+            )
+        }
+        "hier16-physical" => {
+            let topo = hierarchical(16);
+            let s = double_tree(16, 32, Overlap::ReductionBroadcast);
+            let e = Embedding::nic(&topo, &s).expect("embeddable");
+            let fabric = striped_fabric(&topo, 1.0);
+            lint_physical(
+                "hier16-physical",
+                description,
+                "hier16",
+                &topo,
+                &s,
+                &e,
+                &fabric,
+            )
+        }
+        "hier16-ring-uplinks" => {
+            let topo = hierarchical(16);
+            let s = ring_allreduce(16, ByteSize::mib(64));
+            let e = Embedding::nic(&topo, &s).expect("embeddable");
+            let fabric = striped_fabric(&topo, 1.0);
+            lint_physical(
+                "hier16-ring-uplinks",
+                description,
+                "hier16",
+                &topo,
+                &s,
+                &e,
+                &fabric,
+            )
+        }
+        "hier16-oversub" => {
+            let topo = hierarchical(16);
+            let s = ring_allreduce(16, ByteSize::mib(64));
+            let e = Embedding::nic(&topo, &s).expect("embeddable");
+            let fabric = striped_fabric(&topo, 8.0);
+            lint_physical(
+                "hier16-oversub",
+                description,
+                "hier16",
+                &topo,
+                &s,
+                &e,
+                &fabric,
+            )
+        }
+        "severed-ring" => {
+            let topo = hierarchical(8);
+            let s = ring_allreduce(8, ByteSize::mib(64));
+            let e = Embedding::nic(&topo, &s).expect("embeddable");
+            // One NIC injection channel down forever (severed), the
+            // same channel down for a finite window (stall).
+            let plan = FaultPlan::new(vec![
+                FaultEvent::LinkDown {
+                    channel: ChannelId(0),
+                    from: Seconds::ZERO,
+                    until: forever(),
+                },
+                FaultEvent::LinkDown {
+                    channel: ChannelId(1),
+                    from: Seconds::from_micros(100.0),
+                    until: Seconds::from_millis(5.0),
+                },
+            ])
+            .expect("valid plan");
+            CaseReport {
+                name: "severed-ring",
+                description,
+                algorithm: s.algorithm().to_string(),
+                topology: "hier8",
+                report: analyze_severance(&plan, &topo, &s, &e, &SimOptions::default()),
+            }
+        }
+        _ => return None,
+    };
+    Some(report)
+}
+
+/// Runs every named physical case in report order.
+pub fn run_physical_all() -> Vec<CaseReport> {
+    PHYSICAL_CASES
+        .iter()
+        .map(|(name, _)| run_physical_case(name).expect("listed case exists"))
+        .collect()
+}
+
 /// Renders case reports as the `--json` payload: a stable JSON array.
 pub fn to_json(reports: &[CaseReport]) -> String {
     let mut out = String::from("[");
@@ -375,5 +552,55 @@ mod tests {
     #[test]
     fn unknown_case_is_none() {
         assert!(run_case("nope").is_none());
+        assert!(run_physical_case("nope").is_none());
+    }
+
+    #[test]
+    fn physical_cases_reproduce_their_findings() {
+        // Shipped configurations: no errors, and the analyzer certifies
+        // both lower bounds (channel-level and port-level).
+        for name in ["dgx1-cc-physical", "hier16-physical"] {
+            let case = run_physical_case(name).expect("known case");
+            assert!(case.report.is_clean(), "{name}:\n{}", case.report);
+            for code in [LintCode::MakespanLowerBound, LintCode::FabricLowerBound] {
+                assert!(
+                    case.report.diagnostics().iter().any(|d| d.code == code),
+                    "{name} missing {code:?}:\n{}",
+                    case.report
+                );
+            }
+        }
+
+        // The PR 8 hazard, caught statically: every cross-leaf crossing
+        // stripes to one slot — 4 leaves x 2 directions = 8 warnings.
+        let skew = run_physical_case("hier16-ring-uplinks").expect("known case");
+        assert_eq!(
+            skew.report
+                .diagnostics()
+                .iter()
+                .filter(|d| d.code == LintCode::UplinkStripingSkew)
+                .count(),
+            8,
+            "{}",
+            skew.report
+        );
+        assert!(skew.report.is_clean());
+
+        let oversub = run_physical_case("hier16-oversub").expect("known case");
+        assert!(oversub
+            .report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == LintCode::OversubscriptionHotspot));
+
+        // The severance demo: a permanent NIC outage is an error, the
+        // finite window on the same class of channel is only a stall.
+        let severed = run_physical_case("severed-ring").expect("known case");
+        assert!(severed
+            .report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == LintCode::FaultSevered));
+        assert!(!severed.report.is_clean());
     }
 }

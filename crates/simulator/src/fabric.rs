@@ -626,6 +626,20 @@ pub(crate) fn simulate_fabric(
     // specs; the port-path expansion is cached per fabric spec too.
     let prep = crate::prep::gate_and_lower(topo, schedule, embedding, &opts.link_timing())?;
     let mut specs = (*prep.specs).clone();
+
+    // Debug builds cross-check the physical analyzer's hard gate: a
+    // schedule/embedding that lowers cleanly must also have a port path
+    // for every channel it uses (CC018 and the analyzer's view of
+    // CC007/CC008 agree with the engine's own expansion below).
+    #[cfg(debug_assertions)]
+    {
+        let gate = ccube_collectives::gate_physical(schedule, embedding, topo, &map.graph);
+        debug_assert!(
+            gate.is_clean(),
+            "schedule/embedding failed the physical gate:\n{gate}"
+        );
+    }
+
     let port_paths = crate::prep::ports_for(&prep, spec, &map.graph);
 
     let deps_remaining: Vec<u32> = transfers.iter().map(|t| t.deps.len() as u32).collect();

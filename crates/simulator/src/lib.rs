@@ -49,6 +49,7 @@ pub mod kernel;
 pub mod prep;
 mod report;
 pub mod resource;
+pub mod severance;
 pub mod sweep;
 pub mod system;
 mod timeline;
@@ -68,6 +69,7 @@ pub use prep::{
 };
 pub use report::{SimReport, SimStats, TransferTiming};
 pub use resource::{ChannelPool, ComputeStream};
+pub use severance::analyze_severance;
 pub use sweep::{available_threads, sweep, sweep_seeded, threads_from_args};
 pub use system::{
     simulate_system, simulate_system_with_slowdowns, ComputeTask, ComputeTaskId, SystemJob,

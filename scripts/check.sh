@@ -38,6 +38,14 @@ rm -rf target/check-prep-cached target/check-prep-cold
 echo "==> static schedule analyzer (ccube lint)"
 cargo run -q --release -p ccube --bin ccube -- lint all > /dev/null
 
+echo "==> physical-layer analyzer (ccube lint --physical) and its goldens"
+cargo run -q --release -p ccube --bin ccube -- lint --physical all --json > /dev/null
+cargo test -q -p ccube --test lint_golden
+cargo test -q -p ccube --test property_physical
+
+echo "==> policy search with certified-bound pruning (ccube search --bounds)"
+cargo run -q --release -p ccube --bin ccube -- search --bounds > /dev/null
+
 echo "==> resilience smoke run (ccube faults --smoke)"
 cargo run -q --release -p ccube --bin ccube -- faults --smoke
 

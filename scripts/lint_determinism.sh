@@ -16,7 +16,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-scan_dirs=(crates/simulator/src crates/collectives/src)
+scan_dirs=(crates/simulator/src crates/collectives/src crates/topology/src)
 allowlist=scripts/determinism_allowlist.txt
 fail=0
 

@@ -45,3 +45,58 @@ fn json_runs_are_deterministic() {
         assert_eq!(a, b, "{name}");
     }
 }
+
+/// The physical-analyzer goldens: `(case, golden file)` pairs pinned
+/// byte for byte. `lint_fabric_skew.json` is the PR 8 hazard — the ring
+/// whose cross-leaf crossings all hash to uplink slot 1 — caught
+/// statically as eight `CC016` warnings.
+const FABRIC_GOLDENS: [(&str, &str); 4] = [
+    ("hier16-ring-uplinks", "lint_fabric_skew.json"),
+    ("hier16-oversub", "lint_fabric_oversub.json"),
+    ("dgx1-cc-physical", "lint_fabric_clean.json"),
+    ("severed-ring", "lint_fabric_severed.json"),
+];
+
+#[test]
+fn fabric_json_is_byte_stable() {
+    for (name, file) in FABRIC_GOLDENS {
+        let case = lint::run_physical_case(name).expect("known case");
+        assert_eq!(case.to_json(), golden(file).trim_end(), "{name}");
+    }
+}
+
+#[test]
+fn fabric_json_runs_are_deterministic() {
+    for (name, _) in FABRIC_GOLDENS {
+        let a = lint::run_physical_case(name).expect("known case").to_json();
+        let b = lint::run_physical_case(name).expect("known case").to_json();
+        assert_eq!(a, b, "{name}");
+    }
+}
+
+/// The CI-gate contract: `ccube lint` exits 1 exactly when the gated
+/// report set carries an error-severity diagnostic. `all` exempts the
+/// DEMO cases (their errors are the demonstration); naming a case
+/// explicitly gates on it, DEMO or not.
+#[test]
+fn lint_exit_codes_gate_on_errors() {
+    let run = |args: &[&str]| {
+        std::process::Command::new(env!("CARGO_BIN_EXE_ccube"))
+            .arg("lint")
+            .args(args)
+            .output()
+            .expect("ccube runs")
+    };
+    // Shipped configurations are clean: full runs gate green.
+    assert!(run(&["all"]).status.success());
+    assert!(run(&["--physical", "all", "--json"]).status.success());
+    // A clean named case exits 0, logical or physical.
+    assert!(run(&["dgx1-cc"]).status.success());
+    assert!(run(&["--physical", "dgx1-cc-physical"]).status.success());
+    // A named case with errors exits 1 — the CI gate.
+    assert_eq!(run(&["deadlock"]).status.code(), Some(1));
+    assert_eq!(run(&["--physical", "severed-ring"]).status.code(), Some(1));
+    // Unknown cases are usage errors (2), not lint failures.
+    assert_eq!(run(&["nope"]).status.code(), Some(2));
+    assert_eq!(run(&["--physical", "nope"]).status.code(), Some(2));
+}

@@ -1,0 +1,300 @@
+//! Property-based certificates for the physical analyzer:
+//!
+//! * the channel-level `makespan_lower_bound` never exceeds the DES
+//!   makespan under the channel approximation, over random schedules,
+//!   embeddings and chunkings;
+//! * the port-level `fabric_lower_bound` never exceeds the fabric
+//!   engine's makespan, over random leaf/spine shapes — multi-uplink,
+//!   oversubscribed, store-and-forward, and adaptive-policy draws
+//!   included;
+//! * the severance pass agrees with the fault engine: sampled (finite)
+//!   plans never classify as severed and never drain `Unroutable`, and
+//!   handcrafted permanent outages match the engine outcome exactly in
+//!   both directions.
+
+use ccube_collectives::analyze::LintCode;
+use ccube_collectives::{
+    fabric_lower_bound, makespan_lower_bound, ring_allreduce, tree_allreduce, Chunking,
+    DoubleBinaryTree, Embedding, LinkTiming, Overlap, PhysicalAnalyzeOptions, Schedule,
+};
+use ccube_sim::{
+    analyze_severance, forever, simulate, simulate_faulted, FabricSpec, FaultEvent, FaultModel,
+    FaultPlan, HopMode, SimError, SimOptions, SimRng, UplinkPolicy,
+};
+use ccube_topology::{dgx1, hierarchical, ByteSize, ChannelClass, ChannelId, Seconds, Topology};
+use proptest::prelude::*;
+
+/// `bound <= makespan`, with one ulp-scale tolerance for the float-op
+/// reassociation between the analyzer's sums and the engine's clock.
+fn holds(bound: Seconds, makespan: Seconds) -> bool {
+    bound.as_secs_f64() <= makespan.as_secs_f64() * (1.0 + 1e-9)
+}
+
+/// One random (topology, schedule, embedding) draw shared by the bound
+/// properties. `case` selects the machine/algorithm pairing, `kib` the
+/// message size, `k` the chunk count.
+fn draw_candidate(case: usize, kib: u64, k: usize) -> (Topology, Schedule, Embedding) {
+    let n = ByteSize::kib(kib);
+    match case {
+        0 => {
+            let topo = dgx1();
+            let s = ring_allreduce(8, n);
+            let e = Embedding::identity(&topo, &s).expect("embeddable");
+            (topo, s, e)
+        }
+        1 => {
+            let topo = dgx1();
+            let dt = DoubleBinaryTree::new(8).expect("valid");
+            let s = tree_allreduce(
+                dt.trees(),
+                &Chunking::even(n, 2 * k),
+                Overlap::ReductionBroadcast,
+            );
+            let e = Embedding::dgx1_double_tree(&topo, &s).expect("embeddable");
+            (topo, s, e)
+        }
+        2 => {
+            let topo = hierarchical(8);
+            let s = ring_allreduce(8, n);
+            let e = Embedding::nic(&topo, &s).expect("embeddable");
+            (topo, s, e)
+        }
+        _ => {
+            let topo = hierarchical(16);
+            let dt = DoubleBinaryTree::new(16).expect("valid");
+            let s = tree_allreduce(dt.trees(), &Chunking::even(n, 2 * k), Overlap::None);
+            let e = Embedding::nic(&topo, &s).expect("embeddable");
+            (topo, s, e)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn channel_bound_never_exceeds_des_makespan(
+        case in 0usize..4,
+        kib in 8u64..2048,
+        k in 1usize..9,
+    ) {
+        let (topo, s, e) = draw_candidate(case, kib, k);
+        let opts = SimOptions::default().without_trace();
+        let bound = makespan_lower_bound(&s, &e, &topo, &LinkTiming::default())
+            .expect("shipped candidates lower");
+        let report = simulate(&topo, &s, &e, &opts).expect("simulates");
+        prop_assert!(
+            holds(bound, report.makespan()),
+            "case {case}: bound {bound} > makespan {}",
+            report.makespan()
+        );
+        prop_assert!(bound > Seconds::ZERO);
+    }
+
+    #[test]
+    fn fabric_bound_never_exceeds_fabric_makespan(
+        case in 0usize..4,
+        kib in 8u64..1024,
+        k in 1usize..5,
+        uplinks in 1usize..4,
+        spines in 1usize..3,
+        oversub in prop_oneof![Just(1.0f64), Just(2.0), Just(4.0)],
+        store_forward in prop_oneof![Just(false), Just(true)],
+        policy in prop_oneof![
+            Just(UplinkPolicy::Hash),
+            Just(UplinkPolicy::LeastQueued),
+            Just(UplinkPolicy::Failover),
+        ],
+    ) {
+        let (topo, s, e) = draw_candidate(case, kib, k);
+        // Hierarchical machines get a real leaf/spine split; the DGX-1
+        // keeps the degenerate single-switch shape.
+        let radix = if topo.num_gpus() > 8 { Some(4) } else { None };
+        let spec = FabricSpec {
+            radix,
+            oversubscription: oversub,
+            uplink_latency: Seconds::from_micros(1.0),
+            hop_mode: if store_forward {
+                HopMode::StoreForward
+            } else {
+                HopMode::CutThrough
+            },
+            spines,
+            uplinks,
+            uplink_policy: policy,
+        };
+        let opts = SimOptions::default()
+            .with_network(ccube_sim::NetworkModel::SwitchFabric(spec))
+            .without_trace();
+        let fabric = ccube_topology::FabricGraph::from_topology(
+            &topo,
+            &ccube_topology::FabricConfig {
+                radix,
+                oversubscription: oversub,
+                uplink_latency: Seconds::from_micros(1.0),
+                spines,
+                uplinks_per_leaf: uplinks,
+            },
+        );
+        let popts = PhysicalAnalyzeOptions {
+            timing: LinkTiming::default(),
+            store_forward,
+        };
+        let bound = fabric_lower_bound(&s, &e, &topo, &fabric, &popts)
+            .expect("shipped candidates lower onto their own fabric");
+        let report = simulate(&topo, &s, &e, &opts).expect("simulates");
+        prop_assert!(
+            holds(bound, report.makespan()),
+            "case {case} uplinks {uplinks} spines {spines} oversub {oversub} \
+             sf {store_forward} {}: bound {bound} > makespan {}",
+            policy.label(),
+            report.makespan()
+        );
+        prop_assert!(bound > Seconds::ZERO);
+    }
+
+    #[test]
+    fn severance_agrees_with_fault_engine_on_sampled_plans(
+        seed in 0u64..48,
+        level in 1u32..4,
+        fabric in prop_oneof![Just(false), Just(true)],
+    ) {
+        let topo = hierarchical(8);
+        let s = ring_allreduce(8, ByteSize::mib(4));
+        let e = Embedding::nic(&topo, &s).expect("embeddable");
+        let base = SimOptions::default().without_trace();
+        let opts = if fabric {
+            base.with_network(ccube_sim::NetworkModel::SwitchFabric(FabricSpec {
+                radix: Some(4),
+                uplinks: 2,
+                spines: 2,
+                ..FabricSpec::passthrough()
+            }))
+        } else {
+            base
+        };
+        let healthy = simulate(&topo, &s, &e, &opts).expect("simulates").makespan();
+        let model = FaultModel::severity(level, healthy);
+        let plan = FaultPlan::sample(&model, &topo, &SimRng::new(seed));
+        let report = analyze_severance(&plan, &topo, &s, &e, &opts);
+        // Sampled windows are always finite, so nothing is ever severed
+        // statically...
+        prop_assert!(
+            report.diagnostics().iter().all(|d| d.code != LintCode::FaultSevered),
+            "{report}"
+        );
+        // ...and the engine never drains Unroutable on the same plan.
+        let sim = simulate_faulted(&topo, &s, &e, &opts, &plan);
+        prop_assert!(
+            !matches!(sim, Err(SimError::Unroutable { .. })),
+            "engine unroutable on a finite plan"
+        );
+    }
+}
+
+/// Handcrafted permanent plans where the static classification and the
+/// engine outcome must agree exactly, in both directions.
+#[test]
+fn severance_matches_engine_on_permanent_plans() {
+    let opts = SimOptions::default().without_trace();
+
+    // A permanently-down NIC injection channel: structural, no reroute.
+    // Static says severed; the engine drains Unroutable.
+    let topo = hierarchical(8);
+    let s = ring_allreduce(8, ByteSize::mib(4));
+    let e = Embedding::nic(&topo, &s).expect("embeddable");
+    let plan = FaultPlan::new(vec![FaultEvent::LinkDown {
+        channel: ChannelId(0),
+        from: Seconds::ZERO,
+        until: forever(),
+    }])
+    .expect("valid plan");
+    let report = analyze_severance(&plan, &topo, &s, &e, &opts);
+    assert!(report
+        .diagnostics()
+        .iter()
+        .any(|d| d.code == LintCode::FaultSevered));
+    assert!(matches!(
+        simulate_faulted(&topo, &s, &e, &opts, &plan),
+        Err(SimError::Unroutable { .. })
+    ));
+
+    // A permanently-down NVLink on the DGX-1: the router finds a detour.
+    // Static says reroutable; the engine completes.
+    let topo = dgx1();
+    let s = ring_allreduce(8, ByteSize::mib(4));
+    let e = Embedding::identity(&topo, &s).expect("embeddable");
+    let used = topo
+        .channels()
+        .iter()
+        .map(|c| c.id())
+        .find(|&c| topo.channel(c).class() == ChannelClass::NvLink)
+        .expect("dgx1 has NVLinks");
+    let plan = FaultPlan::new(vec![FaultEvent::LinkDown {
+        channel: used,
+        from: Seconds::ZERO,
+        until: forever(),
+    }])
+    .expect("valid plan");
+    let report = analyze_severance(&plan, &topo, &s, &e, &opts);
+    assert!(
+        report
+            .diagnostics()
+            .iter()
+            .all(|d| d.code != LintCode::FaultSevered),
+        "{report}"
+    );
+    assert!(simulate_faulted(&topo, &s, &e, &opts, &plan).is_ok());
+
+    // A single-uplink fabric losing its only slot forever: severed, and
+    // the engine drains Unroutable. With a second slot and the failover
+    // policy, both sides recover.
+    let topo = hierarchical(8);
+    let s = ring_allreduce(8, ByteSize::mib(4));
+    let e = Embedding::nic(&topo, &s).expect("embeddable");
+    let outage = |leaf, uplink| {
+        FaultPlan::new(vec![FaultEvent::UplinkDown {
+            leaf,
+            uplink,
+            from: Seconds::ZERO,
+            until: forever(),
+        }])
+        .expect("valid plan")
+    };
+    let fabric_opts = |uplinks, policy| {
+        SimOptions::default()
+            .with_network(ccube_sim::NetworkModel::SwitchFabric(FabricSpec {
+                radix: Some(4),
+                uplinks,
+                spines: uplinks,
+                uplink_policy: policy,
+                ..FabricSpec::passthrough()
+            }))
+            .without_trace()
+    };
+    let one = fabric_opts(1, UplinkPolicy::Hash);
+    let plan = outage(0, 0);
+    let report = analyze_severance(&plan, &topo, &s, &e, &one);
+    assert!(report
+        .diagnostics()
+        .iter()
+        .any(|d| d.code == LintCode::FaultSevered));
+    assert!(matches!(
+        simulate_faulted(&topo, &s, &e, &one, &plan),
+        Err(SimError::Unroutable { .. })
+    ));
+
+    let two = fabric_opts(2, UplinkPolicy::Failover);
+    for slot in 0..2 {
+        let plan = outage(0, slot);
+        let report = analyze_severance(&plan, &topo, &s, &e, &two);
+        assert!(
+            report
+                .diagnostics()
+                .iter()
+                .all(|d| d.code != LintCode::FaultSevered),
+            "slot {slot}: {report}"
+        );
+        assert!(simulate_faulted(&topo, &s, &e, &two, &plan).is_ok());
+    }
+}
