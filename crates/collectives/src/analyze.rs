@@ -32,6 +32,31 @@
 //!   the paper's class formulas, `2·log P + K` for the overlapped tree
 //!   and `2(log P + K)` for the baseline (`CC013`).
 //!
+//! # Lint codes
+//!
+//! The logical-layer codes, stable across releases (`ccube lint`):
+//!
+//! | code | name | meaning |
+//! |---|---|---|
+//! | `CC001` | `malformed-dag` | a structural DAG invariant is broken (dangling dep, self-loop, bad rank) |
+//! | `CC002` | `wait-cycle` | the wait-for graph has a cycle — a deadlock witness path |
+//! | `CC003` | `incomplete-dataflow` | a buffer ends without all contributions (incomplete reduction/broadcast) |
+//! | `CC004` | `double-reduction` | a reduction folds in contributions the destination already holds |
+//! | `CC005` | `dataflow-race` | two conflicting buffer accesses no dependency path orders |
+//! | `CC006` | `out-of-order-delivery` | chunks complete out of order within a tree (breaks C2's gradient queue) |
+//! | `CC007` | `missing-route` | the embedding has no route for a logical edge |
+//! | `CC008` | `invalid-route` | a route is invalid on the topology (unknown channel, broken hop chain) |
+//! | `CC009` | `channel-conflict` | two logical edges occupy one physical channel in overlapping steps — the doubled-NVLink double-tree hazard |
+//! | `CC010` | `oversubscription` | edges share a channel but never in the same step (serialization pressure, not a conflict) |
+//! | `CC011` | `nic-fan-in` | NIC injection/ejection channels carry several edges concurrently |
+//! | `CC012` | `host-bridge-route` | a route crosses the PCIe host bridge the paper's detours avoid |
+//! | `CC013` | `step-bound-exceeded` | static step depth exceeds the algorithm's class formula |
+//! | `CC014` | `analysis-truncated` | an analysis was skipped (e.g. the race check past its pair budget) |
+//!
+//! `CC015`..`CC023` are the physical-layer analyzer's codes — fabric
+//! hazards, certified lower bounds and fault severance — documented in
+//! [`physical`](crate::physical).
+//!
 //! [`gate`] is the cheap structural subset (DAG + routes) that the
 //! simulators debug-assert on every input.
 //!

@@ -26,6 +26,30 @@
 //!   fabrics, and hop modes), so `policy_search` can prune candidates
 //!   whose bound already exceeds an incumbent's simulated makespan
 //!   without changing any simulated result.
+//! * **Fault severance** (`ccube_sim::analyze_severance`, upstream in
+//!   the simulator crate) — replays a `FaultPlan` against the
+//!   embedding's route set and classifies each window: survivable via a
+//!   fallback route (`CC021`), a finite stall until repair (`CC022`),
+//!   or permanent severance — the run is provably `Unroutable`
+//!   (`CC023`).
+//!
+//! # Lint codes
+//!
+//! The physical-layer series, stable across releases
+//! (`ccube lint --physical`); `CC001`..`CC014` are the logical
+//! analyzer's ([`crate::analyze`]):
+//!
+//! | code | name | severity | meaning |
+//! |---|---|---|---|
+//! | `CC015` | `link-contention` | warning | several logical edges pile onto one physical port |
+//! | `CC016` | `uplink-striping-skew` | warning | cross-leaf traffic stripes unevenly over a leaf's uplink slots (the `source_node % k` hashing hazard) |
+//! | `CC017` | `oversubscription-hotspot` | warning | a leaf's uplink pool drains slower than any endpoint port feeding it |
+//! | `CC018` | `unreachable-port-path` | error | a route has no physical realization on the fabric |
+//! | `CC019` | `makespan-lower-bound` | info | certified channel-level bound: `max(critical path, bottleneck congestion)` |
+//! | `CC020` | `fabric-lower-bound` | info | the same bound at port level, uplink pools divided by slot count |
+//! | `CC021` | `fault-reroutable` | info | every transfer a fault window hits has a surviving fallback route |
+//! | `CC022` | `fault-stall` | warning | traffic must stall until the window lifts (no alternative path) |
+//! | `CC023` | `fault-severed` | error | a permanent window severs the embedding — the engine outcome is `Unroutable` |
 //!
 //! # Why the bounds are valid
 //!

@@ -15,8 +15,12 @@
 //! ccube faults --shrink <seed>     1-minimal reproducer of the seed's plan
 //! ccube trace [out] [--json] [--seed N]
 //!                                  faulted C1 trace (CSV or Chrome trace_event)
-//! ccube trace --diff <a> <b>       compare two traces (CSV paths or live-run
-//!                                  seeds; first divergence, per-kind deltas)
+//! ccube trace --html <out.html>    same run as a self-contained HTML viewer
+//! ccube trace --diff <a> <b> [--html <out.html>]
+//!                                  compare two traces (CSV paths or live-run
+//!                                  seeds; first divergence, per-kind deltas;
+//!                                  --html: side-by-side viewer)
+//! ccube faults --html <out.html>   fabric-failover demo viewer (k=1 vs k=2)
 //! ccube lint [case|all] [--json]   static schedule analyzer (CC001.. lints)
 //! ```
 //!
@@ -39,36 +43,48 @@ use ccube_topology::ByteSize;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// The complete help text. Kept as one audited constant: the
+/// doc-consistency test (`tests/doc_consistency.rs`) checks every flag
+/// the subcommands actually parse appears here and in README.md's
+/// subcommand table.
+const USAGE: &str = "\
+usage: ccube <command>
+
+commands:
+  figures [out_dir]                regenerate every paper figure (CSV)
+  compare <network> [batch] [--low] mode table for zfnet|vgg16|resnet50
+  scaleout [max_p] [mib...]        Fig. 14 sweep on the switch fabric
+  search [--bounds]                best schedule per topology (policy search;
+                                   --bounds: skip candidates by lower bound)
+  timeline [mib]                   ASCII Fig. 7 timelines on the DGX-1
+  train [iterations]               threaded C-Cube training loop
+  rings                            DGX-1 Hamiltonian ring decomposition
+  faults [out] [--seed N] [--smoke] resilience sweep under sampled fault plans
+  faults --shrink <seed>           1-minimal reproducer of the seed's plan
+  faults --html <out.html>         fabric-failover demo viewer: k=1 vs k=2
+                                   uplinks under the same seeded outage
+  trace [out] [--json] [--seed N]  faulted C1 trace (CSV or Chrome JSON)
+  trace --html <out.html>          the same run as a self-contained HTML
+                                   trace viewer (Gantt lanes, zoom, faults)
+  trace --diff <a> <b> [--html <out.html>]
+                                   compare two traces; each side is a
+                                   trace-CSV path or a live-run seed
+                                   (--html: side-by-side diff viewer)
+  lint [case|all] [--json]         static schedule analyzer (CC001.. lints)
+  lint --physical [case|all]       physical-layer analyzer (CC015.. lints:
+                                   fabric hazards, bounds, fault severance)
+
+figures/scaleout/search/faults take --threads N (default: all cores);
+results are bit-identical at any worker count.
+figures/scaleout/faults/trace take --fabric {approx,switch}:
+the channel approximation (default) or the componentized switch fabric.
+the spine/leaf fabric is shaped with --radix N, --spines N, --uplinks N
+and --uplink-policy {hash,least-queued,failover} (imply --fabric switch).
+every command takes --no-prep-cache: disable the sweep-wide
+preparation cache (same results, cold lowering every point).";
+
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: ccube <command>\n\
-         \n\
-         commands:\n\
-         \x20 figures [out_dir]                regenerate every paper figure (CSV)\n\
-         \x20 compare <network> [batch] [--low] mode table for zfnet|vgg16|resnet50\n\
-         \x20 scaleout [max_p] [mib...]        Fig. 14 sweep on the switch fabric\n\
-         \x20 search [--bounds]                best schedule per topology (policy search;\n\
-         \x20                                  --bounds: skip candidates by lower bound)\n\
-         \x20 timeline [mib]                   ASCII Fig. 7 timelines on the DGX-1\n\
-         \x20 train [iterations]               threaded C-Cube training loop\n\
-         \x20 rings                            DGX-1 Hamiltonian ring decomposition\n\
-         \x20 faults [out] [--seed N] [--smoke] resilience sweep under sampled fault plans\n\
-         \x20 faults --shrink <seed>           1-minimal reproducer of the seed's plan\n\
-         \x20 trace [out] [--json] [--seed N]  faulted C1 trace (CSV or Chrome JSON)\n\
-         \x20 trace --diff <a> <b>             compare two traces (CSV paths or seeds)\n\
-         \x20 lint [case|all] [--json]         static schedule analyzer (CC001.. lints)\n\
-         \x20 lint --physical [case|all]       physical-layer analyzer (CC015.. lints:\n\
-         \x20                                  fabric hazards, bounds, fault severance)\n\
-         \n\
-         figures/scaleout/search/faults take --threads N (default: all cores);\n\
-         results are bit-identical at any worker count.\n\
-         figures/scaleout/faults/trace take --fabric {{approx,switch}}:\n\
-         the channel approximation (default) or the componentized switch fabric.\n\
-         the spine/leaf fabric is shaped with --radix N, --spines N, --uplinks N\n\
-         and --uplink-policy {{hash,least-queued,failover}} (imply --fabric switch).\n\
-         every command takes --no-prep-cache: disable the sweep-wide\n\
-         preparation cache (same results, cold lowering every point)."
-    );
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 
@@ -470,6 +486,19 @@ fn cmd_faults(args: &[String], threads: usize) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let (args, html) = match split_flag(&args, "--html") {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("faults: {e} (the viewer output path)");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = html {
+        // The explorable fabric-failover figure: k=1 vs k=2 uplinks
+        // under the same seeded slot-0 outage, side by side. The demo
+        // is inherently a switch-fabric run, so --fabric is ignored.
+        return write_or_print(Some(&path), &resilience::fabric_demo_html(seed));
+    }
     let smoke = args.iter().any(|a| a == "--smoke");
     let out = args.iter().find(|a| !a.starts_with("--"));
     let rows = if smoke {
@@ -632,82 +661,90 @@ fn cmd_faults_shrink(seed: u64, fabric: ccube_sim::NetworkModel) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Simulates the faulted C1 trace for `seed`: the DGX-1 double tree
-/// under a severity-2 fault plan sampled from the seed. The trace shows
-/// transfers, queue waits, detours, re-routes, failovers and fault
-/// intervals.
-fn faulted_trace(
-    seed: u64,
-    fabric: ccube_sim::NetworkModel,
-) -> Result<ccube_sim::SystemReport, String> {
-    use ccube_collectives::{tree_allreduce, Chunking, DoubleBinaryTree, Embedding, Overlap};
-    use ccube_sim::{simulate_faulted, FaultModel, FaultPlan, SimOptions, SimRng};
-    use ccube_topology::dgx1;
-
-    let topo = dgx1();
-    let dt = DoubleBinaryTree::new(8).expect("8 ranks");
-    let s = tree_allreduce(
-        dt.trees(),
-        &Chunking::even(ByteSize::mib(16), 16),
-        Overlap::ReductionBroadcast,
-    );
-    let e = Embedding::dgx1_double_tree(&topo, &s).expect("embeddable");
-    let opts = SimOptions::default().with_network(fabric);
-    let healthy =
-        simulate_faulted(&topo, &s, &e, &opts, &FaultPlan::empty()).expect("healthy run simulates");
-    let model = FaultModel::severity(2, healthy.makespan);
-    let plan = FaultPlan::sample(&model, &topo, &SimRng::new(seed));
-    simulate_faulted(&topo, &s, &e, &opts, &plan).map_err(|e| format!("faulted run failed: {e}"))
-}
-
 /// `ccube trace --diff <a> <b>`: compare two traces and report the first
 /// diverging line, per-record-kind count deltas, and busy / horizon
 /// drift. Each side is either a trace-CSV path, or a seed (any u64) —
 /// seeds are re-simulated in-process, so `ccube trace --diff 7 8`
 /// compares two live runs without temp files, and `ccube trace --diff 7
-/// before.csv` checks a live run against a saved baseline. Exit code 0
-/// when identical, 1 when they differ.
-fn cmd_trace_diff(sides: &[&String], fabric: ccube_sim::NetworkModel) -> ExitCode {
+/// before.csv` checks a live run against a saved baseline. With `--html
+/// <out.html>` the same comparison is written as a side-by-side HTML
+/// viewer. Exit code 0 when identical, 1 when they differ.
+fn cmd_trace_diff(
+    sides: &[&String],
+    fabric: ccube_sim::NetworkModel,
+    html: Option<&String>,
+) -> ExitCode {
+    use ccube::experiments::resilience;
     let [left, right] = sides else {
         eprintln!("trace --diff: expected exactly two sides (trace-CSV paths or seeds)");
         return ExitCode::from(2);
     };
     // A side that parses as a u64 is a seed: re-simulate it in-process.
-    let side = |arg: &String| -> Option<String> {
+    let side = |arg: &String| -> Option<(ccube_sim::SimTrace, ccube_sim::LaneLabels)> {
         if let Ok(seed) = arg.parse::<u64>() {
-            match faulted_trace(seed, fabric) {
-                Ok(report) => Some(report.trace.to_csv()),
+            match resilience::demo_trace(seed, fabric) {
+                Ok(report) => Some((
+                    report.trace,
+                    resilience::demo_labels(format!("seed {seed}"), &fabric),
+                )),
                 Err(e) => {
-                    eprintln!("trace --diff: seed {seed}: {e}");
+                    eprintln!("trace --diff: seed {seed}: faulted run failed: {e}");
                     None
                 }
             }
         } else {
-            match std::fs::read_to_string(arg) {
-                Ok(s) => Some(s),
+            let text = match std::fs::read_to_string(arg) {
+                Ok(s) => s,
                 Err(e) => {
                     eprintln!("trace --diff: failed to read {arg}: {e}");
+                    return None;
+                }
+            };
+            match ccube_sim::SimTrace::from_csv(&text) {
+                Ok(t) => Some((t, resilience::demo_labels(arg.clone(), &fabric))),
+                Err(e) => {
+                    eprintln!("trace --diff: {arg}: {e}");
                     None
                 }
             }
         }
     };
-    let (Some(left), Some(right)) = (side(left), side(right)) else {
+    let (Some((lt, ll)), Some((rt, rl))) = (side(left), side(right)) else {
         return ExitCode::FAILURE;
     };
-    let diff = ccube_sim::diff_csv(&left, &right);
-    if diff.is_identical() {
+    let diff = ccube_sim::diff_csv(&lt.to_csv(), &rt.to_csv());
+    if let Some(path) = html {
+        let doc = ccube_sim::diff_to_html((&lt, &ll), (&rt, &rl));
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("trace --diff: failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "traces are {}; wrote {path}",
+            if diff.is_identical() {
+                "identical"
+            } else {
+                "different"
+            }
+        );
+    } else if diff.is_identical() {
         println!("traces are identical");
-        ExitCode::SUCCESS
     } else {
         print!("{diff}");
+    }
+    if diff.is_identical() {
+        ExitCode::SUCCESS
+    } else {
         ExitCode::FAILURE
     }
 }
 
 fn cmd_trace(args: &[String]) -> ExitCode {
-    let (args, fabric) = match fabric_from_args(args) {
-        Ok(parsed) => parsed,
+    use ccube::experiments::resilience;
+    let parsed = fabric_from_args(args)
+        .and_then(|(args, fabric)| Ok((split_flag(&args, "--html")?, fabric)));
+    let ((args, html), fabric) = match parsed {
+        Ok(p) => p,
         Err(e) => {
             eprintln!("trace: {e}");
             return ExitCode::from(2);
@@ -715,9 +752,9 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     };
     if args.iter().any(|a| a == "--diff") {
         let sides: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
-        return cmd_trace_diff(&sides, fabric);
+        return cmd_trace_diff(&sides, fabric, html.as_ref());
     }
-    let (args, seed) = match seed_from_args(&args, ccube::experiments::resilience::DEFAULT_SEED) {
+    let (args, seed) = match seed_from_args(&args, resilience::DEFAULT_SEED) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("trace: {e}");
@@ -725,14 +762,22 @@ fn cmd_trace(args: &[String]) -> ExitCode {
         }
     };
     let json = args.iter().any(|a| a == "--json");
+    if json && html.is_some() {
+        eprintln!("trace: --json and --html are mutually exclusive");
+        return ExitCode::from(2);
+    }
     let out = args.iter().find(|a| !a.starts_with("--"));
-    let report = match faulted_trace(seed, fabric) {
+    let report = match resilience::demo_trace(seed, fabric) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("trace: {e}");
+            eprintln!("trace: faulted run failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &html {
+        let labels = resilience::demo_labels(format!("seed {seed}"), &fabric);
+        return write_or_print(Some(path), &ccube_sim::to_html(&report.trace, &labels));
+    }
     // Under the switch fabric the grant records carry port indices, so
     // label the Chrome-trace lanes accordingly.
     let lane = match fabric {

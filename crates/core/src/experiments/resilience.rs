@@ -25,8 +25,8 @@ use ccube_collectives::{
     ring_allreduce, tree_allreduce, Chunking, DoubleBinaryTree, Embedding, Overlap, Schedule,
 };
 use ccube_sim::{
-    simulate_system_faulted, FabricSpec, FaultModel, FaultPlan, NetworkModel, SimError, SimOptions,
-    SimRng, SystemJob, SystemReport, UplinkPolicy,
+    diff_to_html, simulate_faulted, simulate_system_faulted, FabricSpec, FaultModel, FaultPlan,
+    LaneLabels, NetworkModel, SimError, SimOptions, SimRng, SystemJob, SystemReport, UplinkPolicy,
 };
 use ccube_topology::{dgx1, hierarchical, ByteSize, Seconds, Topology};
 use std::fmt;
@@ -252,6 +252,30 @@ fn row_ok(p: &Point, healthy: &SystemReport, report: &SystemReport) -> Row {
     }
 }
 
+/// The demo trace behind `ccube trace`: the DGX-1 C1 double tree
+/// (16 MiB in 16 chunks) under a severity-2 fault plan sampled from
+/// `seed`. The trace shows transfers, queue waits, detours, re-routes,
+/// failovers and fault intervals; the CLI renders it as CSV, Chrome
+/// JSON, or the self-contained HTML viewer.
+pub fn demo_trace(seed: u64, network: NetworkModel) -> Result<SystemReport, SimError> {
+    let topo = dgx1();
+    let s = tree_schedule(8, Overlap::ReductionBroadcast);
+    let e = Embedding::dgx1_double_tree(&topo, &s).expect("embeddable");
+    let opts = SimOptions::default().with_network(network);
+    let healthy =
+        simulate_faulted(&topo, &s, &e, &opts, &FaultPlan::empty()).expect("healthy run simulates");
+    let model = FaultModel::severity(2, healthy.makespan);
+    let plan = FaultPlan::sample(&model, &topo, &SimRng::new(seed));
+    simulate_faulted(&topo, &s, &e, &opts, &plan)
+}
+
+/// Viewer lane labels matching [`demo_trace`] under `network`: channel
+/// lanes under the approximation, [`ccube_topology::FabricGraph`] port
+/// labels under the switch fabric.
+pub fn demo_labels(title: impl Into<String>, network: &NetworkModel) -> LaneLabels {
+    LaneLabels::for_network(title, &dgx1(), network)
+}
+
 /// One cell of the fabric-failover study: the C1 collective on a
 /// radix-4 spine/leaf fabric over `hierarchical(16)`, under the *same*
 /// seeded uplink-outage plan, across uplink counts and steering
@@ -338,32 +362,42 @@ pub fn run_fabric_with(seed: u64, threads: usize) -> Vec<FabricRow> {
     })
 }
 
-fn fabric_cell(uplinks: usize, policy: UplinkPolicy, seed: u64) -> FabricRow {
+/// The fabric study's workload and network options: the C1 collective
+/// on `hierarchical(16)` over the radix-4 spine/leaf fabric.
+fn fabric_workload(
+    uplinks: usize,
+    policy: UplinkPolicy,
+) -> (Topology, SystemJob, Embedding, SimOptions) {
     let topo = hierarchical(16);
     let job = compute_less(tree_schedule(16, Overlap::ReductionBroadcast));
     let emb = Embedding::nic(&topo, &job.schedule).expect("embeds");
-    let opts_of = |u: usize, p: UplinkPolicy| {
-        SimOptions::scale_out().with_network(NetworkModel::SwitchFabric(fabric_spec(u, p)))
-    };
-    // The shared fault horizon comes from the single-uplink reference,
-    // so every cell samples the identical plan from the same stream.
-    let reference = simulate_system_faulted(
-        &topo,
-        &job,
-        &emb,
-        &opts_of(1, UplinkPolicy::Hash),
-        &FaultPlan::empty(),
-    )
-    .expect("reference baseline simulates");
-    let plan = FaultPlan::sample_uplinks(
+    let opts = SimOptions::scale_out()
+        .with_network(NetworkModel::SwitchFabric(fabric_spec(uplinks, policy)));
+    (topo, job, emb, opts)
+}
+
+/// The study's shared seeded outage plan: slot-0 uplink windows sampled
+/// against the single-uplink reference horizon, so the identical plan is
+/// valid on every cell's fabric.
+fn fabric_outage_plan(seed: u64) -> FaultPlan {
+    let (topo, job, emb, opts) = fabric_workload(1, UplinkPolicy::Hash);
+    let reference = simulate_system_faulted(&topo, &job, &emb, &opts, &FaultPlan::empty())
+        .expect("reference baseline simulates");
+    FaultPlan::sample_uplinks(
         4,
         1,
         reference.makespan * 0.5,
         reference.makespan * 0.25,
         reference.makespan,
         &SimRng::new(seed),
-    );
-    let opts = opts_of(uplinks, policy);
+    )
+}
+
+fn fabric_cell(uplinks: usize, policy: UplinkPolicy, seed: u64) -> FabricRow {
+    // The shared fault horizon comes from the single-uplink reference,
+    // so every cell samples the identical plan from the same stream.
+    let plan = fabric_outage_plan(seed);
+    let (topo, job, emb, opts) = fabric_workload(uplinks, policy);
     let healthy = simulate_system_faulted(&topo, &job, &emb, &opts, &FaultPlan::empty())
         .expect("healthy run simulates");
     match simulate_system_faulted(&topo, &job, &emb, &opts, &plan) {
@@ -387,6 +421,30 @@ fn fabric_cell(uplinks: usize, policy: UplinkPolicy, seed: u64) -> FabricRow {
         },
         Err(e) => panic!("fabric cell k={uplinks} {}: {e}", policy.label()),
     }
+}
+
+/// Renders the fabric-failover figure as a side-by-side HTML diff
+/// viewer: the k=1 and k=2 `failover`-policy cells under the **same**
+/// seeded slot-0 uplink outage (`ccube faults --html <out>`). The left
+/// pane shows traffic stalling through the outage window with nowhere
+/// to go; the right pane shows the adaptive failover absorbing it —
+/// the study's headline recovery, explorable per port lane.
+pub fn fabric_demo_html(seed: u64) -> String {
+    let plan = fabric_outage_plan(seed);
+    let run = |uplinks: usize| {
+        let (topo, job, emb, opts) = fabric_workload(uplinks, UplinkPolicy::Failover);
+        let report = simulate_system_faulted(&topo, &job, &emb, &opts, &plan)
+            .expect("failover fabric absorbs the slot-0 outage");
+        let labels = LaneLabels::for_network(
+            format!("k={uplinks} failover, seed {seed}"),
+            &topo,
+            &NetworkModel::SwitchFabric(fabric_spec(uplinks, UplinkPolicy::Failover)),
+        );
+        (report, labels)
+    };
+    let (left, ll) = run(1);
+    let (right, rl) = run(2);
+    diff_to_html((&left.trace, &ll), (&right.trace, &rl))
 }
 
 /// Renders fabric-study rows as CSV.

@@ -54,6 +54,7 @@ pub mod sweep;
 pub mod system;
 mod timeline;
 pub mod trace;
+pub mod trace_html;
 
 pub use engine::{simulate, Arbitration, SimOptions};
 pub use error::SimError;
@@ -77,6 +78,7 @@ pub use system::{
 };
 pub use timeline::{render_channel_timeline, render_timeline, TimelineOptions};
 pub use trace::{diff_csv, utilization_bins, BusyInterval, SimTrace, TraceDiff, TraceRecord};
+pub use trace_html::{diff_to_html, extract_payload, scene_json, to_html, LaneLabels};
 
 /// Convenient re-exports of the most commonly used items.
 ///

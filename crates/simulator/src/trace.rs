@@ -337,6 +337,105 @@ impl SimTrace {
         out
     }
 
+    /// Parses a trace CSV (the [`SimTrace::to_csv`] format) back into a
+    /// trace — the inverse of the export, used by the HTML viewer
+    /// ([`trace_html`](crate::trace_html)) so saved trace files render
+    /// through the same scene builder as live runs.
+    ///
+    /// The returned trace is unbounded enough to hold every parsed
+    /// record (`capacity == max(len, 1)`, `dropped == 0`): the file is
+    /// the whole history as far as the parser can know. Timestamps keep
+    /// the export's microsecond precision, so `to_csv` of the result
+    /// reproduces the input byte-for-byte when the input came from
+    /// `to_csv`. Fails with a line-numbered message on an unknown record
+    /// kind or a malformed field; the header line is required.
+    pub fn from_csv(csv: &str) -> Result<SimTrace, String> {
+        use ccube_collectives::TransferId;
+        let mut lines = csv.lines();
+        match lines.next() {
+            Some(h) if h.starts_with("kind,") => {}
+            _ => return Err("missing trace-CSV header (`kind,id,...`)".to_string()),
+        }
+        let mut records = Vec::new();
+        for (n, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let err = |what: &str| format!("line {}: {what}: {line:?}", n + 2);
+            let cols: Vec<&str> = line.split(',').collect();
+            if cols.len() != 5 {
+                return Err(err("expected 5 columns"));
+            }
+            let id = |c: &str| c.parse::<u32>().map_err(|_| err("bad id"));
+            let at = |c: &str| {
+                c.parse::<f64>()
+                    .map(Seconds::from_micros)
+                    .map_err(|_| err("bad timestamp"))
+            };
+            records.push(match cols[0] {
+                "transfer_start" => TraceRecord::TransferStart {
+                    id: TransferId(id(cols[1])?),
+                    at: at(cols[3])?,
+                },
+                "transfer_end" => TraceRecord::TransferEnd {
+                    id: TransferId(id(cols[1])?),
+                    at: at(cols[3])?,
+                },
+                "channel_grant" => TraceRecord::ChannelGrant {
+                    id: TransferId(id(cols[1])?),
+                    channel: ChannelId(id(cols[2])?),
+                    at: at(cols[3])?,
+                },
+                "queue_wait" => {
+                    let granted = at(cols[3])?;
+                    TraceRecord::QueueWait {
+                        id: TransferId(id(cols[1])?),
+                        enqueued: granted - at(cols[4])?,
+                        granted,
+                    }
+                }
+                "compute_start" => TraceRecord::ComputeStart {
+                    id: id(cols[1])?,
+                    gpu: GpuId(id(cols[2])?),
+                    at: at(cols[3])?,
+                },
+                "compute_end" => TraceRecord::ComputeEnd {
+                    id: id(cols[1])?,
+                    gpu: GpuId(id(cols[2])?),
+                    at: at(cols[3])?,
+                },
+                "detour_hop" => TraceRecord::DetourHop {
+                    id: TransferId(id(cols[1])?),
+                    via: GpuId(id(cols[2])?),
+                    at: at(cols[3])?,
+                },
+                "fault_start" => TraceRecord::FaultStart {
+                    fault: id(cols[1])?,
+                    at: at(cols[3])?,
+                },
+                "fault_end" => TraceRecord::FaultEnd {
+                    fault: id(cols[1])?,
+                    at: at(cols[3])?,
+                },
+                "reroute" => TraceRecord::Reroute {
+                    id: TransferId(id(cols[1])?),
+                    at: at(cols[3])?,
+                },
+                "failover" => TraceRecord::Failover {
+                    id: TransferId(id(cols[1])?),
+                    port: ChannelId(id(cols[2])?),
+                    at: at(cols[3])?,
+                },
+                other => return Err(err(&format!("unknown record kind {other:?}"))),
+            });
+        }
+        let mut trace = SimTrace::bounded(records.len().max(1));
+        for r in records {
+            trace.push(r);
+        }
+        Ok(trace)
+    }
+
     /// Exports the retained records as Chrome `trace_event` JSON for
     /// `chrome://tracing` / [Perfetto](https://ui.perfetto.dev).
     ///
@@ -586,6 +685,102 @@ impl TraceDiff {
     pub fn is_identical(&self) -> bool {
         self.first_divergence.is_none() && self.lines.0 == self.lines.1
     }
+
+    /// Timestamp (µs) of the first divergent record, if any: the
+    /// earliest timestamp parseable from either divergent line. The HTML
+    /// diff viewer anchors its divergence marker here.
+    pub fn divergence_time_us(&self) -> Option<f64> {
+        let (_, a, b) = self.first_divergence.as_ref()?;
+        let t = |side: &Option<String>| {
+            side.as_deref()
+                .and_then(parse_line)
+                .and_then(|(_, _, at)| at)
+        };
+        match (t(a), t(b)) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, y) => x.or(y),
+        }
+    }
+
+    /// Renders the diff as a byte-stable JSON object — the structured
+    /// counterpart of the [`Display`](fmt::Display) rendering, embedded
+    /// verbatim in the HTML diff viewer's payload
+    /// ([`trace_html`](crate::trace_html), schema in DESIGN.md §15).
+    ///
+    /// Keys, in order: `identical`, `lines` (`[left, right]`),
+    /// `first_divergence` (`null`, or `{record, left, right}` with
+    /// `null` marking a trace that ended early), `divergence_t_us`
+    /// (`null` when no timestamp is parseable), `kinds` (per-kind
+    /// `[left, right]` counts, every kind present in either trace, name
+    /// order), `busy_drift_us`, `max_busy_drift_us`, `horizon_delta_us`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"identical\":{},\"lines\":[{},{}],",
+            self.is_identical(),
+            self.lines.0,
+            self.lines.1
+        );
+        match &self.first_divergence {
+            Some((record, a, b)) => {
+                let side = |s: &Option<String>| match s {
+                    Some(line) => format!("\"{}\"", json_escape(line)),
+                    None => "null".to_string(),
+                };
+                let _ = write!(
+                    out,
+                    "\"first_divergence\":{{\"record\":{record},\"left\":{},\"right\":{}}},",
+                    side(a),
+                    side(b)
+                );
+            }
+            None => out.push_str("\"first_divergence\":null,"),
+        }
+        match self.divergence_time_us() {
+            Some(t) => {
+                let _ = write!(out, "\"divergence_t_us\":{t:.3},");
+            }
+            None => out.push_str("\"divergence_t_us\":null,"),
+        }
+        out.push_str("\"kinds\":{");
+        for (i, (kind, (l, r))) in self.kind_counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":[{l},{r}]", json_escape(kind));
+        }
+        let _ = write!(
+            out,
+            "}},\"busy_drift_us\":{:.3},\"max_busy_drift_us\":{:.3},\"horizon_delta_us\":{:.3}}}",
+            self.busy_drift.as_micros(),
+            self.max_busy_drift.as_micros(),
+            self.horizon_delta.as_micros()
+        );
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal. `<` is escaped too
+/// so payloads can sit inside a `<script>` tag without ever forming a
+/// closing-tag sequence.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '<' => out.push_str("\\u003c"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl fmt::Display for TraceDiff {

@@ -13,7 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> determinism lint (scripts/lint_determinism.sh)"
 ./scripts/lint_determinism.sh
 
-echo "==> cargo doc -D warnings"
+echo "==> cargo doc -D warnings (missing_docs included: every crate is #![warn(missing_docs)])"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "==> cargo test -q"
@@ -60,6 +60,27 @@ cargo test -q -p ccube-sim --test fabric_faults
 
 echo "==> fabric-resilience golden stays byte-identical"
 cargo test -q -p ccube --test golden_regression ext_fabric_resilience_csv_matches_golden_byte_for_byte
+
+echo "==> HTML trace viewer: payload goldens + doc-consistency audit"
+cargo test -q -p ccube --test trace_html_golden
+cargo test -q -p ccube --test doc_consistency
+
+echo "==> HTML trace viewer renders self-contained single-run and diff files"
+rm -rf target/check-html && mkdir -p target/check-html
+cargo run -q --release -p ccube --bin ccube -- trace --html target/check-html/run.html > /dev/null
+# trace --diff exits 1 when the traces differ (they do: different seeds);
+# only exit codes above 1 are real failures.
+status=0
+cargo run -q --release -p ccube --bin ccube -- \
+    trace --diff 7 8 --html target/check-html/diff.html > /dev/null || status=$?
+[ "$status" -le 1 ]
+for f in target/check-html/run.html target/check-html/diff.html; do
+    grep -q 'id="ccube-trace-data"' "$f"
+    grep -q '</html>' "$f"
+    # Self-contained: no external scripts, styles, or fetches.
+    ! grep -Eq 'src="http|href="http' "$f"
+done
+rm -rf target/check-html
 
 echo "==> cargo bench --no-run (benches stay buildable)"
 cargo bench --workspace --no-run

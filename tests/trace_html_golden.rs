@@ -1,0 +1,120 @@
+//! Byte-stable goldens for the embedded payload of the HTML trace
+//! viewer (`ccube trace --html` / `ccube trace --diff --html`).
+//!
+//! The fixtures pin the **JSON payload only** — the schema contract of
+//! DESIGN.md §15, extracted with [`ccube_sim::extract_payload`] — so
+//! cosmetic template tweaks (CSS, renderer script) never churn the
+//! goldens. A diff here means the payload schema changed: bump the
+//! `schema` field and document the change in DESIGN.md §15.
+//!
+//! To regenerate after an *intentional* contract change:
+//!
+//! ```text
+//! cargo run --bin ccube -- trace --html /tmp/run.html --seed 195
+//! cargo run --bin ccube -- trace --diff 7 8 --html /tmp/diff.html
+//! # then extract each payload into tests/data/:
+//! #   the text between id="ccube-trace-data"> and the next </script>
+//! ```
+
+use ccube::experiments::resilience;
+use ccube_sim::{extract_payload, sweep_seeded, to_html, NetworkModel, SimTrace};
+
+fn golden(name: &str) -> String {
+    let path = format!("{}/../../tests/data/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// The `ccube trace --html --seed <seed>` document.
+fn single_html(seed: u64) -> String {
+    let report = resilience::demo_trace(seed, NetworkModel::ChannelApprox).expect("run simulates");
+    let labels = resilience::demo_labels(format!("seed {seed}"), &NetworkModel::ChannelApprox);
+    to_html(&report.trace, &labels)
+}
+
+/// The `ccube trace --diff <a> <b> --html` document.
+fn diff_html(a: u64, b: u64) -> String {
+    let net = NetworkModel::ChannelApprox;
+    let left = resilience::demo_trace(a, net).expect("left simulates");
+    let right = resilience::demo_trace(b, net).expect("right simulates");
+    ccube_sim::diff_to_html(
+        (
+            &left.trace,
+            &resilience::demo_labels(format!("seed {a}"), &net),
+        ),
+        (
+            &right.trace,
+            &resilience::demo_labels(format!("seed {b}"), &net),
+        ),
+    )
+}
+
+fn assert_well_formed(html: &str) {
+    assert!(html.starts_with("<!doctype html>"), "doctype first");
+    assert!(html.trim_end().ends_with("</html>"), "closed document");
+    assert!(html.contains("id=\"ccube-trace-data\""), "payload marker");
+    // Self-contained: no external scripts, styles, or fetches.
+    for needle in [
+        "src=\"http",
+        "href=\"http",
+        "src='http",
+        "@import",
+        "fetch(",
+    ] {
+        assert!(!html.contains(needle), "external asset via {needle:?}");
+    }
+}
+
+#[test]
+fn single_run_payload_is_byte_stable() {
+    let html = single_html(195);
+    assert_well_formed(&html);
+    let payload = extract_payload(&html).expect("payload embedded");
+    assert_eq!(payload, golden("trace_html_single.json").trim_end());
+}
+
+#[test]
+fn seed_vs_seed_diff_payload_is_byte_stable() {
+    let html = diff_html(7, 8);
+    assert_well_formed(&html);
+    let payload = extract_payload(&html).expect("payload embedded");
+    assert_eq!(payload, golden("trace_html_diff.json").trim_end());
+}
+
+#[test]
+fn payloads_are_byte_stable_at_any_sweep_worker_count() {
+    // The viewer rides the same determinism contract as every sweep:
+    // generating payloads inside `sweep_seeded` at 1, 2 and 8 workers
+    // must reproduce the pinned bytes exactly.
+    let seeds: [u64; 2] = [195, 7];
+    let reference: Vec<String> = seeds.iter().map(|&s| single_html(s)).collect();
+    for workers in [1usize, 2, 8] {
+        let swept = sweep_seeded(&seeds, 0, workers, |_, &seed, _| single_html(seed));
+        assert_eq!(swept, reference, "worker count {workers} changed bytes");
+    }
+}
+
+#[test]
+fn file_side_round_trips_through_csv() {
+    // `ccube trace --diff <file> <seed>` parses the CSV back into a
+    // trace; the round trip must be lossless so the file side's scene
+    // and diff agree with the live side's.
+    let report = resilience::demo_trace(195, NetworkModel::ChannelApprox).expect("run simulates");
+    let csv = report.trace.to_csv();
+    let parsed = SimTrace::from_csv(&csv).expect("parses back");
+    assert_eq!(parsed.to_csv(), csv, "CSV round trip must be lossless");
+}
+
+#[test]
+fn fabric_demo_has_port_lanes_and_failover_marks() {
+    // The `ccube faults --html` figure: k=1 stalls, k=2 fails over.
+    let html = resilience::fabric_demo_html(resilience::DEFAULT_SEED);
+    assert_well_formed(&html);
+    let payload = extract_payload(&html).expect("payload embedded");
+    assert!(payload.contains("\"mode\":\"diff\""));
+    assert!(payload.contains("\"lane_kind\":\"port\""), "port lanes");
+    assert!(payload.contains("sw0.up0"), "fabric graph port labels");
+    assert!(
+        payload.contains("\"kind\":\"failover\""),
+        "the k=2 pane must record failover marks"
+    );
+}
